@@ -1,0 +1,288 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus the DESIGN.md ablations and a few genuine Go performance benchmarks
+// of the simulator itself. Each table/figure benchmark prints the
+// regenerated rows/series with the published values alongside (the same
+// output cmd/fastbench produces) and reports its headline number as a
+// benchmark metric.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fm"
+	"repro/internal/fpga"
+	"repro/internal/isa"
+	"repro/internal/tm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// BenchmarkAnalyticalModel regenerates the §3.1 worked examples (E3):
+// 1.8, 2.1, 8.7 and 6.8 MIPS.
+func BenchmarkAnalyticalModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.Analytical()
+		if i == 0 {
+			fmt.Println(out)
+		}
+	}
+	b.ReportMetric(analytic.PaperExamples()[2].Model.MIPS(), "FAST-model-MIPS")
+}
+
+// BenchmarkTable1Microcode regenerates Table 1 (E5): microcode coverage
+// fraction and dynamic µops per instruction for all sixteen workloads.
+func BenchmarkTable1Microcode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(out)
+		}
+	}
+}
+
+// figure4Rows runs the Figure 4/5 sweep once and caches it: both figures
+// come from the same 51 coupled simulations.
+var figure4Once = sync.OnceValues(func() (rowsAndText, error) {
+	rows, text, err := experiments.Figure4()
+	return rowsAndText{rows, text}, err
+})
+
+type rowsAndText struct {
+	rows []experiments.Figure4Row
+	text string
+}
+
+// BenchmarkFigure4Performance regenerates Figure 4 (E6): simulator MIPS per
+// workload under gshare, fixed-97% and perfect branch prediction.
+func BenchmarkFigure4Performance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rt, err := figure4Once()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(rt.text)
+		}
+		var sum float64
+		for _, r := range rt.rows {
+			sum += r.Gshare
+		}
+		b.ReportMetric(sum/float64(len(rt.rows)), "amean-MIPS")
+	}
+}
+
+// BenchmarkFigure5BranchPrediction regenerates Figure 5 (E7): gshare
+// accuracy including all branches.
+func BenchmarkFigure5BranchPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rt, err := figure4Once()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(experiments.Figure5(rt.rows))
+		}
+		var sum float64
+		for _, r := range rt.rows {
+			sum += r.GshareAccuracy
+		}
+		b.ReportMetric(100*sum/float64(len(rt.rows)), "amean-accuracy-%")
+	}
+}
+
+// BenchmarkFigure6StatTrace regenerates Figure 6 (E8): the windowed
+// statistics trace (iCache hits, BP accuracy, pipe drains) over the Linux
+// boot.
+func BenchmarkFigure6StatTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sampler, out, err := experiments.Figure6(2000, 400_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(out)
+		}
+		b.ReportMetric(float64(len(sampler.Samples)), "samples")
+	}
+}
+
+// BenchmarkTable2FPGAArea regenerates Table 2 (E9): the LX200 footprint of
+// the timing model across issue widths 1-8.
+func BenchmarkTable2FPGAArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.Table2()
+		if i == 0 {
+			fmt.Println(out)
+		}
+	}
+	a := tm.DefaultConfig().Area()
+	b.ReportMetric(100*fpga.Virtex4LX200.LogicFraction(a), "logic-%")
+	b.ReportMetric(100*fpga.Virtex4LX200.BRAMFraction(a), "bram-%")
+}
+
+// BenchmarkTable3SimulatorComparison regenerates Table 3 (E10): published
+// software-simulator speeds, our runnable baselines, and FAST.
+func BenchmarkTable3SimulatorComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(out)
+		}
+	}
+}
+
+// BenchmarkBottleneckAnalysis regenerates §4.5 (E11): the QEMU configuration
+// ladder, the measured DRC latencies, the per-2-basic-block arithmetic and
+// the coherent-HyperTransport projection.
+func BenchmarkBottleneckAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Bottleneck()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(out)
+		}
+	}
+}
+
+// BenchmarkAblations runs A1-A6 of DESIGN.md: coupling style, polling
+// frequency, the branch-predictor-predictor, multi-host-cycle structures,
+// trace compression and the link type.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Ablations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(out)
+		}
+	}
+}
+
+// --- Genuine Go performance benchmarks of the simulator itself ---
+
+// BenchmarkFMExecution measures raw functional-model interpretation speed
+// (simulated instructions per host second).
+func BenchmarkFMExecution(b *testing.B) {
+	prog := isa.MustAssemble(`
+		movi r0, 1000000000
+	loop:	addi r1, 3
+		mov  r2, r1
+		andi r2, 1023
+		stw  r2, [r2+0x4000]
+		ldw  r3, [r2+0x4000]
+		dec  r0
+		jnz  loop
+		halt
+	`, 0x1000)
+	m := fm.New(fm.Config{DisableInterrupts: true})
+	m.LoadProgram(prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Step(); !ok {
+			b.Fatal("halted early")
+		}
+	}
+	b.ReportMetric(float64(b.N), "target-insts")
+}
+
+// BenchmarkTMCycle measures timing-model evaluation speed (target cycles
+// per host second) replaying a recorded trace.
+func BenchmarkTMCycle(b *testing.B) {
+	m := fm.New(fm.Config{DisableInterrupts: true})
+	m.LoadProgram(isa.MustAssemble(`
+		movi r0, 100000
+	loop:	addi r1, 3
+		stw  r1, [r2+0x4000]
+		ldw  r3, [r2+0x4000]
+		dec  r0
+		jnz  loop
+		halt
+	`, 0x1000))
+	var entries []trace.Entry
+	for {
+		e, ok := m.Step()
+		if !ok {
+			break
+		}
+		entries = append(entries, e)
+	}
+	src := &tm.SliceSource{Entries: entries}
+	model, err := tm.New(tm.DefaultConfig(), src, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if model.Done() {
+			b.StopTimer()
+			model, _ = tm.New(tm.DefaultConfig(), src, nil)
+			b.StartTimer()
+		}
+		model.Step()
+	}
+}
+
+// BenchmarkCoupledSimulator measures the end-to-end coupled simulator on a
+// small workload (host seconds per simulated instruction).
+func BenchmarkCoupledSimulator(b *testing.B) {
+	spec, _ := workload.ByName("164.gzip")
+	for i := 0; i < b.N; i++ {
+		boot, err := spec.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.FM.Devices = boot.Devices()
+		cfg.MaxInstructions = 20_000
+		sim, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.LoadProgram(boot.Kernel)
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelCoupledSimulator is the same workload through the
+// goroutine-parallel coupling.
+func BenchmarkParallelCoupledSimulator(b *testing.B) {
+	spec, _ := workload.ByName("164.gzip")
+	for i := 0; i < b.N; i++ {
+		boot, err := spec.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.FM.Devices = boot.Devices()
+		cfg.MaxInstructions = 20_000
+		sim, err := core.NewParallel(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.LoadProgram(boot.Kernel)
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// fastbench regenerates every table and figure of the paper's evaluation
+// section (plus the DESIGN.md ablations) and prints them with the published
+// values alongside.
+//
+// Usage:
+//
+//	fastbench                 # everything
+//	fastbench -only table1    # table1, table2, table3, fig4 (includes fig5),
+//	                          # fig6, analytic, bottleneck, ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (table1|table2|table3|fig4|fig6|analytic|bottleneck|ablations)")
+	flag.Parse()
+
+	want := func(name string) bool { return *only == "" || *only == name }
+	bar := func() {
+		fmt.Println("\n" + string(make([]byte, 0)) + "────────────────────────────────────────────────────────")
+	}
+
+	if want("analytic") {
+		fmt.Println(experiments.Analytical())
+		bar()
+	}
+	if want("table1") {
+		out, err := experiments.Table1()
+		check(err)
+		fmt.Println(out)
+		bar()
+	}
+	if want("fig4") {
+		rows, out, err := experiments.Figure4()
+		check(err)
+		fmt.Println(out)
+		fmt.Println(experiments.Figure5(rows))
+		bar()
+	}
+	if want("fig6") {
+		_, out, err := experiments.Figure6(2000, 400_000)
+		check(err)
+		fmt.Println(out)
+		bar()
+	}
+	if want("table2") {
+		fmt.Println(experiments.Table2())
+		bar()
+	}
+	if want("table3") {
+		out, err := experiments.Table3()
+		check(err)
+		fmt.Println(out)
+		bar()
+	}
+	if want("bottleneck") {
+		out, err := experiments.Bottleneck()
+		check(err)
+		fmt.Println(out)
+		bar()
+	}
+	if want("ablations") {
+		out, err := experiments.Ablations()
+		check(err)
+		fmt.Println(out)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fastbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,194 @@
+// fastsim runs one workload on the FAST simulator (or one of the baseline
+// simulators) and prints the run statistics.
+//
+// Usage:
+//
+//	fastsim -list
+//	fastsim -workload 164.gzip [-predictor gshare] [-max 250000]
+//	fastsim -workload Linux-2.4 -parallel
+//	fastsim -workload 176.gcc -simulator monolithic
+//	fastsim -print-config
+//	fastsim -print-kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/fm"
+	"repro/internal/fpga"
+	"repro/internal/hostlink"
+	"repro/internal/isa"
+	"repro/internal/tm"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		list        = flag.Bool("list", false, "list workloads")
+		name        = flag.String("workload", "Linux-2.4", "workload name (see -list)")
+		predictor   = flag.String("predictor", "gshare", "branch predictor: gshare, 2bit, 97%, 95%, perfect")
+		maxInst     = flag.Uint64("max", 250_000, "maximum committed instructions (0 = to completion)")
+		parallel    = flag.Bool("parallel", false, "run FM and TM in separate goroutines")
+		simulator   = flag.String("simulator", "fast", "fast, monolithic, gems, lockstep")
+		issueWidth  = flag.Int("issue", 2, "target issue width")
+		link        = flag.String("link", "drc", "host link: drc, pins, coherent")
+		printConfig = flag.Bool("print-config", false, "print the Figure 3 target configuration and exit")
+		printKernel = flag.Bool("print-kernel", false, "print the generated toyOS kernel assembly and exit")
+		disasm      = flag.Bool("disasm", false, "print the workload's kernel and user program disassembly and exit")
+		console     = flag.Bool("console", false, "dump target console output")
+		power       = flag.Bool("power", false, "print the relative power estimate (§6 extension)")
+		traceN      = flag.Int("trace", 0, "dump the first N committed trace entries")
+		connectors  = flag.Bool("connectors", false, "print Connector statistics")
+	)
+	flag.Parse()
+
+	if *printConfig {
+		cfg := tm.DefaultConfig().WithIssueWidth(*issueWidth)
+		fmt.Print(cfg.Describe())
+		fmt.Printf("\nFPGA footprint: %s\n", cfg.AreaReport(fpga.Virtex4LX200))
+		return
+	}
+	if *list {
+		for _, s := range append(workload.All(), workload.WindowsXP()) {
+			fmt.Println(s.Name)
+		}
+		return
+	}
+	spec, ok := workload.ByName(*name)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q (try -list)", *name))
+	}
+	if *printKernel {
+		fmt.Print(workload.KernelSource(spec.Kernel))
+		return
+	}
+	boot, err := spec.Build()
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		fmt.Println("; ---- toyOS kernel ----")
+		fmt.Print(isa.DisassembleProgram(boot.Kernel))
+		user, uerr := isa.Assemble(spec.UserAsm(), workload.UserVA)
+		if uerr == nil {
+			fmt.Println("; ---- user program ----")
+			fmt.Print(isa.DisassembleProgram(user))
+		}
+		return
+	}
+
+	tmCfg := tm.DefaultConfig().WithIssueWidth(*issueWidth)
+	tmCfg.Predictor = *predictor
+	fmCfg := fm.Config{Devices: boot.Devices()}
+
+	switch *simulator {
+	case "monolithic", "gems":
+		cost := baseline.SimOutorderCost()
+		if *simulator == "gems" {
+			cost = baseline.GEMSCost()
+		}
+		r, err := baseline.Monolithic{
+			TM: tmCfg, FM: fmCfg, Cost: cost, Label: *simulator, MaxInstructions: *maxInst,
+		}.Run(boot.Kernel)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		return
+	case "lockstep":
+		r, err := baseline.Lockstep{
+			TM: tmCfg, FM: fmCfg, Link: pickLink(*link),
+			FunctionalNanosPerCycle: 50, FPGANanosPerCycle: 300,
+			MaxInstructions: *maxInst,
+		}.Run(boot.Kernel)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		return
+	case "fast":
+	default:
+		fatal(fmt.Errorf("unknown simulator %q", *simulator))
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.TM = tmCfg
+	cfg.FM = fmCfg
+	cfg.Link = pickLink(*link)
+	cfg.MaxInstructions = *maxInst
+
+	// -trace: dump the first N trace entries from a fresh functional run
+	// of the same boot (the committed right path starts identically).
+	if *traceN > 0 {
+		tb, terr := spec.Build()
+		if terr != nil {
+			fatal(terr)
+		}
+		m := fm.New(fm.Config{Devices: tb.Devices()})
+		m.LoadProgram(tb.Kernel)
+		for i := 0; i < *traceN; i++ {
+			e, ok := m.Step()
+			if !ok {
+				break
+			}
+			fmt.Println(" ", e)
+		}
+	}
+
+	var powerModel *tm.PowerModel
+	var result core.Result
+	if *parallel {
+		sim, err := core.NewParallel(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		sim.LoadProgram(boot.Kernel)
+		if result, err = sim.Run(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%v\n%s\n", result, sim.TM.Describe())
+	} else {
+		sim, err := core.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		sim.LoadProgram(boot.Kernel)
+		if *power {
+			powerModel = sim.TM.AttachPower(tm.DefaultPowerWeights())
+		}
+		if result, err = sim.Run(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%v\n%s\n", result, sim.TM.Describe())
+		if *connectors {
+			fmt.Print(sim.TM.ConnectorReport())
+		}
+		if powerModel != nil {
+			powerModel.Sample()
+			fmt.Print(powerModel.Report())
+		}
+	}
+	if *console {
+		fmt.Printf("console: %q\n", boot.Console.Output())
+	}
+}
+
+func pickLink(name string) hostlink.Config {
+	switch name {
+	case "pins":
+		return hostlink.DRCPinRegisters()
+	case "coherent":
+		return hostlink.CoherentHT()
+	default:
+		return hostlink.DRC()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fastsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// ucc drives the microcode compiler (§4.3): it prints the generated
+// microcode table, or compiles a µC specification given on the command
+// line.
+//
+// Usage:
+//
+//	ucc                         # dump the full table (source kind per entry)
+//	ucc -spec 'rd = rd + rs; cc(rd)'
+//	ucc -op ldw                 # show one opcode's entry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/microcode"
+)
+
+func main() {
+	spec := flag.String("spec", "", "compile a µC specification and print its µops")
+	op := flag.String("op", "", "print the microcode table entry for one mnemonic")
+	flag.Parse()
+
+	switch {
+	case *spec != "":
+		ops, err := microcode.Compile(*spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ucc:", err)
+			os.Exit(1)
+		}
+		for _, u := range ops {
+			fmt.Println(" ", u)
+		}
+	case *op != "":
+		code, ok := isa.ByName(*op)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ucc: unknown mnemonic %q\n", *op)
+			os.Exit(1)
+		}
+		e := microcode.NewTable().Entry(code)
+		fmt.Printf("%s [%s, valid=%v]\n", *op, e.Source, e.Valid)
+		for _, u := range e.Template {
+			fmt.Println(" ", u)
+		}
+	default:
+		fmt.Print(microcode.NewTable().Listing())
+	}
+}

@@ -1,0 +1,125 @@
+// Package analytic implements §3.1's simple analytical model of parallel
+// simulator performance, used to show why parallelizing on the
+// functional/timing boundary works while naive module-boundary partitioning
+// does not.
+//
+// Partition the simulator into components A and B running in parallel,
+// taking TA and TB seconds per target cycle including one-way
+// communication. Round trips occur on a fraction F of cycles with latency
+// Lrt and extra per-round-trip work α. Component A then processes
+//
+//	CA = 1 / (TA + F × (Lrt + αAA + αBA))   cycles per second
+//
+// and the simulator runs at min(CA, CB).
+package analytic
+
+import "fmt"
+
+// Component describes one side of the partition.
+type Component struct {
+	// T is seconds of work per target cycle, including one-way
+	// communication.
+	T float64
+	// AlphaSelf is this component's extra work per round trip it
+	// initiates; AlphaOther is its extra work per round trip the other
+	// side initiates. Both are included in the round-trip latency term of
+	// whichever side stalls.
+	AlphaSelf, AlphaOther float64
+}
+
+// Model is the two-component partitioned simulator.
+type Model struct {
+	A, B Component
+	// F is the fraction of target cycles that require a round trip.
+	F float64
+	// Lrt is the round-trip latency in seconds.
+	Lrt float64
+}
+
+// RateA returns CA in target cycles per second.
+func (m Model) RateA() float64 {
+	return 1 / (m.A.T + m.F*(m.Lrt+m.A.AlphaSelf+m.B.AlphaOther))
+}
+
+// RateB returns CB in target cycles per second.
+func (m Model) RateB() float64 {
+	return 1 / (m.B.T + m.F*(m.Lrt+m.B.AlphaSelf+m.A.AlphaOther))
+}
+
+// Rate returns the simulator's throughput: min(CA, CB).
+func (m Model) Rate() float64 {
+	a, b := m.RateA(), m.RateB()
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MIPS returns the throughput in millions of target cycles per second —
+// with the section's IPC-of-1 assumption, also millions of instructions
+// per second.
+func (m Model) MIPS() float64 { return m.Rate() / 1e6 }
+
+func (m Model) String() string {
+	return fmt.Sprintf("analytic{TA=%.0fns TB=%.0fns F=%.4f Lrt=%.0fns => %.2f MIPS}",
+		m.A.T*1e9, m.B.T*1e9, m.F, m.Lrt*1e9, m.MIPS())
+}
+
+// The worked examples of §3.1, parameterized the way the text does. All
+// latencies in nanoseconds for readability; fields convert to seconds.
+
+const ns = 1e-9
+
+// NaiveCachePartition is the §3.1 cautionary example: an infinitely fast
+// FPGA L1 iCache bolted onto a 10 MIPS software simulator with a round trip
+// every instruction (F=1, target IPC 1): 1/(100ns+469ns) = 1.8 MIPS.
+func NaiveCachePartition(swNanosPerInst, lrtNanos float64) Model {
+	return Model{
+		A:   Component{T: swNanosPerInst * ns},
+		B:   Component{T: 0},
+		F:   1,
+		Lrt: lrtNanos * ns,
+	}
+}
+
+// NaiveCachePartitionInfiniteSW is the follow-up: "Even if the original
+// simulator was infinitely fast, performance could not exceed 2.1MIPS
+// because of the necessity of a round-trip communication to the FPGA for
+// every instruction."
+func NaiveCachePartitionInfiniteSW(lrtNanos float64) Model {
+	return Model{A: Component{T: 0}, F: 1, Lrt: lrtNanos * ns}
+}
+
+// FASTPartition is the §3.1 FAST example: round trips only on branch
+// mis-speculation and resolution. With branch-predictor accuracy acc and
+// dynamic branch ratio br, F = (1-acc) × br × 2 (the factor of two counts
+// the mispredict and the resolution round trips).
+func FASTPartition(swNanosPerInst, lrtNanos, acc, branchRatio, alphaRollbackNanos float64) Model {
+	return Model{
+		A:   Component{T: swNanosPerInst * ns},
+		B:   Component{AlphaOther: alphaRollbackNanos * ns},
+		F:   (1 - acc) * branchRatio * 2,
+		Lrt: lrtNanos * ns,
+	}
+}
+
+// PaperExamples returns the four §3.1 worked examples with the paper's
+// parameters (TA=100 ns, Lrt=469 ns, 92% predictor, 20% branches, 1000 ns
+// rollback re-execution) and their published results (1.8, 2.1, 8.7 and
+// 6.8 MIPS).
+func PaperExamples() []struct {
+	Name      string
+	Model     Model
+	PaperMIPS float64
+} {
+	return []struct {
+		Name      string
+		Model     Model
+		PaperMIPS float64
+	}{
+		{"FPGA L1 iCache, 10MIPS software simulator", NaiveCachePartition(100, 469), 1.8},
+		{"FPGA L1 iCache, infinitely fast software", NaiveCachePartitionInfiniteSW(469), 2.1},
+		{"FAST, 92% BP, 20% branches", FASTPartition(100, 469, 0.92, 0.20, 0), 8.7},
+		{"FAST with 1000ns rollback re-execution", FASTPartition(100, 469, 0.92, 0.20, 1000), 6.8},
+	}
+}

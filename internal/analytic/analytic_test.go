@@ -1,0 +1,95 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func near(got, want, tolPct float64) bool {
+	return math.Abs(got-want) <= want*tolPct/100
+}
+
+// TestPaperExamples checks the §3.1 arithmetic against the published
+// numbers (E3): 1.8, 2.1, 8.7 and 6.8 MIPS.
+func TestPaperExamples(t *testing.T) {
+	for _, ex := range PaperExamples() {
+		got := ex.Model.MIPS()
+		if !near(got, ex.PaperMIPS, 3) {
+			t.Errorf("%s: %.2f MIPS, paper says %.1f", ex.Name, got, ex.PaperMIPS)
+		}
+	}
+}
+
+func TestExactArithmetic(t *testing.T) {
+	// 1/(100ns + 469ns) = 1.7575... MIPS
+	m := NaiveCachePartition(100, 469)
+	if got := m.MIPS(); math.Abs(got-1.7575) > 0.01 {
+		t.Errorf("naive partition = %.4f MIPS", got)
+	}
+	// 1/469ns = 2.132 MIPS
+	if got := NaiveCachePartitionInfiniteSW(469).MIPS(); math.Abs(got-2.132) > 0.01 {
+		t.Errorf("infinite SW = %.4f MIPS", got)
+	}
+	// F = 0.08 × 0.2 × 2 = 0.032; 1/(100ns + 0.032×469ns) = 8.70 MIPS
+	f := FASTPartition(100, 469, 0.92, 0.20, 0)
+	if math.Abs(f.F-0.032) > 1e-12 {
+		t.Errorf("F = %v, want 0.032", f.F)
+	}
+	if got := f.MIPS(); math.Abs(got-8.70) > 0.02 {
+		t.Errorf("FAST = %.4f MIPS", got)
+	}
+	// 1/(100ns + 0.032×(469ns+1000ns)) = 6.80 MIPS
+	if got := FASTPartition(100, 469, 0.92, 0.20, 1000).MIPS(); math.Abs(got-6.80) > 0.02 {
+		t.Errorf("FAST+rollback = %.4f MIPS", got)
+	}
+}
+
+func TestRateIsMinOfComponents(t *testing.T) {
+	m := Model{
+		A: Component{T: 100 * ns},
+		B: Component{T: 300 * ns},
+		F: 0.01, Lrt: 469 * ns,
+	}
+	if m.Rate() != m.RateB() {
+		t.Error("slower component does not limit the simulator")
+	}
+	m.B.T = 10 * ns
+	if m.Rate() != m.RateA() {
+		t.Error("rate did not switch to the other component")
+	}
+}
+
+func TestMonotonicityProperties(t *testing.T) {
+	// Performance must fall as F, Lrt or T grow.
+	base := FASTPartition(100, 469, 0.92, 0.20, 0)
+	f := func(dF, dL, dT uint8) bool {
+		m := base
+		m.F += float64(dF) / 1000
+		m.Lrt += float64(dL) * ns
+		m.A.T += float64(dT) * ns
+		return m.MIPS() <= base.MIPS()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetterPredictorIsFaster(t *testing.T) {
+	// §2.1: "The more accurate the target speculation ... the faster a
+	// FAST simulator simulates that target."
+	prev := 0.0
+	for _, acc := range []float64{0.80, 0.90, 0.95, 0.99} {
+		m := FASTPartition(100, 469, acc, 0.20, 1000).MIPS()
+		if m <= prev {
+			t.Errorf("accuracy %.2f gives %.2f MIPS, not above %.2f", acc, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestString(t *testing.T) {
+	if PaperExamples()[0].Model.String() == "" {
+		t.Error("empty String")
+	}
+}

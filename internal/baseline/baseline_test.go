@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/hostlink"
+	"repro/internal/isa"
+	"repro/internal/tm"
+)
+
+const prog = `
+	movi sp, 0x9000
+	movi r0, 500
+	movi r4, 0x4000
+loop:
+	stw  r0, [r4]
+	ldw  r1, [r4]
+	add  r2, r1
+	mov  r3, r2
+	andi r3, 7
+	cmpi r3, 3
+	jz   hit
+	addi r2, 1
+hit:	dec  r0
+	jnz  loop
+	cli
+	halt
+`
+
+func load() *isa.Program { return isa.MustAssemble(prog, 0x1000) }
+
+func fmCfg() fm.Config { return fm.Config{DisableInterrupts: true} }
+
+func TestMonolithicRuns(t *testing.T) {
+	b := Monolithic{TM: tm.DefaultConfig(), FM: fmCfg(), Cost: SimOutorderCost(), Label: "sim-outorder-class"}
+	r, err := b.Run(load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions == 0 || r.KIPS <= 0 {
+		t.Fatalf("bad result %+v", r)
+	}
+	// Table 3 territory: a software cycle-accurate simulator runs at
+	// hundreds of KIPS, far below FAST's 1.2+ MIPS.
+	if r.KIPS < 100 || r.KIPS > 2000 {
+		t.Errorf("monolithic %.0f KIPS outside software-simulator range", r.KIPS)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestGEMSClassSlower(t *testing.T) {
+	fast, err := Monolithic{TM: tm.DefaultConfig(), FM: fmCfg(), Cost: SimOutorderCost()}.Run(load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Monolithic{TM: tm.DefaultConfig(), FM: fmCfg(), Cost: GEMSCost()}.Run(load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.KIPS*5 > fast.KIPS {
+		t.Errorf("GEMS-class (%.0f KIPS) not ≫ slower than sim-outorder-class (%.0f)",
+			slow.KIPS, fast.KIPS)
+	}
+	if slow.TargetCycles != fast.TargetCycles {
+		t.Error("cost model changed target timing")
+	}
+}
+
+func TestLockstepLimitedByRoundTrips(t *testing.T) {
+	b := Lockstep{
+		TM: tm.DefaultConfig(), FM: fmCfg(),
+		Link:                    hostlink.DRC(),
+		FunctionalNanosPerCycle: 50,
+		FPGANanosPerCycle:       300,
+	}
+	r, err := b.Run(load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-cycle round trips bound the rate at ~1/(469+307+350)ns cycles/s;
+	// with IPC < 1 the KIPS must be below that.
+	maxKIPS := 1e6 / (469 + 307 + 350)
+	if r.KIPS >= maxKIPS*1000 {
+		t.Errorf("lockstep %.0f KIPS above the round-trip bound", r.KIPS)
+	}
+	if r.KIPS <= 0 {
+		t.Error("lockstep produced nothing")
+	}
+}
+
+func TestFSBCacheSlowerThanSoftware(t *testing.T) {
+	// The [30] result: adding the FPGA cache makes the simulator slower.
+	b := FSBCache{TM: tm.DefaultConfig(), FM: fmCfg(), Cost: SimOutorderCost(), Link: hostlink.DRC()}
+	withFPGA, sw, err := b.Run(load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withFPGA.KIPS >= sw.KIPS {
+		t.Errorf("FPGA-on-FSB (%.0f KIPS) not slower than pure software (%.0f): "+
+			"the Intel experiment's outcome is lost", withFPGA.KIPS, sw.KIPS)
+	}
+	if withFPGA.TargetCycles != sw.TargetCycles {
+		t.Error("cost model changed target timing")
+	}
+}
+
+func TestPublishedRows(t *testing.T) {
+	rows := PublishedRows()
+	if len(rows) != 7 {
+		t.Fatalf("%d published rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if r.KIPS <= 0 || r.Simulator == "" {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+	// Ordering sanity from Table 3: sim-outorder is the fastest software
+	// simulator listed; Intel/AMD the slowest.
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Simulator] = r.KIPS
+	}
+	if byName["sim-outorder"] <= byName["PTLSim"] || byName["Intel"] >= byName["GEMS"] {
+		t.Error("published ordering broken")
+	}
+}
+
+func TestMaxInstructionsBound(t *testing.T) {
+	b := Monolithic{TM: tm.DefaultConfig(), FM: fmCfg(), Cost: SimOutorderCost(), MaxInstructions: 50}
+	r, err := b.Run(load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions > 60 {
+		t.Errorf("bound ignored: %d instructions", r.Instructions)
+	}
+}
+
+func TestFatalPropagates(t *testing.T) {
+	bad := isa.MustAssemble("movi r0, 0\nmovi r1, 0\ndiv r0, r1\n", 0x1000)
+	_, err := Monolithic{TM: tm.DefaultConfig(), FM: fmCfg(), Cost: SimOutorderCost()}.Run(bad)
+	if err == nil {
+		t.Error("fatal functional-model error not propagated")
+	}
+}

@@ -1,0 +1,314 @@
+// Package cache implements the memory-hierarchy timing models of the FAST
+// prototype: set-associative blocking caches (LRU or round-robin
+// replacement, §4: "arbiters (currently LRU and round-robin)"), TLB timing
+// structures, and the fixed-delay DRAM model ("a simple delay model of
+// memory", Figure 3).
+package cache
+
+import "fmt"
+
+// Level is anything an access can be forwarded to: a lower cache or memory.
+type Level interface {
+	Name() string
+	// Access returns the cycles taken to satisfy an access at physical
+	// address addr. write marks stores.
+	Access(addr uint32, write bool) int
+	// Stats returns the level's accumulated counters.
+	Stats() Stats
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits over accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Policy selects the replacement arbiter.
+type Policy uint8
+
+const (
+	LRU Policy = iota
+	RoundRobin
+)
+
+func (p Policy) String() string {
+	if p == RoundRobin {
+		return "round-robin"
+	}
+	return "lru"
+}
+
+// Config describes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	LineBytes  int
+	HitLatency int // cycles on a hit
+	Policy     Policy
+}
+
+// DefaultL1I, DefaultL1D and DefaultL2 are the prototype target's caches
+// (§4: "eight-way 32KB L1 instruction and data caches, an eight-way 256KB
+// shared L2 cache"), with the Figure 3 delays (L1 hit 1, L1→L2 8).
+func DefaultL1I() Config {
+	return Config{Name: "iL1", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, HitLatency: 1}
+}
+
+// DefaultL1D is the 32 KiB 8-way data cache.
+func DefaultL1D() Config {
+	return Config{Name: "dL1", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, HitLatency: 1}
+}
+
+// DefaultL2 is the 256 KiB 8-way shared L2 with the Figure 3 8-cycle access.
+func DefaultL2() Config {
+	return Config{Name: "L2", SizeBytes: 256 << 10, Ways: 8, LineBytes: 64, HitLatency: 8}
+}
+
+// Cache is a blocking set-associative cache.
+type Cache struct {
+	cfg   Config
+	sets  int
+	tags  []uint32
+	valid []bool
+	dirty []bool
+	meta  []uint8 // LRU age or round-robin pointer storage
+	rrPtr []uint8 // per-set round-robin pointer
+	next  Level
+	stats Stats
+}
+
+// New builds a cache over the given next level.
+func New(cfg Config, next Level) *Cache {
+	if cfg.Ways <= 0 || cfg.LineBytes <= 0 || cfg.SizeBytes%(cfg.Ways*cfg.LineBytes) != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+	}
+	sets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	if sets < 1 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %s set count %d not a power of two", cfg.Name, sets))
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg: cfg, sets: sets, next: next,
+		tags: make([]uint32, n), valid: make([]bool, n),
+		dirty: make([]bool, n), meta: make([]uint8, n),
+		rrPtr: make([]uint8, sets),
+	}
+}
+
+// Name implements Level.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats implements Level.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears counters (the periodic statistics sampler uses deltas
+// instead, but tests use this).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) index(addr uint32) (set int, tag uint32) {
+	line := addr / uint32(c.cfg.LineBytes)
+	return int(line) & (c.sets - 1), line / uint32(c.sets)
+}
+
+// Access implements Level: LRU/RR lookup, miss fill from the next level.
+func (c *Cache) Access(addr uint32, write bool) int {
+	c.stats.Accesses++
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stats.Hits++
+			c.touch(base, w)
+			if write {
+				c.dirty[i] = true
+			}
+			return c.cfg.HitLatency
+		}
+	}
+	c.stats.Misses++
+	// Miss: fetch the line from below (blocking), install it.
+	lat := c.cfg.HitLatency
+	if c.next != nil {
+		lat += c.next.Access(addr, false)
+	}
+	victim := c.victim(set)
+	i := base + victim
+	if c.valid[i] {
+		c.stats.Evictions++
+		if c.dirty[i] && c.next != nil {
+			// Write-back of the dirty victim; blocking caches pay for it
+			// inline.
+			lat += c.next.Access(c.victimAddr(set, i), true)
+		}
+	}
+	c.tags[i], c.valid[i], c.dirty[i] = tag, true, write
+	c.touch(base, victim)
+	return lat
+}
+
+// victimAddr reconstructs the physical address of the line in slot i.
+func (c *Cache) victimAddr(set, i int) uint32 {
+	line := c.tags[i]*uint32(c.sets) + uint32(set)
+	return line * uint32(c.cfg.LineBytes)
+}
+
+func (c *Cache) victim(set int) int {
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.valid[base+w] {
+			return w
+		}
+	}
+	if c.cfg.Policy == RoundRobin {
+		v := int(c.rrPtr[set])
+		c.rrPtr[set] = uint8((v + 1) % c.cfg.Ways)
+		return v
+	}
+	victim, oldest := 0, uint8(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.meta[base+w] >= oldest {
+			victim, oldest = w, c.meta[base+w]
+		}
+	}
+	return victim
+}
+
+func (c *Cache) touch(base, w int) {
+	if c.cfg.Policy != LRU {
+		return
+	}
+	for k := 0; k < c.cfg.Ways; k++ {
+		if c.meta[base+k] < 255 {
+			c.meta[base+k]++
+		}
+	}
+	c.meta[base+w] = 0
+}
+
+// Contains reports whether addr's line is resident (probe; no state
+// change). Used by tests and the prefetch ablations.
+func (c *Cache) Contains(addr uint32) bool {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// FixedMemory is the fixed-delay DRAM model ("We currently do not model
+// peripherals and DRAM, beyond a fixed delay", §4.1; Figure 3 shows 25).
+type FixedMemory struct {
+	Latency int
+	stats   Stats
+}
+
+// NewFixedMemory builds the delay model (Figure 3's default is 25 cycles).
+func NewFixedMemory(latency int) *FixedMemory { return &FixedMemory{Latency: latency} }
+
+// Name implements Level.
+func (m *FixedMemory) Name() string { return "MEM" }
+
+// Access implements Level.
+func (m *FixedMemory) Access(_ uint32, _ bool) int {
+	m.stats.Accesses++
+	m.stats.Hits++
+	return m.Latency
+}
+
+// Stats implements Level.
+func (m *FixedMemory) Stats() Stats { return m.stats }
+
+// TLBTiming is the timing-model view of a TLB: a small fully-associative
+// LRU structure tracking hit rates. Misses are *architecturally* handled by
+// the software fill handler whose instructions appear in the trace; the
+// timing structure only decides how often that happens in the target.
+type TLBTiming struct {
+	entries []uint32
+	valid   []bool
+	age     []uint8
+	stats   Stats
+}
+
+// NewTLBTiming builds an n-entry TLB timing model.
+func NewTLBTiming(n int) *TLBTiming {
+	return &TLBTiming{entries: make([]uint32, n), valid: make([]bool, n), age: make([]uint8, n)}
+}
+
+// Access looks up vpn, filling on miss, and reports whether it hit.
+func (t *TLBTiming) Access(vpn uint32) bool {
+	t.stats.Accesses++
+	for i := range t.entries {
+		if t.valid[i] && t.entries[i] == vpn {
+			t.stats.Hits++
+			t.touch(i)
+			return true
+		}
+	}
+	t.stats.Misses++
+	victim, oldest := 0, uint8(0)
+	for i := range t.entries {
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.age[i] >= oldest {
+			victim, oldest = i, t.age[i]
+		}
+	}
+	t.entries[victim], t.valid[victim] = vpn, true
+	t.touch(victim)
+	return false
+}
+
+// Insert mirrors a software TLB fill carried in the trace (§2: "data
+// written to special registers, such as software-filled TLB entries").
+func (t *TLBTiming) Insert(vpn uint32) {
+	for i := range t.entries {
+		if t.valid[i] && t.entries[i] == vpn {
+			t.touch(i)
+			return
+		}
+	}
+	victim, oldest := 0, uint8(0)
+	for i := range t.entries {
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.age[i] >= oldest {
+			victim, oldest = i, t.age[i]
+		}
+	}
+	t.entries[victim], t.valid[victim] = vpn, true
+	t.touch(victim)
+}
+
+func (t *TLBTiming) touch(i int) {
+	for k := range t.age {
+		if t.age[k] < 255 {
+			t.age[k]++
+		}
+	}
+	t.age[i] = 0
+}
+
+// Stats returns TLB counters.
+func (t *TLBTiming) Stats() Stats { return t.stats }

@@ -1,0 +1,73 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is a golden model: per-set slices of line numbers in
+// recency order (index 0 = MRU), brute force.
+type refCache struct {
+	sets      int
+	ways      int
+	lineBytes int
+	data      [][]uint32 // line addresses per set, MRU first
+}
+
+func newRefCache(cfg Config) *refCache {
+	return &refCache{
+		sets:      cfg.SizeBytes / (cfg.Ways * cfg.LineBytes),
+		ways:      cfg.Ways,
+		lineBytes: cfg.LineBytes,
+		data:      make([][]uint32, cfg.SizeBytes/(cfg.Ways*cfg.LineBytes)),
+	}
+}
+
+// access returns hit.
+func (r *refCache) access(addr uint32) bool {
+	line := addr / uint32(r.lineBytes)
+	set := int(line) % r.sets
+	s := r.data[set]
+	for i, l := range s {
+		if l == line {
+			// move to front
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			return true
+		}
+	}
+	s = append([]uint32{line}, s...)
+	if len(s) > r.ways {
+		s = s[:r.ways]
+	}
+	r.data[set] = s
+	return false
+}
+
+// TestCacheAgainstLRUGoldenModel: the set-associative LRU cache must make
+// exactly the same hit/miss decisions as a brute-force recency-list model
+// over a long random access stream.
+func TestCacheAgainstLRUGoldenModel(t *testing.T) {
+	cfg := Config{Name: "gold", SizeBytes: 4 << 10, Ways: 4, LineBytes: 64, HitLatency: 1}
+	c := New(cfg, NewFixedMemory(10))
+	ref := newRefCache(cfg)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300000; i++ {
+		// Skewed address distribution so hits and misses both occur.
+		addr := uint32(rng.Intn(16 << 10))
+		if rng.Intn(3) == 0 {
+			addr = uint32(rng.Intn(2 << 10))
+		}
+		wantHit := ref.access(addr)
+		lat := c.Access(addr, rng.Intn(4) == 0)
+		gotHit := lat == cfg.HitLatency
+		if gotHit != wantHit {
+			t.Fatalf("access %d (addr %#x): hit=%v, golden model says %v",
+				i, addr, gotHit, wantHit)
+		}
+	}
+	s := c.Stats()
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("degenerate stream: %+v", s)
+	}
+}

@@ -1,0 +1,366 @@
+// Package core implements the FAST simulator proper: the speculative
+// functional model (internal/fm) coupled to the FPGA-hosted timing model
+// (internal/tm) through the trace buffer (internal/trace), over the DRC
+// host link (internal/hostlink).
+//
+// Two coupling modes are provided:
+//
+//   - Serial (default): a deterministic co-simulation. Each target cycle
+//     the timing model executes, and the functional model receives a host
+//     time budget equal to the host time the TM just consumed; it produces
+//     trace entries (including speculative wrong-path run-ahead) as that
+//     budget allows. This models the two components running in parallel at
+//     their real relative rates — reproducibly.
+//
+//   - Parallel: the FM and TM actually run in separate goroutines coupled
+//     by the blocking trace buffer, with TM→FM commands (commit,
+//     mispredict, resolve) on a channel. This realizes §3's claim that the
+//     speculative functional model makes the functional/timing boundary
+//     latency-tolerant: the producer runs ahead of the consumer and is
+//     only re-steered on round trips.
+//
+// The performance model (Result) accounts host time the way §4.5 does:
+// trace burst writes at the link's per-word cost, blocking poll reads every
+// other basic block (or per re-steer, ablation A2), FM instruction
+// execution at the modified-QEMU rate, and FPGA host cycles per target
+// cycle for the TM. Reported MIPS are target-path MIPS: committed
+// instructions plus TM-requested wrong-path instructions, like the paper's
+// Figure 4.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fm"
+	"repro/internal/fpga"
+	"repro/internal/hostlink"
+	"repro/internal/isa"
+	"repro/internal/tm"
+	"repro/internal/trace"
+)
+
+// Config assembles a FAST simulator.
+type Config struct {
+	TM tm.Config
+	FM fm.Config
+
+	// TBCapacity bounds functional-model run-ahead (trace buffer entries).
+	TBCapacity int
+
+	// Link is the host CPU↔FPGA channel.
+	Link hostlink.Config
+	// Clock is the FPGA host clock (default 100 MHz).
+	Clock fpga.Clock
+
+	// FMNanosPerInst is the functional model's execution cost per
+	// instruction: 87 ns for the paper's modified QEMU with tracing and
+	// checkpointing (11.5 MIPS, §4.5).
+	FMNanosPerInst float64
+	// FMRollbackNanosPerInst is the per-instruction cost of undoing
+	// speculative work on a set_pc.
+	FMRollbackNanosPerInst float64
+
+	// PollEveryBBs makes the FM poll the FPGA queue every N basic blocks
+	// (the prototype's 2, §4). 0 polls only on re-steers — the architected
+	// behaviour the prototype had not reached yet (ablation A2/A6).
+	PollEveryBBs int
+
+	// BPP enables the FM-side branch-predictor-predictor (§2.1): the FM
+	// anticipates target-path divergence, so a Mispredict re-steer needs
+	// no rollback work or extra poll read (ablation A3).
+	BPP bool
+
+	// MaxInstructions stops the run after this many committed
+	// instructions (0 = run to completion).
+	MaxInstructions uint64
+	// MaxCycles bounds target cycles as a safety net.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the prototype configuration of §4.
+func DefaultConfig() Config {
+	return Config{
+		TM:                     tm.DefaultConfig(),
+		FM:                     fm.Config{},
+		TBCapacity:             512,
+		Link:                   hostlink.DRC(),
+		Clock:                  fpga.DefaultClock,
+		FMNanosPerInst:         87,
+		FMRollbackNanosPerInst: 30,
+		PollEveryBBs:           2,
+		MaxCycles:              2_000_000_000,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Instructions uint64 // committed (right-path) instructions
+	WrongPath    uint64 // TM-requested wrong-path instructions produced
+	TargetCycles uint64
+	IPC          float64
+
+	// Host-time accounting (performance model).
+	FMNanos    float64 // FM execution + trace writes + polls + rollbacks
+	TMNanos    float64 // FPGA host cycles × cycle time
+	SimNanos   float64 // end-to-end simulated wall time
+	TargetMIPS float64 // paper's Figure 4 metric
+
+	BPAccuracy     float64
+	Mispredicts    uint64
+	Rollbacks      uint64
+	TraceWords     uint64
+	LinkStats      hostlink.Stats
+	TM             tm.Stats
+	TBMaxOccupancy int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("inst=%d cycles=%d IPC=%.3f bp=%.2f%% MIPS=%.2f (fm=%.1fms tm=%.1fms)",
+		r.Instructions, r.TargetCycles, r.IPC, 100*r.BPAccuracy, r.TargetMIPS,
+		r.FMNanos/1e6, r.TMNanos/1e6)
+}
+
+// Sim is a coupled FAST simulator instance.
+type Sim struct {
+	cfg Config
+	FM  *fm.Model
+	TM  *tm.TM
+	TB  *trace.Buffer
+
+	link *hostlink.Link
+
+	// FM-side accounting.
+	fmNanos       float64
+	budget        float64 // host nanoseconds available to the FM (serial mode)
+	bbSincePoll   int
+	wrongPath     bool
+	wrongIN       uint64
+	wrongProduced uint64
+	committed     uint64
+	lastHost      uint64
+
+	err error
+}
+
+// New builds a simulator; load a program into s.FM before Run.
+func New(cfg Config) (*Sim, error) {
+	if cfg.TBCapacity == 0 {
+		cfg.TBCapacity = 512
+	}
+	if cfg.Clock.MHz == 0 {
+		cfg.Clock = fpga.DefaultClock
+	}
+	if cfg.FMNanosPerInst == 0 {
+		cfg.FMNanosPerInst = 87
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000_000
+	}
+	s := &Sim{
+		cfg:  cfg,
+		FM:   fm.New(cfg.FM),
+		TB:   trace.NewBuffer(cfg.TBCapacity),
+		link: hostlink.New(cfg.Link),
+	}
+	t, err := tm.New(cfg.TM, (*serialSource)(s), (*serialControl)(s))
+	if err != nil {
+		return nil, err
+	}
+	s.TM = t
+	return s, nil
+}
+
+// LoadProgram loads an assembled image into the functional model.
+func (s *Sim) LoadProgram(p *isa.Program) { s.FM.LoadProgram(p) }
+
+// terminal reports whether the FM can make no further progress on its own.
+func (s *Sim) terminal() bool {
+	if s.FM.Fatal() != nil {
+		return true
+	}
+	// HALT with interrupts disabled is the shutdown idiom: nothing can
+	// ever wake the target.
+	return s.FM.Halted() && s.FM.Flags&isa.FlagI == 0
+}
+
+// pump lets the functional model spend its accumulated host-time budget
+// producing trace entries (running ahead speculatively, §3).
+func (s *Sim) pump() {
+	for {
+		if s.terminal() {
+			return
+		}
+		if s.FM.Halted() {
+			// Idle time passes at the TM's rate; nothing to produce.
+			return
+		}
+		if s.TB.Occupancy() >= s.TB.Cap() {
+			return
+		}
+		// Peek at the cost of one more instruction.
+		if s.budget < s.cfg.FMNanosPerInst {
+			return
+		}
+		e, ok := s.FM.Step()
+		if !ok {
+			return
+		}
+		cost := s.entryCost(e)
+		s.budget -= cost
+		s.fmNanos += cost
+		if s.wrongPath {
+			s.wrongProduced++
+		}
+		if !s.TB.TryPush(e) {
+			panic("core: trace buffer overflow despite occupancy check")
+		}
+	}
+}
+
+// entryCost is the FM host time to produce and ship one entry.
+func (s *Sim) entryCost(e trace.Entry) float64 {
+	cost := s.cfg.FMNanosPerInst
+	words := s.encWords(e)
+	cost += s.link.BurstWrite(words)
+	if e.Branch {
+		s.bbSincePoll++
+		if s.cfg.PollEveryBBs > 0 && s.bbSincePoll >= s.cfg.PollEveryBBs {
+			s.bbSincePoll = 0
+			cost += s.link.Poll(1)
+		}
+	}
+	return cost
+}
+
+func (s *Sim) encWords(e trace.Entry) int {
+	return trace.DefaultEncoding.Words(e)
+}
+
+// Run executes the coupled simulation to completion (or the configured
+// limits) and returns the result.
+func (s *Sim) Run() (Result, error) {
+	tmDone := func() bool { return s.TM.Done() }
+	for !tmDone() {
+		if s.cfg.MaxInstructions > 0 && s.committed >= s.cfg.MaxInstructions {
+			break
+		}
+		if s.TM.Cycle() >= s.cfg.MaxCycles {
+			s.err = fmt.Errorf("core: exceeded max cycles %d", s.cfg.MaxCycles)
+			break
+		}
+		// Grant the FM the host time the TM consumed last cycle.
+		h := s.TM.HostCycles()
+		s.budget += s.cfg.Clock.Nanos(h - s.lastHost)
+		s.lastHost = h
+		if s.FM.Halted() && !s.terminal() {
+			s.FM.AdvanceIdle(1)
+		}
+		s.pump()
+		s.TM.Step()
+		// Deadlock guard: if the FM is terminally halted and the TB is
+		// drained, the TM will see FetchEnd and drain itself.
+	}
+	return s.result(), s.err
+}
+
+func (s *Sim) result() Result {
+	st := s.TM.Stats
+	tmNanos := s.cfg.Clock.Nanos(s.TM.HostCycles())
+	r := Result{
+		Instructions:   st.Instructions,
+		WrongPath:      s.wrongProduced,
+		TargetCycles:   st.Cycles,
+		IPC:            st.IPC(),
+		FMNanos:        s.fmNanos,
+		TMNanos:        tmNanos,
+		SimNanos:       tmNanos,
+		BPAccuracy:     s.TM.BPStats.Accuracy(),
+		Mispredicts:    st.Mispredicts,
+		Rollbacks:      s.FM.Rollbacks,
+		TraceWords:     s.FM.TraceWords,
+		LinkStats:      s.link.Stats(),
+		TM:             st,
+		TBMaxOccupancy: s.TB.MaxOccupancy(),
+	}
+	if r.SimNanos < r.FMNanos {
+		// The FM never finished streaming inside the TM's time: it is the
+		// bottleneck (possible with PollEveryBBs and slow links).
+		r.SimNanos = r.FMNanos
+	}
+	if r.SimNanos > 0 {
+		r.TargetMIPS = float64(r.Instructions+r.WrongPath) / r.SimNanos * 1e3
+	}
+	return r
+}
+
+// serialSource adapts the Sim to the TM's Source interface.
+type serialSource Sim
+
+// Fetch implements tm.Source.
+func (s *serialSource) Fetch(in uint64) (trace.Entry, tm.FetchStatus) {
+	sim := (*Sim)(s)
+	if e, ok := sim.TB.TryFetch(in); ok {
+		return e, tm.FetchOK
+	}
+	// End of stream only when the FM is halted forever on the RIGHT path:
+	// a wrong-path HALT is speculative and the pending resolution will
+	// roll it back.
+	if in >= sim.TB.Produced() && sim.terminal() && !sim.wrongPath {
+		return trace.Entry{}, tm.FetchEnd
+	}
+	return trace.Entry{}, tm.FetchWait
+}
+
+// serialControl adapts the Sim to the TM's Control interface.
+type serialControl Sim
+
+// Commit implements tm.Control.
+func (c *serialControl) Commit(in uint64) {
+	sim := (*Sim)(c)
+	sim.TB.Commit(in)
+	sim.FM.Commit(in)
+	sim.committed++
+}
+
+// Mispredict implements tm.Control: re-steer the FM down the predicted
+// (wrong) path.
+func (c *serialControl) Mispredict(in uint64, wrongPC isa.Word) {
+	sim := (*Sim)(c)
+	rolledBefore := sim.FM.RolledBack
+	reExecBefore := sim.FM.ReExecuted()
+	if in < sim.TB.Produced() {
+		sim.TB.Rewind(in)
+	}
+	if err := sim.FM.SetPC(in, wrongPC); err != nil {
+		// The FM had not yet produced in (it is behind): it will fetch
+		// from wrongPC when it gets there only if redirected; a pure
+		// redirect handles it.
+		panic(fmt.Sprintf("core: mispredict re-steer failed: %v", err))
+	}
+	sim.wrongPath = true
+	sim.wrongIN = in
+	if !sim.cfg.BPP {
+		sim.fmNanos += sim.link.Poll(1) // the extra mispredict read (§4.5)
+		sim.fmNanos += float64(sim.FM.RolledBack-rolledBefore) * sim.cfg.FMRollbackNanosPerInst
+		// Checkpoint-engine rollbacks really re-execute instructions;
+		// charge them at full FM speed (§3.1's αBA).
+		sim.fmNanos += float64(sim.FM.ReExecuted()-reExecBefore) * sim.cfg.FMNanosPerInst
+	}
+}
+
+// Resolve implements tm.Control: return the FM to the right path.
+func (c *serialControl) Resolve(in uint64, rightPC isa.Word) {
+	sim := (*Sim)(c)
+	rolledBefore := sim.FM.RolledBack
+	reExecBefore := sim.FM.ReExecuted()
+	if in < sim.TB.Produced() {
+		sim.TB.Rewind(in)
+	}
+	if err := sim.FM.SetPC(in, rightPC); err != nil {
+		panic(fmt.Sprintf("core: resolve re-steer failed: %v", err))
+	}
+	sim.wrongPath = false
+	sim.fmNanos += sim.link.Poll(1)
+	sim.fmNanos += float64(sim.FM.RolledBack-rolledBefore) * sim.cfg.FMRollbackNanosPerInst
+	sim.fmNanos += float64(sim.FM.ReExecuted()-reExecBefore) * sim.cfg.FMNanosPerInst
+}

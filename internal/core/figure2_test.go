@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestFigure2MisSpeculation reproduces the paper's Figure 2 flow end to end
+// through the coupled simulator: a branch the cold predictor gets wrong
+// sends the functional model down the wrong path (set_pc), the wrong-path
+// instructions land in the trace buffer, the resolution re-steers the FM
+// back, and the committed result is exactly the architectural one.
+func TestFigure2MisSpeculation(t *testing.T) {
+	// Figure 2's program shape:
+	//   1: R0 = R0 + R2
+	//   2: BRz L1        (taken architecturally; a cold 2-bit counter
+	//                     predicts not-taken -> mis-speculation)
+	//   3: R0 = R0 + R3  (wrong path)
+	//   4: L1: R0 = R0 + R4
+	prog := isa.MustAssemble(`
+		movi r0, 0
+		movi r2, 0
+		movi r3, 100
+		movi r4, 1000
+		add  r0, r2      ; I1: result 0 -> Z set
+		jz   L1          ; I2: TAKEN
+		add  r0, r3      ; I3: wrong path
+	L1:	add  r0, r4      ; I4
+		cli
+		halt
+	`, 0x1000)
+	cfg := DefaultConfig()
+	cfg.FM.DisableInterrupts = true
+	cfg.TM.Predictor = "2bit" // cold counters predict not-taken
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.LoadProgram(prog)
+	r, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mispredicts == 0 {
+		t.Fatal("the cold predictor must mis-speculate the taken BRz")
+	}
+	if r.WrongPath == 0 {
+		t.Error("no wrong-path instructions were produced for the TM")
+	}
+	if r.Rollbacks < 2 {
+		t.Errorf("rollbacks = %d; Figure 2 needs the mis-speculation re-steer "+
+			"and the resolution re-steer", r.Rollbacks)
+	}
+	if sim.FM.GPR[0] != 1000 {
+		t.Errorf("R0 = %d; the wrong-path +100 must leave no trace (want 1000)",
+			sim.FM.GPR[0])
+	}
+	if r.Instructions != 9 {
+		t.Errorf("committed %d instructions, want 9 (the architectural path)",
+			r.Instructions)
+	}
+	if r.TM.DrainCycles == 0 {
+		t.Error("the TM must stall (drain) between mis-speculation and resolution")
+	}
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fm"
+	"repro/internal/fpga"
+	"repro/internal/hostlink"
+	"repro/internal/isa"
+	"repro/internal/tm"
+	"repro/internal/trace"
+)
+
+// ParallelSim runs the functional model and the timing model in separate
+// goroutines, coupled only by the trace buffer and a TM→FM command channel
+// — the software realization of §3's parallelization across the
+// functional/timing boundary. The FM runs ahead speculatively; round trips
+// occur only on mispredicts, resolutions and the commit stream.
+//
+// Architectural results (instructions, branch outcomes, basic blocks) are
+// identical to the serial mode; cycle counts can differ slightly because
+// fetch-bubble timing depends on real goroutine scheduling rather than the
+// modeled production rate.
+type ParallelSim struct {
+	cfg Config
+	FM  *fm.Model
+	TM  *tm.TM
+	TB  *trace.Buffer
+
+	link *hostlink.Link
+
+	cmds   chan command
+	done   chan struct{}
+	notify chan struct{} // producer progress ticks for blocking fetches
+
+	mu            sync.Mutex
+	fmNanos       float64
+	bbSincePoll   int
+	wrongPath     bool
+	wrongProduced uint64
+
+	// terminalFlag is set by the producer when the FM is halted forever
+	// *on the right path*: only then may the TM treat the stream as ended.
+	// A wrong-path HALT is speculative and will be rolled back by the
+	// pending resolution.
+	terminalFlag atomic.Bool
+
+	err error
+}
+
+type cmdKind uint8
+
+const (
+	cmdCommit cmdKind = iota
+	cmdMispredict
+	cmdResolve
+)
+
+type command struct {
+	kind cmdKind
+	in   uint64
+	pc   isa.Word
+	// ack is closed by the producer once the command has been applied.
+	// Mispredict and Resolve are round-trip communications (§3.1): the TM
+	// waits for the FM to be re-steered — which is also what makes it safe
+	// for the TM to resume fetching after a recovery (the stale wrong-path
+	// entries are guaranteed rewound). Commits are one-way (ack == nil).
+	ack chan struct{}
+}
+
+// NewParallel builds a goroutine-coupled simulator.
+func NewParallel(cfg Config) (*ParallelSim, error) {
+	if cfg.TBCapacity == 0 {
+		cfg.TBCapacity = 512
+	}
+	if cfg.Clock.MHz == 0 {
+		cfg.Clock = fpga.DefaultClock
+	}
+	if cfg.FMNanosPerInst == 0 {
+		cfg.FMNanosPerInst = 87
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000_000
+	}
+	p := &ParallelSim{
+		cfg:    cfg,
+		FM:     fm.New(cfg.FM),
+		TB:     trace.NewBuffer(cfg.TBCapacity),
+		link:   hostlink.New(cfg.Link),
+		cmds:   make(chan command, 4096),
+		done:   make(chan struct{}),
+		notify: make(chan struct{}, 1),
+	}
+	t, err := tm.New(cfg.TM, (*parSource)(p), (*parControl)(p))
+	if err != nil {
+		return nil, err
+	}
+	p.TM = t
+	return p, nil
+}
+
+// LoadProgram loads an assembled image into the functional model.
+func (p *ParallelSim) LoadProgram(prog *isa.Program) { p.FM.LoadProgram(prog) }
+
+func (p *ParallelSim) terminal() bool {
+	if p.FM.Fatal() != nil {
+		return true
+	}
+	return p.FM.Halted() && p.FM.Flags&isa.FlagI == 0
+}
+
+// Run executes the coupled simulation with the FM as a producer goroutine
+// and the TM on the calling goroutine.
+func (p *ParallelSim) Run() (Result, error) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.producer()
+	}()
+
+	for !p.TM.Done() {
+		if p.cfg.MaxInstructions > 0 && p.TM.Stats.Instructions >= p.cfg.MaxInstructions {
+			break
+		}
+		if p.TM.Cycle() >= p.cfg.MaxCycles {
+			p.err = fmt.Errorf("core: exceeded max cycles %d", p.cfg.MaxCycles)
+			break
+		}
+		p.TM.Step()
+	}
+	close(p.done)
+	wg.Wait()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.TM.Stats
+	tmNanos := p.cfg.Clock.Nanos(p.TM.HostCycles())
+	r := Result{
+		Instructions:   st.Instructions,
+		WrongPath:      p.wrongProduced,
+		TargetCycles:   st.Cycles,
+		IPC:            st.IPC(),
+		FMNanos:        p.fmNanos,
+		TMNanos:        tmNanos,
+		SimNanos:       tmNanos,
+		BPAccuracy:     p.TM.BPStats.Accuracy(),
+		Mispredicts:    st.Mispredicts,
+		Rollbacks:      p.FM.Rollbacks,
+		TraceWords:     p.FM.TraceWords,
+		LinkStats:      p.link.Stats(),
+		TM:             st,
+		TBMaxOccupancy: p.TB.MaxOccupancy(),
+	}
+	if r.SimNanos < r.FMNanos {
+		r.SimNanos = r.FMNanos
+	}
+	if r.SimNanos > 0 {
+		r.TargetMIPS = float64(r.Instructions+r.WrongPath) / r.SimNanos * 1e3
+	}
+	return r, p.err
+}
+
+// producer is the FM goroutine: it speculatively runs ahead, pushing trace
+// entries, and services TM commands.
+func (p *ParallelSim) producer() {
+	var pending *trace.Entry
+	// idleLimit guards against a hung target (HALT with interrupts enabled
+	// but no interrupt source): after this many idle ticks with no wake,
+	// the stream is declared over.
+	const idleLimit = 50_000_000
+	idleTicks := uint64(0)
+	for {
+		// Drain pending commands first — they may roll the FM back and
+		// invalidate the pending entry.
+		for {
+			select {
+			case c := <-p.cmds:
+				p.apply(c, &pending)
+				continue
+			case <-p.done:
+				return
+			default:
+			}
+			break
+		}
+		if pending != nil {
+			if pending.IN >= p.FM.IN() {
+				pending = nil // rolled back underneath us
+			} else if p.TB.TryPush(*pending) {
+				pending = nil
+			} else {
+				// Buffer full: we have run as far ahead as allowed. Block
+				// on the next command (a commit frees space, a re-steer
+				// rewinds).
+				select {
+				case c := <-p.cmds:
+					p.apply(c, &pending)
+				case <-p.done:
+					return
+				}
+				continue
+			}
+		}
+		if p.terminal() || idleTicks > idleLimit {
+			// The FM can do nothing more on its own. This is NOT
+			// necessarily the end of the run: the TM may still re-steer
+			// us into a wrong path (a mispredicted branch it has not
+			// reached yet), or a resolve may roll a speculative
+			// wrong-path HALT back. Publish the state and service
+			// commands.
+			p.terminalFlag.Store(true)
+			p.tick()
+			select {
+			case c := <-p.cmds:
+				p.apply(c, &pending)
+				if !p.terminal() {
+					idleTicks = 0
+				}
+			case <-p.done:
+				return
+			}
+			continue
+		}
+		if p.FM.Halted() {
+			p.FM.AdvanceIdle(1)
+			idleTicks++
+			continue
+		}
+		idleTicks = 0
+		e, ok := p.FM.Step()
+		if !ok {
+			continue
+		}
+		p.mu.Lock()
+		p.fmNanos += p.entryCostLocked(e)
+		if p.wrongPath {
+			p.wrongProduced++
+		}
+		p.mu.Unlock()
+		if !p.TB.TryPush(e) {
+			pending = &e
+		}
+		p.tick()
+	}
+}
+
+// tick wakes a TM goroutine blocked waiting for producer progress.
+func (p *ParallelSim) tick() {
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (p *ParallelSim) entryCostLocked(e trace.Entry) float64 {
+	cost := p.cfg.FMNanosPerInst
+	cost += p.link.BurstWrite(trace.DefaultEncoding.Words(e))
+	if e.Branch {
+		p.bbSincePoll++
+		if p.cfg.PollEveryBBs > 0 && p.bbSincePoll >= p.cfg.PollEveryBBs {
+			p.bbSincePoll = 0
+			cost += p.link.Poll(1)
+		}
+	}
+	return cost
+}
+
+func (p *ParallelSim) apply(c command, pending **trace.Entry) {
+	switch c.kind {
+	case cmdCommit:
+		p.TB.Commit(c.in)
+		p.FM.Commit(c.in)
+	case cmdMispredict, cmdResolve:
+		if c.in < p.TB.Produced() {
+			p.TB.Rewind(c.in)
+		}
+		// The re-steer revives the FM; clear the end-of-stream hint before
+		// the TM resumes (the ack provides the happens-before edge).
+		p.terminalFlag.Store(false)
+		defer close(c.ack)
+		rolledBefore := p.FM.RolledBack
+		if err := p.FM.SetPC(c.in, c.pc); err != nil {
+			panic(fmt.Sprintf("core: parallel re-steer failed: %v", err))
+		}
+		*pending = nil
+		p.mu.Lock()
+		if c.kind == cmdMispredict {
+			p.wrongPath = true
+			if !p.cfg.BPP {
+				p.fmNanos += p.link.Poll(1)
+				p.fmNanos += float64(p.FM.RolledBack-rolledBefore) * p.cfg.FMRollbackNanosPerInst
+			}
+		} else {
+			p.wrongPath = false
+			p.fmNanos += p.link.Poll(1)
+			p.fmNanos += float64(p.FM.RolledBack-rolledBefore) * p.cfg.FMRollbackNanosPerInst
+		}
+		p.mu.Unlock()
+	}
+}
+
+// parSource adapts the parallel sim to tm.Source (runs on the TM
+// goroutine).
+type parSource ParallelSim
+
+// Fetch implements tm.Source. It blocks until the producer delivers the
+// entry or the stream genuinely ends: in the parallel coupling the trace
+// buffer is the synchronizer, so host-scheduling hiccups do not masquerade
+// as target fetch bubbles. (The modeled FM-rate bubbles are the serial
+// mode's job.) The end-of-stream condition needs both sides: the producer
+// says the FM is stuck (terminalFlag) and the TM — which only fetches when
+// not recovering — wants an entry past everything produced.
+func (p *parSource) Fetch(in uint64) (trace.Entry, tm.FetchStatus) {
+	ps := (*ParallelSim)(p)
+	for {
+		if e, ok := ps.TB.TryFetch(in); ok {
+			return e, tm.FetchOK
+		}
+		if ps.terminalFlag.Load() && in >= ps.TB.Produced() {
+			return trace.Entry{}, tm.FetchEnd
+		}
+		select {
+		case <-ps.notify:
+		case <-ps.done:
+			return trace.Entry{}, tm.FetchEnd
+		}
+	}
+}
+
+// parControl adapts the parallel sim to tm.Control (runs on the TM
+// goroutine); commands travel to the producer over the channel.
+type parControl ParallelSim
+
+// Commit implements tm.Control.
+func (p *parControl) Commit(in uint64) {
+	(*ParallelSim)(p).cmds <- command{kind: cmdCommit, in: in}
+}
+
+// Mispredict implements tm.Control. Re-steers are round trips: the call
+// returns only after the producer has rewound the FM.
+func (p *parControl) Mispredict(in uint64, wrongPC isa.Word) {
+	ack := make(chan struct{})
+	(*ParallelSim)(p).cmds <- command{kind: cmdMispredict, in: in, pc: wrongPC, ack: ack}
+	<-ack
+}
+
+// Resolve implements tm.Control (round trip, like Mispredict).
+func (p *parControl) Resolve(in uint64, rightPC isa.Word) {
+	ack := make(chan struct{})
+	(*ParallelSim)(p).cmds <- command{kind: cmdResolve, in: in, pc: rightPC, ack: ack}
+	<-ack
+}

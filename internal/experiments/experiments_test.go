@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2Static(t *testing.T) {
+	out := Table2()
+	for _, want := range []string{"Issue Width", "51.2%", "32.7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyticalStatic(t *testing.T) {
+	out := Analytical()
+	for _, want := range []string{"8.70", "6.80", "1.76", "2.13"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analytical output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coupled run")
+	}
+	sampler, out, err := Figure6(500, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sampler.Samples) < 3 {
+		t.Fatalf("only %d samples", len(sampler.Samples))
+	}
+	if !strings.Contains(out, "drain%") {
+		t.Error("render missing columns")
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sixteen functional runs")
+	}
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"252.eon", "Sweep3D", "MySQL", "aggregate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}

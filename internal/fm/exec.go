@@ -1,0 +1,745 @@
+package fm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fullsys"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Step executes one dynamic instruction (delivering a pending interrupt
+// first when enabled) and returns its trace entry. ok is false when the
+// target is halted or has hit a fatal condition (see Fatal) — no entry is
+// produced then.
+func (m *Model) Step() (trace.Entry, bool) {
+	if m.halted || m.fatal != nil {
+		return trace.Entry{}, false
+	}
+	m.beginInstruction()
+	now := m.Now()
+	if m.Bus.Due(now) {
+		m.journalBus()
+	}
+	m.Bus.Tick(now)
+
+	// Interrupt delivery at the instruction boundary. The prototype "does
+	// not model interrupts ... accurately (though they are handled
+	// functionally correctly)" — the same holds here: the FM delivers at
+	// its own boundary; the TM replays the resulting trace.
+	interrupted := false
+	if !m.cfg.DisableInterrupts && m.Flags&isa.FlagI != 0 {
+		if line := m.Bus.Pending(); line >= 0 {
+			if !m.replay {
+				m.Interrupts++
+			}
+			if !m.deliverTrap(uint8(isa.VecIRQBase+line), m.PC, 0) {
+				m.abortInstruction()
+				return trace.Entry{}, false
+			}
+			interrupted = true
+		}
+	}
+
+	e := trace.Entry{IN: m.in, PC: m.PC, Kernel: m.Kernel(), Interrupt: interrupted}
+
+	inst, ppc, f := m.fetchDecode(m.PC)
+	if f != nil {
+		return m.faultEntry(e, isa.Inst{}, f)
+	}
+	e.PPC = ppc
+	e.Op = inst.Op
+	e.Size = uint8(inst.Size)
+	fillRegs(inst, &e)
+
+	nextPC := m.PC + isa.Word(inst.Size)
+	f = m.execute(inst, nextPC, &e)
+	if f != nil {
+		return m.faultEntry(e, inst, f)
+	}
+	if m.fatal != nil {
+		m.abortInstruction()
+		return trace.Entry{}, false
+	}
+	return m.finishEntry(e, inst)
+}
+
+// Fatal returns the unrecoverable condition that stopped the model, if any
+// (an unhandled trap with no vector table installed).
+func (m *Model) Fatal() error { return m.fatal }
+
+// fetchDecode fetches and decodes the instruction at virtual address pc.
+func (m *Model) fetchDecode(pc isa.Word) (isa.Inst, isa.Word, *fault) {
+	var buf [isa.MaxInstLen]byte
+	pa, f := m.translate(pc, false)
+	if f != nil {
+		return isa.Inst{}, 0, f
+	}
+	if !m.Mem.InRange(pa, 1) {
+		return isa.Inst{}, 0, &fault{vector: isa.VecProt, faultVA: pc, retry: true}
+	}
+	n := isa.MaxInstLen
+	if m.Kernel() || m.CR[isa.CRPaging] == 0 {
+		if rem := m.Mem.Size() - int(pa); rem < n {
+			n = rem
+		}
+		copy(buf[:n], m.Mem.Bytes(pa, n))
+	} else {
+		// Paged fetch: bytes up to the page end, then (only if the decoder
+		// needs them) the next page.
+		rem := int(fullsys.PageSize - pc&(fullsys.PageSize-1))
+		if rem < n {
+			n = rem
+		}
+		copy(buf[:n], m.Mem.Bytes(pa, n))
+		if n < isa.MaxInstLen {
+			if _, derr := isa.Decode(buf[:n], pc); derr != nil {
+				// Might be a page-crossing instruction: try the next page.
+				pa2, f2 := m.translate(pc+isa.Word(n), false)
+				if f2 == nil && m.Mem.InRange(pa2, 1) {
+					n2 := isa.MaxInstLen - n
+					if rem2 := m.Mem.Size() - int(pa2); rem2 < n2 {
+						n2 = rem2
+					}
+					copy(buf[n:n+n2], m.Mem.Bytes(pa2, n2))
+					n += n2
+				} else if f2 != nil {
+					// Decide below: if decode still fails truncated, the
+					// second-page fault is the architectural outcome.
+					inst, derr2 := isa.Decode(buf[:n], pc)
+					if derr2 != nil {
+						return isa.Inst{}, 0, f2
+					}
+					return inst, pa, nil
+				}
+			}
+		}
+	}
+	inst, derr := isa.Decode(buf[:n], pc)
+	if derr != nil {
+		return isa.Inst{}, 0, &fault{vector: isa.VecIllegal, faultVA: pc}
+	}
+	return inst, pa, nil
+}
+
+// faultEntry finalizes the trace entry for an instruction that raised an
+// exception: the FM indicates the exception in the trace (§3.4) and steers
+// to the handler.
+func (m *Model) faultEntry(e trace.Entry, inst isa.Inst, f *fault) (trace.Entry, bool) {
+	if !m.replay {
+		m.Exceptions++
+	}
+	epc := m.PC
+	if !f.retry {
+		epc = m.PC + isa.Word(inst.Size)
+	}
+	if !m.deliverTrap(f.vector, epc, f.faultVA) {
+		m.abortInstruction()
+		return trace.Entry{}, false
+	}
+	e.Exception = true
+	e.ExcVector = f.vector
+	e.Branch = true
+	e.Taken = true
+	e.NextPC = m.PC // handler address
+	if inst.Size == 0 {
+		e.Op = isa.OpNop // fetch fault: no opcode was decoded
+		e.Size = 0
+	}
+	return m.finishEntry(e, inst)
+}
+
+// finishEntry cracks the instruction, accounts trace bandwidth and advances
+// the instruction number.
+func (m *Model) finishEntry(e trace.Entry, inst isa.Inst) (trace.Entry, bool) {
+	iters := int(e.RepIterations)
+	if !inst.Rep {
+		iters = 1
+	}
+	if isa.Valid(e.Op) && e.Op == inst.Op {
+		c := m.table.Crack(inst, iters)
+		if !m.replay {
+			m.Coverage.Add(c)
+		}
+		e.UopCount = uint32(c.Count)
+		e.UOps = c.UOps
+		e.Microcode = c.Valid
+	} else {
+		// Fetch fault placeholder: one µop, valid.
+		e.UopCount = 1
+		e.Microcode = true
+		if !m.replay {
+			m.Coverage.Instructions++
+			m.Coverage.Covered++
+			m.Coverage.UOps++
+		}
+	}
+	if !m.replay {
+		m.TraceWords += uint64(m.cfg.Encoding.Words(e))
+	}
+	m.in++
+	return e, true
+}
+
+// deliverTrap enters the kernel through the IVT. Returns false (and sets
+// the fatal condition) when no handler is installed.
+func (m *Model) deliverTrap(vec uint8, epc isa.Word, faultVA isa.Word) bool {
+	vecAddr := m.CR[isa.CRIVT] + isa.Word(vec)*isa.VectorStride
+	if !m.Mem.InRange(vecAddr, 4) {
+		m.fatal = fmt.Errorf("fm: trap vector %d: IVT slot %#x outside memory", vec, vecAddr)
+		return false
+	}
+	handler := isa.Word(m.Mem.Read(vecAddr, 4))
+	if handler == 0 {
+		m.fatal = fmt.Errorf("fm: unhandled trap vector %d at pc %#x", vec, m.PC)
+		return false
+	}
+	m.CR[isa.CREPC] = epc
+	m.CR[isa.CREFLAGS] = m.Flags
+	m.CR[isa.CRECause] = isa.Word(vec)
+	m.CR[isa.CRFaultVA] = faultVA
+	m.Flags &^= isa.FlagI | isa.FlagU
+	m.PC = handler
+	return true
+}
+
+// setFlagsZN sets Z and N from v, clearing C and V.
+func (m *Model) setFlagsZN(v isa.Word) {
+	m.Flags &^= isa.FlagZ | isa.FlagN | isa.FlagC | isa.FlagV
+	if v == 0 {
+		m.Flags |= isa.FlagZ
+	}
+	if int32(v) < 0 {
+		m.Flags |= isa.FlagN
+	}
+}
+
+// setFlagsAdd sets all four flags for r = a + b.
+func (m *Model) setFlagsAdd(a, b, r isa.Word) {
+	m.setFlagsZN(r)
+	if r < a {
+		m.Flags |= isa.FlagC
+	}
+	if (^(a ^ b) & (a ^ r) >> 31) != 0 {
+		m.Flags |= isa.FlagV
+	}
+}
+
+// setFlagsSub sets all four flags for r = a - b.
+func (m *Model) setFlagsSub(a, b, r isa.Word) {
+	m.setFlagsZN(r)
+	if a < b {
+		m.Flags |= isa.FlagC
+	}
+	if ((a ^ b) & (a ^ r) >> 31) != 0 {
+		m.Flags |= isa.FlagV
+	}
+}
+
+// setFlagsFloat sets Z/N from a float compare a-b.
+func (m *Model) setFlagsFloat(a, b float64) {
+	m.Flags &^= isa.FlagZ | isa.FlagN | isa.FlagC | isa.FlagV
+	switch {
+	case a == b:
+		m.Flags |= isa.FlagZ
+	case a < b:
+		m.Flags |= isa.FlagN | isa.FlagC
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		m.Flags |= isa.FlagV
+	}
+}
+
+// cond evaluates a conditional branch predicate from FLAGS.
+func (m *Model) cond(op isa.Op) bool {
+	z := m.Flags&isa.FlagZ != 0
+	n := m.Flags&isa.FlagN != 0
+	c := m.Flags&isa.FlagC != 0
+	v := m.Flags&isa.FlagV != 0
+	switch op {
+	case isa.OpJz:
+		return z
+	case isa.OpJnz:
+		return !z
+	case isa.OpJl:
+		return n != v
+	case isa.OpJge:
+		return n == v
+	case isa.OpJg:
+		return !z && n == v
+	case isa.OpJle:
+		return z || n != v
+	case isa.OpJc:
+		return c
+	case isa.OpJnc:
+		return !c
+	}
+	panic(fmt.Sprintf("fm: cond on %v", op))
+}
+
+// privCheck raises a protection fault for kernel-only instructions in user
+// mode.
+func (m *Model) privCheck(in isa.Info) *fault {
+	if in.Priv && !m.Kernel() {
+		return &fault{vector: isa.VecProt, faultVA: m.PC, retry: false}
+	}
+	return nil
+}
+
+// fpRegOf extracts the FPR index from a register name known to be FP.
+func fpRegOf(r isa.Reg) int { return int(r - isa.FPRBase) }
+
+// execute runs one decoded instruction. nextPC is the fall-through PC. It
+// fills the dynamic fields of the trace entry and updates m.PC.
+func (m *Model) execute(inst isa.Inst, nextPC isa.Word, e *trace.Entry) *fault {
+	in := inst.Info()
+	if f := m.privCheck(in); f != nil {
+		return f
+	}
+	branchTo := func(target isa.Word, taken bool) {
+		e.Branch = true
+		e.Cond = in.Cond
+		e.Taken = taken
+		if taken {
+			nextPC = target
+		}
+		e.NextPC = nextPC
+	}
+	rel := func() isa.Word { return nextPC + isa.Word(int32(inst.Imm)) }
+
+	switch inst.Op {
+	case isa.OpNop, isa.OpPause:
+	case isa.OpHalt:
+		m.halted = true
+	case isa.OpMovRR:
+		m.GPR[inst.Rd] = m.GPR[inst.Rs]
+	case isa.OpMovRI, isa.OpMovRI8:
+		m.GPR[inst.Rd] = isa.Word(inst.Imm)
+	case isa.OpAddRR, isa.OpAddRI:
+		a := m.GPR[inst.Rd]
+		b := m.aluOperand(inst)
+		r := a + b
+		m.GPR[inst.Rd] = r
+		m.setFlagsAdd(a, b, r)
+	case isa.OpSubRR, isa.OpSubRI:
+		a := m.GPR[inst.Rd]
+		b := m.aluOperand(inst)
+		r := a - b
+		m.GPR[inst.Rd] = r
+		m.setFlagsSub(a, b, r)
+	case isa.OpAndRR, isa.OpAndRI:
+		m.GPR[inst.Rd] &= m.aluOperand(inst)
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpOrRR, isa.OpOrRI:
+		m.GPR[inst.Rd] |= m.aluOperand(inst)
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpXorRR, isa.OpXorRI:
+		m.GPR[inst.Rd] ^= m.aluOperand(inst)
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpShlRR, isa.OpShlRI8:
+		m.GPR[inst.Rd] <<= m.aluOperand(inst) & 31
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpShrRR, isa.OpShrRI8:
+		m.GPR[inst.Rd] >>= m.aluOperand(inst) & 31
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpSarRR, isa.OpSarRI8:
+		m.GPR[inst.Rd] = isa.Word(int32(m.GPR[inst.Rd]) >> (m.aluOperand(inst) & 31))
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpMulRR:
+		m.GPR[inst.Rd] *= m.GPR[inst.Rs]
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpDivRR, isa.OpModRR:
+		d := int32(m.GPR[inst.Rs])
+		if d == 0 {
+			return &fault{vector: isa.VecDivZero, faultVA: m.PC, retry: true}
+		}
+		a := int32(m.GPR[inst.Rd])
+		if a == math.MinInt32 && d == -1 {
+			// Wrap instead of faulting (documented ISA choice).
+			if inst.Op == isa.OpDivRR {
+				m.GPR[inst.Rd] = isa.Word(1) << 31
+			} else {
+				m.GPR[inst.Rd] = 0
+			}
+		} else if inst.Op == isa.OpDivRR {
+			m.GPR[inst.Rd] = isa.Word(a / d)
+		} else {
+			m.GPR[inst.Rd] = isa.Word(a % d)
+		}
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpNegR:
+		m.GPR[inst.Rd] = -m.GPR[inst.Rd]
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpNotR:
+		m.GPR[inst.Rd] = ^m.GPR[inst.Rd]
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpIncR:
+		m.GPR[inst.Rd]++
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpDecR:
+		m.GPR[inst.Rd]--
+		m.setFlagsZN(m.GPR[inst.Rd])
+	case isa.OpCmpRR, isa.OpCmpRI:
+		a := m.GPR[inst.Rd]
+		b := m.aluOperand(inst)
+		m.setFlagsSub(a, b, a-b)
+	case isa.OpTestRR:
+		m.setFlagsZN(m.GPR[inst.Rd] & m.GPR[inst.Rs])
+	case isa.OpLea:
+		m.GPR[inst.Rd] = m.GPR[inst.Rs] + isa.Word(inst.Disp)
+	case isa.OpLdW, isa.OpLdH, isa.OpLdB:
+		size := map[isa.Op]int{isa.OpLdW: 4, isa.OpLdH: 2, isa.OpLdB: 1}[inst.Op]
+		va := m.GPR[inst.Rs] + isa.Word(inst.Disp)
+		v, pa, f := m.load(va, size)
+		if f != nil {
+			return f
+		}
+		m.GPR[inst.Rd] = isa.Word(v)
+		e.MemVA, e.MemPA, e.MemSize = va, pa, uint8(size)
+	case isa.OpStW, isa.OpStH, isa.OpStB:
+		size := map[isa.Op]int{isa.OpStW: 4, isa.OpStH: 2, isa.OpStB: 1}[inst.Op]
+		va := m.GPR[inst.Rs] + isa.Word(inst.Disp)
+		pa, f := m.store(va, uint64(m.GPR[inst.Rd]), size)
+		if f != nil {
+			return f
+		}
+		e.MemVA, e.MemPA, e.MemSize, e.IsStore = va, pa, uint8(size), true
+	case isa.OpPush:
+		va := m.GPR[isa.RegSP] - 4
+		pa, f := m.store(va, uint64(m.GPR[inst.Rd]), 4)
+		if f != nil {
+			return f
+		}
+		m.GPR[isa.RegSP] = va
+		e.MemVA, e.MemPA, e.MemSize, e.IsStore = va, pa, 4, true
+	case isa.OpPop:
+		va := m.GPR[isa.RegSP]
+		v, pa, f := m.load(va, 4)
+		if f != nil {
+			return f
+		}
+		m.GPR[inst.Rd] = isa.Word(v)
+		m.GPR[isa.RegSP] = va + 4
+		e.MemVA, e.MemPA, e.MemSize = va, pa, 4
+	case isa.OpJmp:
+		branchTo(rel(), true)
+	case isa.OpJz, isa.OpJnz, isa.OpJl, isa.OpJge, isa.OpJg, isa.OpJle, isa.OpJc, isa.OpJnc:
+		branchTo(rel(), m.cond(inst.Op))
+	case isa.OpJmpR:
+		branchTo(m.GPR[inst.Rd], true)
+	case isa.OpCall:
+		m.GPR[isa.RegLR] = nextPC
+		branchTo(rel(), true)
+	case isa.OpCallR:
+		target := m.GPR[inst.Rd]
+		m.GPR[isa.RegLR] = nextPC
+		branchTo(target, true)
+	case isa.OpRet:
+		branchTo(m.GPR[isa.RegLR], true)
+	case isa.OpLoop:
+		// x86-style LOOP: the count register is implicit (R2, the string
+		// count register).
+		m.GPR[2]--
+		m.setFlagsZN(m.GPR[2])
+		branchTo(rel(), m.GPR[2] != 0)
+	case isa.OpMovs, isa.OpStos, isa.OpLods, isa.OpCmps, isa.OpScas:
+		if f := m.execString(inst, e); f != nil {
+			return f
+		}
+	case isa.OpSyscall:
+		// A trap by design, not an exception: EPC is the next instruction
+		// and the trace records an ordinary taken branch to the handler.
+		if !m.deliverTrap(isa.VecSyscall, nextPC, 0) {
+			return nil // fatal set; Step aborts
+		}
+		branchTo(m.PC, true)
+	case isa.OpBreak:
+		if !m.deliverTrap(isa.VecBreak, nextPC, 0) {
+			return nil
+		}
+		branchTo(m.PC, true)
+	case isa.OpIret:
+		m.Flags = m.CR[isa.CREFLAGS]
+		branchTo(m.CR[isa.CREPC], true)
+	case isa.OpCli:
+		m.Flags &^= isa.FlagI
+	case isa.OpSti:
+		m.Flags |= isa.FlagI
+	case isa.OpTlbWr:
+		m.journalTLB()
+		vpn := m.GPR[inst.Rd]
+		val := m.GPR[inst.Rs]
+		entry := fullsys.TLBEntry{
+			VPN:   vpn,
+			PFN:   val >> fullsys.PageShift,
+			Valid: true,
+			User:  val&fullsys.TLBFlagUser != 0,
+			Write: val&fullsys.TLBFlagWrite != 0,
+		}
+		m.TLB.Insert(entry)
+		e.TLBWrite, e.TLBVPN, e.TLBPFN = true, vpn, val
+	case isa.OpTlbFl:
+		m.journalTLB()
+		m.TLB.Reset()
+	case isa.OpMovCR:
+		if int(inst.Imm) < isa.NumCR {
+			m.CR[inst.Imm] = m.GPR[inst.Rd]
+		}
+	case isa.OpMovRC:
+		switch inst.Imm {
+		case isa.CRCycles:
+			m.GPR[inst.Rd] = isa.Word(m.Now())
+		default:
+			if int(inst.Imm) < isa.NumCR {
+				m.GPR[inst.Rd] = m.CR[inst.Imm]
+			}
+		}
+	case isa.OpIn:
+		m.journalBus()
+		m.GPR[inst.Rd] = m.Bus.In(uint16(inst.Imm), m.Now())
+	case isa.OpOut:
+		m.journalBus()
+		m.Bus.Out(uint16(inst.Imm), m.GPR[inst.Rd], m.Now())
+	case isa.OpCpuid:
+		m.GPR[inst.Rd] = 0x46495341 // "FISA"
+	case isa.OpFMov:
+		m.FPR[fpRegOf(inst.Rd)] = m.FPR[fpRegOf(inst.Rs)]
+	case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv:
+		a := m.FPR[fpRegOf(inst.Rd)]
+		b := m.FPR[fpRegOf(inst.Rs)]
+		var r float64
+		switch inst.Op {
+		case isa.OpFAdd:
+			r = a + b
+		case isa.OpFSub:
+			r = a - b
+		case isa.OpFMul:
+			r = a * b
+		case isa.OpFDiv:
+			if b == 0 {
+				return &fault{vector: isa.VecFPError, faultVA: m.PC, retry: true}
+			}
+			r = a / b
+		}
+		m.FPR[fpRegOf(inst.Rd)] = r
+		m.setFlagsFloat(r, 0)
+	case isa.OpFSqrt:
+		m.FPR[fpRegOf(inst.Rd)] = math.Sqrt(m.FPR[fpRegOf(inst.Rs)])
+	case isa.OpFAbs:
+		m.FPR[fpRegOf(inst.Rd)] = math.Abs(m.FPR[fpRegOf(inst.Rs)])
+	case isa.OpFNeg:
+		m.FPR[fpRegOf(inst.Rd)] = -m.FPR[fpRegOf(inst.Rs)]
+	case isa.OpFCmp:
+		m.setFlagsFloat(m.FPR[fpRegOf(inst.Rd)], m.FPR[fpRegOf(inst.Rs)])
+	case isa.OpFLd:
+		va := m.GPR[inst.Rs] + isa.Word(inst.Disp)
+		v, pa, f := m.load(va, 8)
+		if f != nil {
+			return f
+		}
+		m.FPR[fpRegOf(inst.Rd)] = math.Float64frombits(v)
+		e.MemVA, e.MemPA, e.MemSize = va, pa, 8
+	case isa.OpFSt:
+		va := m.GPR[inst.Rs] + isa.Word(inst.Disp)
+		pa, f := m.store(va, math.Float64bits(m.FPR[fpRegOf(inst.Rd)]), 8)
+		if f != nil {
+			return f
+		}
+		e.MemVA, e.MemPA, e.MemSize, e.IsStore = va, pa, 8, true
+	case isa.OpFLdI:
+		m.FPR[fpRegOf(inst.Rd)] = inst.Float()
+	case isa.OpI2F:
+		m.FPR[fpRegOf(inst.Rd)] = float64(int32(m.GPR[inst.Rs]))
+	case isa.OpF2I:
+		f := m.FPR[fpRegOf(inst.Rs)]
+		switch {
+		case math.IsNaN(f):
+			m.GPR[inst.Rd] = 0
+		case f >= math.MaxInt32:
+			m.GPR[inst.Rd] = isa.Word(math.MaxInt32)
+		case f <= math.MinInt32:
+			m.GPR[inst.Rd] = isa.Word(1) << 31
+		default:
+			m.GPR[inst.Rd] = isa.Word(int32(f))
+		}
+	case isa.OpJmpFar:
+		branchTo(isa.Word(inst.Imm), true)
+	case isa.OpCallFar:
+		m.GPR[isa.RegLR] = nextPC
+		branchTo(isa.Word(inst.Imm), true)
+	default:
+		return &fault{vector: isa.VecIllegal, faultVA: m.PC}
+	}
+	m.PC = nextPC
+	return nil
+}
+
+// aluOperand returns the second ALU operand: the Rs register for RR forms,
+// the immediate otherwise.
+func (m *Model) aluOperand(inst isa.Inst) isa.Word {
+	if inst.Rs != isa.RegNone {
+		return m.GPR[inst.Rs]
+	}
+	return isa.Word(inst.Imm)
+}
+
+// execString runs one string instruction, including REP loops, updating the
+// fixed registers R0 (source), R1 (destination), R2 (count) and R3 (value).
+func (m *Model) execString(inst isa.Inst, e *trace.Entry) *fault {
+	iters := 1
+	if inst.Rep {
+		iters = int(m.GPR[2])
+		if iters > m.cfg.RepCap {
+			iters = m.cfg.RepCap
+		}
+		if iters <= 0 {
+			e.RepIterations = 0
+			return nil
+		}
+	}
+	first := true
+	done := uint32(0)
+	for i := 0; i < iters; i++ {
+		var f *fault
+		var va isa.Word
+		var store bool
+		switch inst.Op {
+		case isa.OpMovs:
+			var v uint64
+			v, _, f = m.load(m.GPR[0], 1)
+			if f == nil {
+				va = m.GPR[1]
+				store = true
+				_, f = m.store(va, v, 1)
+			} else {
+				va = m.GPR[0]
+			}
+			if f == nil {
+				m.GPR[0]++
+				m.GPR[1]++
+			}
+		case isa.OpStos:
+			va = m.GPR[1]
+			store = true
+			_, f = m.store(va, uint64(m.GPR[3]&0xFF), 1)
+			if f == nil {
+				m.GPR[1]++
+			}
+		case isa.OpLods:
+			va = m.GPR[0]
+			var v uint64
+			v, _, f = m.load(va, 1)
+			if f == nil {
+				m.GPR[3] = isa.Word(v)
+				m.GPR[0]++
+			}
+		case isa.OpCmps:
+			va = m.GPR[0]
+			var a, b uint64
+			a, _, f = m.load(m.GPR[0], 1)
+			if f == nil {
+				b, _, f = m.load(m.GPR[1], 1)
+			}
+			if f == nil {
+				m.setFlagsSub(isa.Word(a), isa.Word(b), isa.Word(a)-isa.Word(b))
+				m.GPR[0]++
+				m.GPR[1]++
+			}
+		case isa.OpScas:
+			va = m.GPR[1]
+			var b uint64
+			b, _, f = m.load(va, 1)
+			if f == nil {
+				a := m.GPR[3] & 0xFF
+				m.setFlagsSub(a, isa.Word(b), a-isa.Word(b))
+				m.GPR[1]++
+			}
+		}
+		if first {
+			pa, _ := m.translate(va, store)
+			e.MemVA, e.MemPA = va, pa
+			e.MemSize, e.IsStore = 1, store
+			first = false
+		}
+		if f != nil {
+			// Partial progress is architectural (x86 REP semantics): the
+			// count register reflects completed iterations and the trap
+			// retries the instruction.
+			if inst.Rep {
+				m.GPR[2] -= done
+				e.RepIterations = done
+			}
+			return f
+		}
+		done++
+		if inst.Rep {
+			// REPE termination for the compare forms: stop when not equal.
+			if (inst.Op == isa.OpCmps || inst.Op == isa.OpScas) && m.Flags&isa.FlagZ == 0 {
+				break
+			}
+		}
+	}
+	if inst.Rep {
+		m.GPR[2] -= done
+		e.RepIterations = done
+	}
+	return nil
+}
+
+// fillRegs derives the trace's architectural register names from the
+// decoded instruction (§2: "source, destination and condition code
+// architectural register names").
+func fillRegs(inst isa.Inst, e *trace.Entry) {
+	in := inst.Info()
+	e.ReadsCC = in.ReadsCC
+	e.WritesCC = in.WritesCC
+	e.SrcA, e.SrcB, e.Dst = isa.RegNone, isa.RegNone, isa.RegNone
+	switch inst.Op {
+	case isa.OpMovRR, isa.OpFMov, isa.OpI2F, isa.OpF2I, isa.OpFSqrt, isa.OpFAbs, isa.OpFNeg:
+		e.SrcA, e.Dst = inst.Rs, inst.Rd
+	case isa.OpMovRI, isa.OpMovRI8, isa.OpFLdI, isa.OpCpuid, isa.OpMovRC:
+		e.Dst = inst.Rd
+	case isa.OpLea:
+		e.SrcA, e.Dst = inst.Rs, inst.Rd
+	case isa.OpLdW, isa.OpLdH, isa.OpLdB, isa.OpFLd:
+		e.SrcA, e.Dst = inst.Rs, inst.Rd
+	case isa.OpStW, isa.OpStH, isa.OpStB, isa.OpFSt:
+		e.SrcA, e.SrcB = inst.Rs, inst.Rd
+	case isa.OpPush:
+		e.SrcA, e.SrcB, e.Dst = isa.RegSP, inst.Rd, isa.RegSP
+	case isa.OpPop:
+		e.SrcA, e.Dst = isa.RegSP, inst.Rd
+	case isa.OpJmpR, isa.OpCallR:
+		e.SrcA = inst.Rd
+		if inst.Op == isa.OpCallR {
+			e.Dst = isa.RegLR
+		}
+	case isa.OpCall, isa.OpCallFar:
+		e.Dst = isa.RegLR
+	case isa.OpRet:
+		e.SrcA = isa.RegLR
+	case isa.OpCmpRR, isa.OpTestRR, isa.OpFCmp:
+		e.SrcA, e.SrcB = inst.Rd, inst.Rs
+	case isa.OpCmpRI:
+		e.SrcA = inst.Rd
+	case isa.OpLoop:
+		e.SrcA, e.Dst = 2, 2 // implicit count register
+	case isa.OpMovs, isa.OpStos, isa.OpLods, isa.OpCmps, isa.OpScas:
+		e.SrcA, e.SrcB = 0, 1 // fixed string registers
+		e.Dst = 3
+	case isa.OpMovCR, isa.OpOut, isa.OpTlbWr:
+		e.SrcA = inst.Rd
+		if inst.Op == isa.OpTlbWr {
+			e.SrcB = inst.Rs
+		}
+	case isa.OpIn:
+		e.Dst = inst.Rd
+	default:
+		if in.Format == isa.FmtRR {
+			e.SrcA, e.SrcB, e.Dst = inst.Rd, inst.Rs, inst.Rd
+		} else if in.Format == isa.FmtR || in.Format == isa.FmtRI8 || in.Format == isa.FmtRI32 {
+			e.SrcA, e.Dst = inst.Rd, inst.Rd
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package fm
+
+import (
+	"fmt"
+
+	"repro/internal/fullsys"
+)
+
+// The functional model supports two interchangeable rollback engines:
+//
+//   - journalEngine (default): a per-instruction undo journal. Each record
+//     holds the pre-instruction scalar state plus memory/TLB/device undo
+//     data. Rollback pops records. Simple, exact, O(1) rollback per
+//     instruction undone.
+//
+//   - checkpointEngine: the paper's §3.2 mechanism verbatim — "periodic
+//     software checkpoints of architectural state along with memory and
+//     I/O logging. At least two checkpoints that leapfrog each other are
+//     maintained to ensure that the functional model can rollback to any
+//     non-committed instruction." Rollback restores the checkpoint at or
+//     below the target and *re-executes* forward — the re-execution is the
+//     αBA cost of §3.1's analytical model, which the engine counts.
+//
+// Both satisfy the same contract and are equivalence-tested against each
+// other.
+
+// RollbackMode selects the engine.
+type RollbackMode uint8
+
+const (
+	// RollbackJournal is the per-instruction undo journal (default).
+	RollbackJournal RollbackMode = iota
+	// RollbackCheckpoint is the leapfrog-checkpoint + replay engine.
+	RollbackCheckpoint
+)
+
+type rollbackEngine interface {
+	// begin is called before any architectural mutation of an instruction.
+	begin(m *Model)
+	// abort discards begin's work when no instruction was produced.
+	abort(m *Model)
+	// noteMem is called with the bytes about to be overwritten.
+	noteMem(m *Model, pa uint32, n int)
+	// noteTLB is called before the instruction's first TLB mutation.
+	noteTLB(m *Model)
+	// noteBus is called before the instruction's first device mutation.
+	noteBus(m *Model)
+	// noteIdle records idle ticks advanced while halted (replay input).
+	noteIdle(m *Model, ticks uint64)
+	// commit releases resources for instructions <= in.
+	commit(m *Model, in uint64)
+	// setPC rolls the model back so the next instruction is in at pc.
+	setPC(m *Model, in uint64, pc uint32) error
+	// window reports the number of uncommitted (rollback-able) instructions.
+	window() int
+}
+
+type memUndo struct {
+	pa   uint32
+	old  uint64
+	size uint8
+}
+
+// undoMem applies a memory undo list newest-first.
+func undoMem(m *Model, undos []memUndo) {
+	for i := len(undos) - 1; i >= 0; i-- {
+		u := undos[i]
+		m.Mem.Write(u.pa, u.old, int(u.size))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// journalEngine
+
+type undoRecord struct {
+	pre    Scalars
+	mem    []memUndo
+	tlbSet bool
+	tlbPre fullsys.TLB
+	busPre []any
+	halted bool
+	idle   uint64
+}
+
+type journalEngine struct {
+	journal []undoRecord
+	base    uint64 // IN of journal[0]
+}
+
+func (j *journalEngine) begin(m *Model) {
+	if len(j.journal) == 0 {
+		j.base = m.in
+	}
+	j.journal = append(j.journal, undoRecord{
+		pre:    m.Scalars,
+		halted: m.halted,
+		idle:   m.idle,
+	})
+}
+
+func (j *journalEngine) abort(m *Model) {
+	j.journal = j.journal[:len(j.journal)-1]
+}
+
+func (j *journalEngine) current() *undoRecord { return &j.journal[len(j.journal)-1] }
+
+func (j *journalEngine) noteMem(m *Model, pa uint32, n int) {
+	r := j.current()
+	r.mem = append(r.mem, memUndo{pa: pa, old: m.Mem.Read(pa, n), size: uint8(n)})
+}
+
+func (j *journalEngine) noteTLB(m *Model) {
+	r := j.current()
+	if !r.tlbSet {
+		r.tlbPre = m.TLB.Snapshot()
+		r.tlbSet = true
+	}
+}
+
+func (j *journalEngine) noteBus(m *Model) {
+	r := j.current()
+	if r.busPre == nil {
+		r.busPre = m.Bus.Snapshot()
+	}
+}
+
+func (j *journalEngine) noteIdle(*Model, uint64) {}
+
+func (j *journalEngine) commit(m *Model, in uint64) {
+	if in < j.base {
+		return
+	}
+	keep := in + 1 - j.base
+	if keep >= uint64(len(j.journal)) {
+		j.journal = j.journal[:0]
+		j.base = m.in
+		return
+	}
+	n := copy(j.journal, j.journal[keep:])
+	j.journal = j.journal[:n]
+	j.base = in + 1
+}
+
+func (j *journalEngine) setPC(m *Model, in uint64, pc uint32) error {
+	if in < j.base {
+		return fmt.Errorf("fm: set_pc(%d) below committed window (base %d)", in, j.base)
+	}
+	for m.in > in {
+		r := &j.journal[len(j.journal)-1]
+		undoMem(m, r.mem)
+		if r.tlbSet {
+			m.TLB.Restore(r.tlbPre)
+		}
+		if r.busPre != nil {
+			m.Bus.Restore(r.busPre)
+		}
+		m.Scalars = r.pre
+		m.halted = r.halted
+		m.idle = r.idle
+		j.journal = j.journal[:len(j.journal)-1]
+		m.in--
+	}
+	m.PC = pc
+	return nil
+}
+
+func (j *journalEngine) window() int { return len(j.journal) }
+
+// ---------------------------------------------------------------------------
+// checkpointEngine
+
+// segment is the log between two leapfrogging checkpoints.
+type segment struct {
+	startIN uint64
+	pre     Scalars
+	tlb     fullsys.TLB
+	bus     []any
+	halted  bool
+	idle    uint64
+
+	count   int       // instructions executed in this segment
+	mem     []memUndo // memory undo across the whole segment
+	idleLog []idleEvent
+}
+
+type idleEvent struct {
+	afterIN uint64 // idle happened while the next IN would be this
+	ticks   uint64
+}
+
+type checkpointEngine struct {
+	interval int
+	segs     []segment
+	// ReExecuted counts instructions replayed during rollbacks — the §3.1
+	// αBA extra work.
+	reExecuted uint64
+	replaying  bool
+}
+
+func newCheckpointEngine(interval int) *checkpointEngine {
+	if interval < 1 {
+		interval = 64
+	}
+	return &checkpointEngine{interval: interval}
+}
+
+func (c *checkpointEngine) cur() *segment { return &c.segs[len(c.segs)-1] }
+
+func (c *checkpointEngine) begin(m *Model) {
+	if len(c.segs) == 0 || (!c.replaying && c.cur().count >= c.interval) {
+		c.take(m)
+	}
+	c.cur().count++
+}
+
+// take opens a new checkpoint at the current state.
+func (c *checkpointEngine) take(m *Model) {
+	c.segs = append(c.segs, segment{
+		startIN: m.in,
+		pre:     m.Scalars,
+		tlb:     m.TLB.Snapshot(),
+		bus:     m.Bus.Snapshot(),
+		halted:  m.halted,
+		idle:    m.idle,
+	})
+}
+
+func (c *checkpointEngine) abort(m *Model) {
+	c.cur().count--
+}
+
+func (c *checkpointEngine) noteMem(m *Model, pa uint32, n int) {
+	s := c.cur()
+	s.mem = append(s.mem, memUndo{pa: pa, old: m.Mem.Read(pa, n), size: uint8(n)})
+}
+
+// noteTLB/noteBus: nothing per-instruction — the segment snapshot taken at
+// the checkpoint covers TLB and device state, and replay regenerates the
+// rest deterministically.
+func (c *checkpointEngine) noteTLB(*Model) {}
+func (c *checkpointEngine) noteBus(*Model) {}
+
+func (c *checkpointEngine) noteIdle(m *Model, ticks uint64) {
+	if len(c.segs) == 0 || c.replaying {
+		return
+	}
+	s := c.cur()
+	if n := len(s.idleLog); n > 0 && s.idleLog[n-1].afterIN == m.in {
+		s.idleLog[n-1].ticks += ticks
+		return
+	}
+	s.idleLog = append(s.idleLog, idleEvent{afterIN: m.in, ticks: ticks})
+}
+
+func (c *checkpointEngine) commit(m *Model, in uint64) {
+	// Release checkpoints entirely below the commit frontier, always
+	// keeping the one covering the first uncommitted instruction — the
+	// "checkpoints are released and others are taken" leapfrog.
+	for len(c.segs) > 1 && c.segs[1].startIN <= in+1 {
+		c.segs = c.segs[1:]
+	}
+}
+
+func (c *checkpointEngine) setPC(m *Model, in uint64, pc uint32) error {
+	if len(c.segs) == 0 || in < c.segs[0].startIN {
+		base := uint64(0)
+		if len(c.segs) > 0 {
+			base = c.segs[0].startIN
+		}
+		return fmt.Errorf("fm: set_pc(%d) below committed window (base %d)", in, base)
+	}
+	// Find the checkpoint at or below in.
+	k := len(c.segs) - 1
+	for k > 0 && c.segs[k].startIN > in {
+		k--
+	}
+	// Undo memory newest-segment-first, including the containing segment
+	// (replay regenerates its prefix).
+	for i := len(c.segs) - 1; i >= k; i-- {
+		undoMem(m, c.segs[i].mem)
+	}
+	s := c.segs[k]
+	m.Scalars = s.pre
+	m.TLB.Restore(s.tlb)
+	m.Bus.Restore(s.bus)
+	m.halted = s.halted
+	m.idle = s.idle
+	m.in = s.startIN
+	idleLog := s.idleLog
+	c.segs = c.segs[:k]
+	c.take(m)
+
+	// Replay forward to in, feeding the logged idle periods so interrupt
+	// timing reproduces exactly. Statistics are suppressed: the replayed
+	// instructions were already counted the first time.
+	c.replaying = true
+	m.replay = true
+	defer func() { c.replaying = false; m.replay = false }()
+	li := 0
+	for m.in < in {
+		for li < len(idleLog) && idleLog[li].afterIN == m.in && m.halted {
+			m.AdvanceIdle(idleLog[li].ticks)
+			li++
+		}
+		if _, ok := m.Step(); !ok {
+			if m.halted && li < len(idleLog) && idleLog[li].afterIN == m.in {
+				continue // consume the next idle event
+			}
+			return fmt.Errorf("fm: checkpoint replay stalled at IN %d (target %d)", m.in, in)
+		}
+		c.reExecuted++
+	}
+	m.PC = pc
+	return nil
+}
+
+func (c *checkpointEngine) window() int {
+	if len(c.segs) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range c.segs {
+		n += c.segs[i].count
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Model-facing API (engine-independent)
+
+// Commit releases rollback resources for instructions with numbers <= in.
+// The timing model calls this as the ROB commits ("As commits return from
+// the timing model, checkpoints are released and others are taken", §3.2).
+func (m *Model) Commit(in uint64) { m.engine.commit(m, in) }
+
+// JournalLen reports the number of uncommitted instructions (rollback
+// window size).
+func (m *Model) JournalLen() int { return m.engine.window() }
+
+// ReExecuted returns instructions replayed by checkpoint rollbacks (0 for
+// the journal engine) — §3.1's αBA extra work.
+func (m *Model) ReExecuted() uint64 {
+	if c, ok := m.engine.(*checkpointEngine); ok {
+		return c.reExecuted
+	}
+	return 0
+}
+
+// SetPC implements the paper's set_pc command: "takes two arguments, an IN
+// and a program counter (PC). Calling set_pc rolls back the functional
+// model to that IN, removing the effects of that instruction, changing to
+// the new PC and then executing from that PC on."
+//
+// After SetPC(in, pc), the next instruction the model produces has number
+// in and executes at pc. Only non-committed instructions can be rolled
+// back; in == IN() is a pure redirect (zero instructions undone).
+func (m *Model) SetPC(in uint64, pc uint32) error {
+	if in > m.in {
+		return fmt.Errorf("fm: set_pc(%d) beyond produced instructions (next %d)", in, m.in)
+	}
+	m.Rollbacks++
+	if in == m.in {
+		// Pure redirect: the TM re-steers the next instruction before the
+		// FM ran ahead. Still a set_pc round trip, zero work undone.
+		m.PC = pc
+		return nil
+	}
+	m.RolledBack += m.in - in
+	return m.engine.setPC(m, in, pc)
+}
+
+// Compatibility wrappers used by the executor.
+func (m *Model) beginInstruction()           { m.engine.begin(m) }
+func (m *Model) abortInstruction()           { m.engine.abort(m) }
+func (m *Model) journalMem(pa uint32, n int) { m.engine.noteMem(m, pa, n) }
+func (m *Model) journalTLB()                 { m.engine.noteTLB(m) }
+func (m *Model) journalBus()                 { m.engine.noteBus(m) }

@@ -1,0 +1,217 @@
+// Package fm implements FAST's speculative functional model: a full-system
+// FISA interpreter that executes the target sequentially, emits the
+// functional-path instruction trace, and supports the set_pc roll-back
+// operation (§3.2) so the timing model can re-steer it down wrong paths and
+// back.
+//
+// The paper's prototype modified QEMU, implementing set_pc with "periodic
+// software checkpoints of architectural state along with memory and I/O
+// logging", keeping "at least two checkpoints that leapfrog each other ...
+// to ensure that the functional model can rollback to any non-committed
+// instruction". We implement the same contract with a per-instruction undo
+// journal: each record holds the pre-instruction scalar state plus memory,
+// TLB and device undo data, and records are released as the timing model
+// commits — functionally identical to leapfrog checkpoints + logs (a
+// checkpoint interval of one), and it makes the "rollback to any
+// non-committed instruction" invariant directly testable.
+package fm
+
+import (
+	"fmt"
+
+	"repro/internal/fullsys"
+	"repro/internal/isa"
+	"repro/internal/microcode"
+	"repro/internal/trace"
+)
+
+// Scalars is the architectural scalar state: everything except memory, TLB
+// and device state.
+type Scalars struct {
+	GPR   [isa.NumGPR]isa.Word
+	FPR   [isa.NumFPR]float64
+	Flags isa.Word
+	PC    isa.Word
+	CR    [isa.NumCR]isa.Word
+}
+
+// Config parameterizes a functional model instance.
+type Config struct {
+	// MemBytes is the physical memory size (default 16 MiB).
+	MemBytes int
+	// Devices are attached to the port bus (a default console and timer
+	// are created when nil).
+	Devices []fullsys.Device
+	// RepCap bounds dynamic REP iterations. Wrong-path execution can reach
+	// a REP with a garbage count register; the cap keeps wrong-path work
+	// bounded without affecting correct-path programs (which stay far
+	// below it). 0 means the default of 65536.
+	RepCap int
+	// Encoding selects the trace compression model for link accounting.
+	Encoding trace.EncodeOptions
+	// DisableInterrupts prevents autonomous interrupt delivery; used by
+	// unit tests that want pure sequential semantics.
+	DisableInterrupts bool
+	// Rollback selects the rollback engine: the per-instruction undo
+	// journal (default) or the paper's leapfrog checkpoints + replay.
+	Rollback RollbackMode
+	// CheckpointInterval is the instruction distance between leapfrog
+	// checkpoints (RollbackCheckpoint only; default 64).
+	CheckpointInterval int
+}
+
+// Model is the speculative functional model.
+type Model struct {
+	Scalars
+	Mem *fullsys.Memory
+	TLB fullsys.TLB
+	Bus *fullsys.Bus
+
+	table *microcode.Table
+	cfg   Config
+
+	in     uint64 // next instruction number to produce
+	halted bool
+	idle   uint64 // device-time ticks accumulated while halted
+	fatal  error  // unrecoverable condition (unhandled trap)
+	replay bool   // inside a checkpoint-engine replay: skip statistics
+
+	engine rollbackEngine
+
+	// Statistics.
+	Coverage   microcode.CoverageStats
+	TraceWords uint64 // 32-bit words emitted into the trace
+	Rollbacks  uint64 // set_pc invocations
+	RolledBack uint64 // instructions undone by set_pc
+	Interrupts uint64
+	Exceptions uint64
+}
+
+// New builds a functional model with the given configuration.
+func New(cfg Config) *Model {
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 16 << 20
+	}
+	if cfg.RepCap == 0 {
+		cfg.RepCap = 65536
+	}
+	if cfg.Encoding == (trace.EncodeOptions{}) {
+		cfg.Encoding = trace.DefaultEncoding
+	}
+	devs := cfg.Devices
+	if devs == nil {
+		devs = []fullsys.Device{fullsys.NewConsole(), fullsys.NewTimer()}
+	}
+	m := &Model{
+		Mem:   fullsys.NewMemory(cfg.MemBytes),
+		Bus:   fullsys.NewBus(devs...),
+		table: microcode.NewTable(),
+		cfg:   cfg,
+	}
+	if cfg.Rollback == RollbackCheckpoint {
+		m.engine = newCheckpointEngine(cfg.CheckpointInterval)
+	} else {
+		m.engine = &journalEngine{}
+	}
+	return m
+}
+
+// Table exposes the microcode table (shared with the timing model).
+func (m *Model) Table() *microcode.Table { return m.table }
+
+// LoadProgram copies the image into physical memory and jumps to its entry.
+func (m *Model) LoadProgram(p *isa.Program) {
+	m.Mem.Load(p.Base, p.Code)
+	m.PC = p.Entry
+}
+
+// IN returns the next instruction number the model will produce.
+func (m *Model) IN() uint64 { return m.in }
+
+// Halted reports whether the target executed HALT and no interrupt has
+// woken it yet.
+func (m *Model) Halted() bool { return m.halted }
+
+// Now is the model's device time: retired instructions plus idle ticks.
+func (m *Model) Now() uint64 { return m.in + m.idle }
+
+// AdvanceIdle moves device time forward by n ticks while the target is
+// halted, then delivers any interrupt that became pending. It reports
+// whether the target woke up.
+func (m *Model) AdvanceIdle(n uint64) bool {
+	if !m.halted {
+		return true
+	}
+	m.engine.noteIdle(m, n)
+	m.idle += n
+	m.Bus.Tick(m.Now())
+	if m.cfg.DisableInterrupts {
+		return false
+	}
+	// HALT waits for an interrupt regardless of FlagI; delivery still
+	// requires interrupts enabled (the kernel idles with STI; a CLI+HALT
+	// would hang real hardware too, and toyOS never does it).
+	if m.Flags&isa.FlagI != 0 && m.Bus.Pending() >= 0 {
+		m.halted = false
+		return true
+	}
+	return false
+}
+
+// Kernel reports whether the target is in kernel mode.
+func (m *Model) Kernel() bool { return m.Flags&isa.FlagU == 0 }
+
+// fault carries an exception discovered during execution.
+type fault struct {
+	vector  uint8
+	faultVA isa.Word
+	// retry: EPC points at the faulting instruction (TLB miss) rather
+	// than past it (syscall/break).
+	retry bool
+}
+
+func (f *fault) Error() string { return fmt.Sprintf("fault vector %d", f.vector) }
+
+// translate maps a virtual address to physical. In kernel mode, or with
+// paging disabled, addresses are physical. wr marks stores (permission
+// check).
+func (m *Model) translate(va isa.Word, wr bool) (isa.Word, *fault) {
+	if m.Kernel() || m.CR[isa.CRPaging] == 0 {
+		return va, nil
+	}
+	vpn := va >> fullsys.PageShift
+	e, ok := m.TLB.Lookup(vpn)
+	if !ok {
+		return 0, &fault{vector: isa.VecTLBMiss, faultVA: va, retry: true}
+	}
+	if !e.User || wr && !e.Write {
+		return 0, &fault{vector: isa.VecProt, faultVA: va, retry: true}
+	}
+	return e.PFN<<fullsys.PageShift | va&(fullsys.PageSize-1), nil
+}
+
+// load reads n bytes of data memory at virtual address va.
+func (m *Model) load(va isa.Word, n int) (uint64, isa.Word, *fault) {
+	pa, f := m.translate(va, false)
+	if f != nil {
+		return 0, 0, f
+	}
+	if !m.Mem.InRange(pa, n) {
+		return 0, 0, &fault{vector: isa.VecProt, faultVA: va, retry: true}
+	}
+	return m.Mem.Read(pa, n), pa, nil
+}
+
+// store writes n bytes at va, journaling the old contents.
+func (m *Model) store(va isa.Word, v uint64, n int) (isa.Word, *fault) {
+	pa, f := m.translate(va, true)
+	if f != nil {
+		return 0, f
+	}
+	if !m.Mem.InRange(pa, n) {
+		return 0, &fault{vector: isa.VecProt, faultVA: va, retry: true}
+	}
+	m.journalMem(pa, n)
+	m.Mem.Write(pa, v, n)
+	return pa, nil
+}

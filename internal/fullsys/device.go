@@ -1,0 +1,210 @@
+package fullsys
+
+import "fmt"
+
+// Device is a peripheral reachable through port I/O. Devices are
+// deterministic: their "time" is the target's retired-instruction/cycle
+// count supplied via Tick, so a simulation replays identically — which the
+// functional model's rollback machinery depends on.
+type Device interface {
+	Name() string
+	// Ports returns the port numbers the device decodes.
+	Ports() []uint16
+	// In reads a port; Out writes one. Both may have side effects (FIFO
+	// pops, command triggers).
+	In(port uint16) uint32
+	Out(port uint16, v uint32)
+	// Tick advances device time to absolute time now (monotonic).
+	Tick(now uint64)
+	// Due reports whether a Tick(now) would change device state. The
+	// functional model uses it to snapshot device state for rollback only
+	// when something is actually about to happen.
+	Due(now uint64) bool
+	// IRQ reports a pending interrupt as a vector index (isa.VecIRQBase
+	// relative is the caller's concern) or -1. Level-triggered: it stays
+	// pending until the device is acknowledged through its ports.
+	IRQ() int
+	// Snapshot and Restore support functional-model rollback across I/O.
+	Snapshot() any
+	Restore(s any)
+}
+
+// Port map. The PIC occupies 0x00-0x0F, devices follow.
+const (
+	PortPICPending uint16 = 0x00 // IN: pending&enabled IRQ bitmask
+	PortPICMask    uint16 = 0x01 // IN/OUT: enable mask
+	PortPICAck     uint16 = 0x02 // OUT: acknowledge IRQ line (bit index)
+
+	PortConOut    uint16 = 0x10 // OUT: write a character
+	PortConStatus uint16 = 0x11 // IN: bit0 tx ready, bit1 rx nonempty
+	PortConIn     uint16 = 0x12 // IN: pop input FIFO
+
+	PortTimerInterval uint16 = 0x20 // OUT: period (0 = off); IN: period
+	PortTimerCount    uint16 = 0x21 // IN: ticks until next fire
+	PortTimerAck      uint16 = 0x22 // OUT: clear pending interrupt
+
+	PortDiskSector uint16 = 0x30 // OUT: target sector
+	PortDiskCmd    uint16 = 0x31 // OUT: 1=read, 2=write
+	PortDiskData   uint16 = 0x32 // IN/OUT: stream 32-bit words
+	PortDiskStatus uint16 = 0x33 // IN: bit0 busy, bit1 done-pending
+	PortDiskAck    uint16 = 0x34 // OUT: clear done interrupt
+
+	PortNICStatus uint16 = 0x40 // IN: bit0 rx nonempty, bit1 tx ready
+	PortNICRecv   uint16 = 0x41 // IN: pop rx FIFO word
+	PortNICSend   uint16 = 0x42 // OUT: push tx word
+	PortNICAck    uint16 = 0x43 // OUT: clear rx interrupt
+)
+
+// IRQ line numbers (bit indices in the PIC, vector = isa.VecIRQBase + line).
+const (
+	IRQTimer = 0
+	IRQDisk  = 1
+	IRQCon   = 2
+	IRQNIC   = 3
+)
+
+// PIC is the interrupt controller: it aggregates device IRQ lines behind an
+// enable mask and presents the highest-priority pending line.
+type PIC struct {
+	devices []Device
+	mask    uint32 // enabled lines
+}
+
+// NewPIC builds a controller over devs; each device's IRQ() value is its
+// line number.
+func NewPIC(devs ...Device) *PIC {
+	return &PIC{devices: devs, mask: 0xFFFFFFFF}
+}
+
+// Tick advances all devices.
+func (p *PIC) Tick(now uint64) {
+	for _, d := range p.devices {
+		d.Tick(now)
+	}
+}
+
+// Pending returns the lowest pending & enabled line, or -1.
+func (p *PIC) Pending() int {
+	best := -1
+	for _, d := range p.devices {
+		if line := d.IRQ(); line >= 0 && p.mask&(1<<uint(line)) != 0 {
+			if best == -1 || line < best {
+				best = line
+			}
+		}
+	}
+	return best
+}
+
+// In implements the PIC's own ports.
+func (p *PIC) In(port uint16) uint32 {
+	switch port {
+	case PortPICPending:
+		var bits uint32
+		for _, d := range p.devices {
+			if line := d.IRQ(); line >= 0 {
+				bits |= 1 << uint(line)
+			}
+		}
+		return bits & p.mask
+	case PortPICMask:
+		return p.mask
+	}
+	return 0
+}
+
+// Out implements the PIC's own ports.
+func (p *PIC) Out(port uint16, v uint32) {
+	if port == PortPICMask {
+		p.mask = v
+	}
+	// PortPICAck is a no-op at the controller: lines are level-triggered
+	// and acknowledged at the device.
+}
+
+type picState struct{ mask uint32 }
+
+// Snapshot captures controller state (device state is captured separately).
+func (p *PIC) Snapshot() any { return picState{mask: p.mask} }
+
+// Restore reinstates controller state.
+func (p *PIC) Restore(s any) { p.mask = s.(picState).mask }
+
+// Bus routes port I/O to the PIC and devices.
+type Bus struct {
+	PIC     *PIC
+	Devices []Device
+	routes  map[uint16]Device
+}
+
+// NewBus wires devices and the controller into a port-decoding bus.
+func NewBus(devs ...Device) *Bus {
+	b := &Bus{PIC: NewPIC(devs...), Devices: devs, routes: make(map[uint16]Device)}
+	for _, d := range devs {
+		for _, p := range d.Ports() {
+			if prev, dup := b.routes[p]; dup {
+				panic(fmt.Sprintf("fullsys: port %#x claimed by %s and %s", p, prev.Name(), d.Name()))
+			}
+			b.routes[p] = d
+		}
+	}
+	return b
+}
+
+// In performs a port read at device-time now.
+func (b *Bus) In(port uint16, now uint64) uint32 {
+	b.PIC.Tick(now)
+	if port <= PortPICAck {
+		return b.PIC.In(port)
+	}
+	if d, ok := b.routes[port]; ok {
+		return d.In(port)
+	}
+	return 0xFFFFFFFF // open bus
+}
+
+// Out performs a port write at device-time now.
+func (b *Bus) Out(port uint16, v uint32, now uint64) {
+	b.PIC.Tick(now)
+	if port <= PortPICAck {
+		b.PIC.Out(port, v)
+		return
+	}
+	if d, ok := b.routes[port]; ok {
+		d.Out(port, v)
+	}
+}
+
+// Tick advances all devices to time now.
+func (b *Bus) Tick(now uint64) { b.PIC.Tick(now) }
+
+// Due reports whether any device state would change at time now.
+func (b *Bus) Due(now uint64) bool {
+	for _, d := range b.Devices {
+		if d.Due(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pending returns the pending interrupt line, or -1.
+func (b *Bus) Pending() int { return b.PIC.Pending() }
+
+// Snapshot captures the whole bus (controller + every device) for rollback.
+func (b *Bus) Snapshot() []any {
+	out := make([]any, 0, len(b.Devices)+1)
+	out = append(out, b.PIC.Snapshot())
+	for _, d := range b.Devices {
+		out = append(out, d.Snapshot())
+	}
+	return out
+}
+
+// Restore reinstates a Snapshot.
+func (b *Bus) Restore(s []any) {
+	b.PIC.Restore(s[0])
+	for i, d := range b.Devices {
+		d.Restore(s[i+1])
+	}
+}

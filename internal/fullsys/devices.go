@@ -1,0 +1,457 @@
+package fullsys
+
+// Concrete device models. Each is deterministic in target time and small
+// enough that Snapshot/Restore copy the whole state, which is what the
+// functional model's rollback-across-I/O journaling stores.
+
+// Console is a character console: an always-ready output port and an input
+// FIFO pre-scripted at construction (a deterministic stand-in for keyboard
+// input). Input arrival times are in target time units.
+type Console struct {
+	out     []byte
+	script  []ScriptedInput
+	rx      []byte
+	now     uint64
+	irqOnRx bool
+}
+
+// ScriptedInput delivers Data to the console input FIFO at time At.
+type ScriptedInput struct {
+	At   uint64
+	Data []byte
+}
+
+// NewConsole creates a console; script entries must be sorted by At.
+func NewConsole(script ...ScriptedInput) *Console {
+	return &Console{script: script}
+}
+
+// Output returns everything written to the console so far.
+func (c *Console) Output() []byte { return c.out }
+
+// Name implements Device.
+func (c *Console) Name() string { return "console" }
+
+// Ports implements Device.
+func (c *Console) Ports() []uint16 { return []uint16{PortConOut, PortConStatus, PortConIn} }
+
+// Tick implements Device.
+func (c *Console) Tick(now uint64) {
+	c.now = now
+	for len(c.script) > 0 && c.script[0].At <= now {
+		c.rx = append(c.rx, c.script[0].Data...)
+		c.script = c.script[1:]
+		c.irqOnRx = true
+	}
+}
+
+// Due implements Device.
+func (c *Console) Due(now uint64) bool {
+	return len(c.script) > 0 && c.script[0].At <= now
+}
+
+// In implements Device.
+func (c *Console) In(port uint16) uint32 {
+	switch port {
+	case PortConStatus:
+		s := uint32(1) // tx always ready
+		if len(c.rx) > 0 {
+			s |= 2
+		}
+		return s
+	case PortConIn:
+		if len(c.rx) == 0 {
+			return 0
+		}
+		ch := c.rx[0]
+		c.rx = c.rx[1:]
+		if len(c.rx) == 0 {
+			c.irqOnRx = false
+		}
+		return uint32(ch)
+	}
+	return 0
+}
+
+// Out implements Device.
+func (c *Console) Out(port uint16, v uint32) {
+	if port == PortConOut {
+		c.out = append(c.out, byte(v))
+	}
+}
+
+// IRQ implements Device.
+func (c *Console) IRQ() int {
+	if c.irqOnRx {
+		return IRQCon
+	}
+	return -1
+}
+
+type consoleState struct {
+	outLen  int
+	script  []ScriptedInput
+	rx      []byte
+	irqOnRx bool
+}
+
+// Snapshot implements Device.
+func (c *Console) Snapshot() any {
+	return consoleState{
+		outLen:  len(c.out),
+		script:  append([]ScriptedInput(nil), c.script...),
+		rx:      append([]byte(nil), c.rx...),
+		irqOnRx: c.irqOnRx,
+	}
+}
+
+// Restore implements Device.
+func (c *Console) Restore(s any) {
+	st := s.(consoleState)
+	c.out = c.out[:st.outLen]
+	c.script = st.script
+	c.rx = st.rx
+	c.irqOnRx = st.irqOnRx
+}
+
+// Timer raises IRQTimer every interval target time units once programmed.
+type Timer struct {
+	interval uint64
+	nextFire uint64
+	pending  bool
+	now      uint64
+}
+
+// NewTimer creates an unprogrammed timer.
+func NewTimer() *Timer { return &Timer{} }
+
+// Name implements Device.
+func (t *Timer) Name() string { return "timer" }
+
+// Ports implements Device.
+func (t *Timer) Ports() []uint16 {
+	return []uint16{PortTimerInterval, PortTimerCount, PortTimerAck}
+}
+
+// Tick implements Device.
+func (t *Timer) Tick(now uint64) {
+	t.now = now
+	for t.interval != 0 && now >= t.nextFire {
+		t.pending = true
+		t.nextFire += t.interval
+	}
+}
+
+// Due implements Device.
+func (t *Timer) Due(now uint64) bool {
+	return t.interval != 0 && now >= t.nextFire
+}
+
+// In implements Device.
+func (t *Timer) In(port uint16) uint32 {
+	switch port {
+	case PortTimerInterval:
+		return uint32(t.interval)
+	case PortTimerCount:
+		if t.interval == 0 || t.nextFire <= t.now {
+			return 0
+		}
+		return uint32(t.nextFire - t.now)
+	}
+	return 0
+}
+
+// Out implements Device.
+func (t *Timer) Out(port uint16, v uint32) {
+	switch port {
+	case PortTimerInterval:
+		t.interval = uint64(v)
+		t.nextFire = t.now + t.interval
+		if v == 0 {
+			t.pending = false
+		}
+	case PortTimerAck:
+		t.pending = false
+	}
+}
+
+// IRQ implements Device.
+func (t *Timer) IRQ() int {
+	if t.pending {
+		return IRQTimer
+	}
+	return -1
+}
+
+type timerState struct {
+	interval, nextFire uint64
+	pending            bool
+}
+
+// Snapshot implements Device.
+func (t *Timer) Snapshot() any {
+	return timerState{t.interval, t.nextFire, t.pending}
+}
+
+// Restore implements Device.
+func (t *Timer) Restore(s any) {
+	st := s.(timerState)
+	t.interval, t.nextFire, t.pending = st.interval, st.nextFire, st.pending
+}
+
+// Disk models a sectored block device with a fixed access latency: a
+// command issued at time T completes (raising IRQDisk) at T+Latency. This
+// is the "simple delay model" class of peripheral timing the prototype
+// used; the timing model can refine it (§3.4).
+type Disk struct {
+	SectorWords int
+	Latency     uint64
+
+	sectors map[uint32][]uint32
+	now     uint64
+
+	sector  uint32
+	busy    bool
+	doneAt  uint64
+	done    bool
+	buf     []uint32
+	bufPos  int
+	writing bool
+}
+
+// NewDisk creates a disk whose sectors hold sectorWords 32-bit words and
+// whose accesses take latency target time units.
+func NewDisk(sectorWords int, latency uint64) *Disk {
+	return &Disk{SectorWords: sectorWords, Latency: latency, sectors: make(map[uint32][]uint32)}
+}
+
+// Preload fills a sector image before boot (e.g. the "compressed kernel").
+func (d *Disk) Preload(sector uint32, words []uint32) {
+	d.sectors[sector] = append([]uint32(nil), words...)
+}
+
+// Sector returns a copy of a sector's current contents.
+func (d *Disk) Sector(sector uint32) []uint32 {
+	return append([]uint32(nil), d.sectors[sector]...)
+}
+
+// Name implements Device.
+func (d *Disk) Name() string { return "disk" }
+
+// Ports implements Device.
+func (d *Disk) Ports() []uint16 {
+	return []uint16{PortDiskSector, PortDiskCmd, PortDiskData, PortDiskStatus, PortDiskAck}
+}
+
+// Tick implements Device.
+func (d *Disk) Tick(now uint64) {
+	d.now = now
+	if d.busy && now >= d.doneAt {
+		d.busy = false
+		d.done = true
+		if d.writing {
+			sec := make([]uint32, d.SectorWords)
+			copy(sec, d.buf)
+			d.sectors[d.sector] = sec
+		}
+	}
+}
+
+// Due implements Device.
+func (d *Disk) Due(now uint64) bool {
+	return d.busy && now >= d.doneAt
+}
+
+// In implements Device.
+func (d *Disk) In(port uint16) uint32 {
+	switch port {
+	case PortDiskStatus:
+		var s uint32
+		if d.busy {
+			s |= 1
+		}
+		if d.done {
+			s |= 2
+		}
+		return s
+	case PortDiskData:
+		if d.busy || d.bufPos >= len(d.buf) {
+			return 0
+		}
+		v := d.buf[d.bufPos]
+		d.bufPos++
+		return v
+	}
+	return 0
+}
+
+// Out implements Device.
+func (d *Disk) Out(port uint16, v uint32) {
+	switch port {
+	case PortDiskSector:
+		d.sector = v
+	case PortDiskCmd:
+		switch v {
+		case 1: // read
+			d.buf = make([]uint32, d.SectorWords)
+			copy(d.buf, d.sectors[d.sector])
+			d.bufPos = 0
+			d.writing = false
+			d.busy = true
+			d.doneAt = d.now + d.Latency
+		case 2: // write
+			d.buf = make([]uint32, 0, d.SectorWords)
+			d.bufPos = 0
+			d.writing = true
+			d.busy = true
+			d.doneAt = d.now + d.Latency
+		}
+	case PortDiskData:
+		if d.writing && len(d.buf) < d.SectorWords {
+			d.buf = append(d.buf, v)
+		}
+	case PortDiskAck:
+		d.done = false
+	}
+}
+
+// IRQ implements Device.
+func (d *Disk) IRQ() int {
+	if d.done {
+		return IRQDisk
+	}
+	return -1
+}
+
+type diskState struct {
+	dirty   map[uint32][]uint32
+	sector  uint32
+	busy    bool
+	doneAt  uint64
+	done    bool
+	buf     []uint32
+	bufPos  int
+	writing bool
+}
+
+// Snapshot implements Device. Sector images are copied wholesale: disks in
+// these workloads hold a handful of sectors, so this stays cheap.
+func (d *Disk) Snapshot() any {
+	dirty := make(map[uint32][]uint32, len(d.sectors))
+	for s, w := range d.sectors {
+		dirty[s] = append([]uint32(nil), w...)
+	}
+	return diskState{
+		dirty: dirty, sector: d.sector, busy: d.busy, doneAt: d.doneAt,
+		done: d.done, buf: append([]uint32(nil), d.buf...), bufPos: d.bufPos,
+		writing: d.writing,
+	}
+}
+
+// Restore implements Device.
+func (d *Disk) Restore(s any) {
+	st := s.(diskState)
+	d.sectors = st.dirty
+	d.sector, d.busy, d.doneAt = st.sector, st.busy, st.doneAt
+	d.done, d.buf, d.bufPos, d.writing = st.done, st.buf, st.bufPos, st.writing
+}
+
+// NIC is a network interface with scripted packet arrivals and a tx FIFO.
+// Arrivals model external events ("the number of external events ...
+// increase over time", §1) without a real network.
+type NIC struct {
+	arrivals []ScriptedInput // Data interpreted as 32-bit LE words
+	rx       []uint32
+	tx       []uint32
+	now      uint64
+}
+
+// NewNIC creates a NIC with scripted arrivals (sorted by At).
+func NewNIC(arrivals ...ScriptedInput) *NIC { return &NIC{arrivals: arrivals} }
+
+// Sent returns all words written to the tx FIFO.
+func (n *NIC) Sent() []uint32 { return n.tx }
+
+// Name implements Device.
+func (n *NIC) Name() string { return "nic" }
+
+// Ports implements Device.
+func (n *NIC) Ports() []uint16 {
+	return []uint16{PortNICStatus, PortNICRecv, PortNICSend, PortNICAck}
+}
+
+// Tick implements Device.
+func (n *NIC) Tick(now uint64) {
+	n.now = now
+	for len(n.arrivals) > 0 && n.arrivals[0].At <= now {
+		d := n.arrivals[0].Data
+		for i := 0; i+3 < len(d); i += 4 {
+			n.rx = append(n.rx, uint32(d[i])|uint32(d[i+1])<<8|uint32(d[i+2])<<16|uint32(d[i+3])<<24)
+		}
+		n.arrivals = n.arrivals[1:]
+	}
+}
+
+// Due implements Device.
+func (n *NIC) Due(now uint64) bool {
+	return len(n.arrivals) > 0 && n.arrivals[0].At <= now
+}
+
+// In implements Device.
+func (n *NIC) In(port uint16) uint32 {
+	switch port {
+	case PortNICStatus:
+		var s uint32
+		if len(n.rx) > 0 {
+			s |= 1
+		}
+		s |= 2 // tx always ready
+		return s
+	case PortNICRecv:
+		if len(n.rx) == 0 {
+			return 0
+		}
+		v := n.rx[0]
+		n.rx = n.rx[1:]
+		return v
+	}
+	return 0
+}
+
+// Out implements Device.
+func (n *NIC) Out(port uint16, v uint32) {
+	if port == PortNICSend {
+		n.tx = append(n.tx, v)
+	}
+}
+
+// IRQ implements Device.
+func (n *NIC) IRQ() int {
+	if len(n.rx) > 0 {
+		return IRQNIC
+	}
+	return -1
+}
+
+type nicState struct {
+	arrivals []ScriptedInput
+	rx       []uint32
+	txLen    int
+}
+
+// Snapshot implements Device.
+func (n *NIC) Snapshot() any {
+	return nicState{
+		arrivals: append([]ScriptedInput(nil), n.arrivals...),
+		rx:       append([]uint32(nil), n.rx...),
+		txLen:    len(n.tx),
+	}
+}
+
+// Restore implements Device.
+func (n *NIC) Restore(s any) {
+	st := s.(nicState)
+	n.arrivals = st.arrivals
+	n.rx = st.rx
+	n.tx = n.tx[:st.txLen]
+}

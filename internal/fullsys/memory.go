@@ -1,0 +1,153 @@
+// Package fullsys provides the full-system substrate under the functional
+// model: physical memory, the software-filled TLB, the interrupt controller
+// and the peripheral devices (console, timer, disk, NIC).
+//
+// The paper's prototype used QEMU's device models; we build equivalent
+// delay-model devices (§3.4: "The functional model simulates the correct
+// functionality while the timing model predicts component timing"), small
+// enough to snapshot for the functional model's roll-back-across-I/O
+// support (§3.2).
+package fullsys
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// PageShift/PageSize define the 4 KiB target page.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+)
+
+// Memory is the target's physical memory.
+type Memory struct {
+	data []byte
+}
+
+// NewMemory allocates size bytes of zeroed physical memory.
+func NewMemory(size int) *Memory {
+	if size <= 0 || size%PageSize != 0 {
+		panic(fmt.Sprintf("fullsys: memory size %d not a positive page multiple", size))
+	}
+	return &Memory{data: make([]byte, size)}
+}
+
+// Size returns the physical memory size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// InRange reports whether an access of n bytes at pa lies inside memory.
+func (m *Memory) InRange(pa isa.Word, n int) bool {
+	return int(pa) >= 0 && int(pa)+n <= len(m.data) && pa+isa.Word(n) >= pa
+}
+
+// Read returns an n-byte little-endian value at pa. n ∈ {1,2,4,8}.
+func (m *Memory) Read(pa isa.Word, n int) uint64 {
+	switch n {
+	case 1:
+		return uint64(m.data[pa])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.data[pa:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.data[pa:]))
+	case 8:
+		return binary.LittleEndian.Uint64(m.data[pa:])
+	}
+	panic(fmt.Sprintf("fullsys: bad read size %d", n))
+}
+
+// Write stores an n-byte little-endian value at pa.
+func (m *Memory) Write(pa isa.Word, v uint64, n int) {
+	switch n {
+	case 1:
+		m.data[pa] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.data[pa:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.data[pa:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(m.data[pa:], v)
+	default:
+		panic(fmt.Sprintf("fullsys: bad write size %d", n))
+	}
+}
+
+// Bytes returns a read-only view of [pa, pa+n); used by the instruction
+// fetch path.
+func (m *Memory) Bytes(pa isa.Word, n int) []byte {
+	end := int(pa) + n
+	if end > len(m.data) {
+		end = len(m.data)
+	}
+	return m.data[pa:end]
+}
+
+// Load copies a program image into physical memory.
+func (m *Memory) Load(base isa.Word, code []byte) {
+	if !m.InRange(base, len(code)) {
+		panic(fmt.Sprintf("fullsys: image [%#x,%#x) outside memory", base, int(base)+len(code)))
+	}
+	copy(m.data[base:], code)
+}
+
+// TLBEntry is one software-filled translation: VPN→PFN plus permissions.
+type TLBEntry struct {
+	VPN   isa.Word
+	PFN   isa.Word
+	Valid bool
+	// User allows user-mode access; Write allows stores.
+	User  bool
+	Write bool
+}
+
+// PFN field encoding used by the tlbwr instruction's second operand:
+// pfn<<12 | flags.
+const (
+	TLBFlagUser  isa.Word = 1 << 0
+	TLBFlagWrite isa.Word = 1 << 1
+)
+
+// NumTLBEntries is the size of the architectural (functional) TLB.
+const NumTLBEntries = 32
+
+// TLB is the architectural TLB, filled by the kernel via tlbwr. It is fully
+// associative with FIFO replacement, which keeps the functional semantics
+// simple; the timing model has its own TLB timing structures.
+type TLB struct {
+	entries [NumTLBEntries]TLBEntry
+	next    int
+}
+
+// Reset invalidates every entry.
+func (t *TLB) Reset() { *t = TLB{} }
+
+// Insert writes a translation, replacing FIFO-style.
+func (t *TLB) Insert(e TLBEntry) {
+	// Replace an existing mapping of the same VPN if present.
+	for i := range t.entries {
+		if t.entries[i].Valid && t.entries[i].VPN == e.VPN {
+			t.entries[i] = e
+			return
+		}
+	}
+	t.entries[t.next] = e
+	t.next = (t.next + 1) % NumTLBEntries
+}
+
+// Lookup translates vpn. ok is false on a miss.
+func (t *TLB) Lookup(vpn isa.Word) (TLBEntry, bool) {
+	for i := range t.entries {
+		if t.entries[i].Valid && t.entries[i].VPN == vpn {
+			return t.entries[i], true
+		}
+	}
+	return TLBEntry{}, false
+}
+
+// Snapshot returns a copy of the TLB state for rollback.
+func (t *TLB) Snapshot() TLB { return *t }
+
+// Restore reinstates a snapshot.
+func (t *TLB) Restore(s TLB) { *t = s }

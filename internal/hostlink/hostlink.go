@@ -1,0 +1,142 @@
+// Package hostlink models the host platform's CPU↔FPGA communication
+// channel: the DRC development platform's HyperTransport interface with the
+// latencies measured in §4.5, plus the projected cache-coherent
+// HyperTransport interface the paper expects future systems to provide.
+//
+// The link enters the FAST performance model in three ways:
+//
+//   - the FM streams the instruction trace to the FPGA with burst writes
+//     (~20 32-bit words per basic block at 20 ns/word);
+//   - the FM polls an FPGA queue for commits and re-steers (1 blocking
+//     read per commit poll, 2 per misprediction) at 469 ns per read —
+//     "Currently, the reads are blocking, a serious issue that ...
+//     transforms what should be a one-way communication ... into a
+//     round-trip communication";
+//   - the prototype pays this poll every other basic block rather than
+//     only on re-steers (§4: "we are paying a round-trip communication
+//     cost every two basic blocks rather than twice per mis-predicted
+//     branch").
+package hostlink
+
+// Config holds link latencies in nanoseconds.
+type Config struct {
+	Name string
+
+	// ReadNanos is a blocking read from the host CPU to FPGA user logic
+	// (the realistic 469 ns figure; reads from registers at the I/O pins
+	// take 378 ns).
+	ReadNanos float64
+	// WriteNanos is a single write (307 ns to user logic, 287 ns to pin
+	// registers).
+	WriteNanos float64
+	// BurstWriteNanosPerWord is the per-word cost of a burst write
+	// (20 ns/word to user logic, 13.3 ns/word to pin registers).
+	BurstWriteNanosPerWord float64
+	// PollIsRoundTrip marks blocking reads: the CPU stalls for the full
+	// read latency. The coherent-HT projection clears it.
+	PollIsRoundTrip bool
+}
+
+// DRC is the measured DRC platform configuration, reads/writes to the
+// prototype's own user logic (§4.5).
+func DRC() Config {
+	return Config{
+		Name:                   "DRC HyperTransport (measured)",
+		ReadNanos:              469,
+		WriteNanos:             307,
+		BurstWriteNanosPerWord: 20,
+		PollIsRoundTrip:        true,
+	}
+}
+
+// DRCPinRegisters is the best-case variant: operations against registers
+// at the FPGA's I/O pins.
+func DRCPinRegisters() Config {
+	return Config{
+		Name:                   "DRC HyperTransport (pin registers)",
+		ReadNanos:              378,
+		WriteNanos:             287,
+		BurstWriteNanosPerWord: 13.3,
+		PollIsRoundTrip:        true,
+	}
+}
+
+// CoherentHT is §4.5's projection for cache-coherent HyperTransport:
+// trace writes buffer in the cache and flow via coherence; polls read a
+// shared buffer that hits in cache unless the FPGA wrote (75-100 ns memory
+// read), making the poll cost "(75ns * 2) + 19ns ... per 20 * 7
+// instructions = 1.2ns/instruction".
+func CoherentHT() Config {
+	return Config{
+		Name:                   "cache-coherent HyperTransport (projected)",
+		ReadNanos:              75,
+		WriteNanos:             5, // cached write, drained by coherence
+		BurstWriteNanosPerWord: 1, // cache-line writes at memory bandwidth
+		PollIsRoundTrip:        false,
+	}
+}
+
+// Stats counts link traffic.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	BurstWords uint64
+	Nanos      float64
+}
+
+// Link accumulates the host-side time spent on the CPU↔FPGA channel.
+type Link struct {
+	cfg   Config
+	stats Stats
+}
+
+// New builds a link with the given configuration.
+func New(cfg Config) *Link { return &Link{cfg: cfg} }
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Stats returns accumulated counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// Read models one blocking read; it returns the host nanoseconds consumed.
+func (l *Link) Read() float64 {
+	l.stats.Reads++
+	l.stats.Nanos += l.cfg.ReadNanos
+	return l.cfg.ReadNanos
+}
+
+// Write models one single-word write.
+func (l *Link) Write() float64 {
+	l.stats.Writes++
+	l.stats.Nanos += l.cfg.WriteNanos
+	return l.cfg.WriteNanos
+}
+
+// BurstWrite models an n-word burst write (the trace stream).
+func (l *Link) BurstWrite(words int) float64 {
+	l.stats.Writes++
+	l.stats.BurstWords += uint64(words)
+	ns := float64(words) * l.cfg.BurstWriteNanosPerWord
+	l.stats.Nanos += ns
+	return ns
+}
+
+// Poll models the FM's commit/re-steer poll: reads blocking reads if the
+// link is uncached, or cheap cached reads under coherent HT.
+func (l *Link) Poll(reads int) float64 {
+	var ns float64
+	for i := 0; i < reads; i++ {
+		if l.cfg.PollIsRoundTrip {
+			ns += l.Read()
+		} else {
+			// Cached read: ~1 ns when the FPGA hasn't written; the
+			// ReadNanos memory-read cost is paid only on actual events,
+			// which callers charge via Read().
+			l.stats.Reads++
+			l.stats.Nanos++
+			ns++
+		}
+	}
+	return ns
+}

@@ -1,0 +1,71 @@
+package hostlink
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeasuredDRCNumbers(t *testing.T) {
+	// §4.5's measured latencies must be encoded exactly.
+	d := DRC()
+	if d.ReadNanos != 469 || d.WriteNanos != 307 || d.BurstWriteNanosPerWord != 20 {
+		t.Errorf("DRC config %+v does not match the measured numbers", d)
+	}
+	p := DRCPinRegisters()
+	if p.ReadNanos != 378 || p.WriteNanos != 287 || math.Abs(p.BurstWriteNanosPerWord-13.3) > 1e-9 {
+		t.Errorf("pin-register config %+v wrong", p)
+	}
+	if !d.PollIsRoundTrip || CoherentHT().PollIsRoundTrip {
+		t.Error("round-trip flags wrong")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	l := New(DRC())
+	if got := l.Read(); got != 469 {
+		t.Errorf("Read = %v", got)
+	}
+	if got := l.Write(); got != 307 {
+		t.Errorf("Write = %v", got)
+	}
+	if got := l.BurstWrite(20); got != 400 {
+		t.Errorf("BurstWrite(20) = %v, want 400", got)
+	}
+	s := l.Stats()
+	if s.Reads != 1 || s.Writes != 2 || s.BurstWords != 20 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.Nanos != 469+307+400 {
+		t.Errorf("nanos %v", s.Nanos)
+	}
+}
+
+func TestPollBlockingVsCoherent(t *testing.T) {
+	drc := New(DRC())
+	if got := drc.Poll(2); got != 938 {
+		t.Errorf("DRC 2-read poll = %v, want 938 (the §4.5 arithmetic)", got)
+	}
+	coh := New(CoherentHT())
+	if got := coh.Poll(2); got >= 100 {
+		t.Errorf("coherent poll = %v, should be near-free cached reads", got)
+	}
+}
+
+// TestBottleneckArithmetic reproduces §4.5's back-of-envelope: "for each
+// pair of basic blocks we take 10 * 87ns + 469ns + 800ns = 2139ns. Each
+// instruction takes 2139ns/10 = 214ns, or 4.7MIPS".
+func TestBottleneckArithmetic(t *testing.T) {
+	l := New(DRC())
+	const instPer2BB = 10.0 // 5-instruction basic blocks
+	fmWork := instPer2BB * 87
+	poll := l.Poll(1)              // one blocking read per 2 BBs
+	stream := l.BurstWrite(2 * 20) // 20 words per basic block
+	total := fmWork + poll + stream
+	if math.Abs(total-2139) > 1e-9 {
+		t.Fatalf("2-BB cost = %v ns, paper says 2139", total)
+	}
+	mips := 1e3 / (total / instPer2BB)
+	if math.Abs(mips-4.67) > 0.05 {
+		t.Errorf("streaming bound = %.2f MIPS, paper says ~4.7", mips)
+	}
+}

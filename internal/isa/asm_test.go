@@ -1,0 +1,273 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func decodeAll(t *testing.T, p *Program) []Inst {
+	t.Helper()
+	var out []Inst
+	for off := 0; off < len(p.Code); {
+		inst, err := Decode(p.Code[off:], p.Base+Word(off))
+		if err != nil {
+			t.Fatalf("decode at +%d: %v", off, err)
+		}
+		out = append(out, inst)
+		off += inst.Size
+	}
+	return out
+}
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+		; a tiny program
+		start:
+			movi r0, 10
+			movi r1, 0
+		loop:
+			add  r1, r0
+			dec  r0
+			jnz  loop
+			halt
+		.entry start
+	`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0x1000 {
+		t.Errorf("entry = %#x, want 0x1000", p.Entry)
+	}
+	insts := decodeAll(t, p)
+	wantOps := []Op{OpMovRI, OpMovRI, OpAddRR, OpDecR, OpJnz, OpHalt}
+	if len(insts) != len(wantOps) {
+		t.Fatalf("got %d instructions, want %d", len(insts), len(wantOps))
+	}
+	for i, w := range wantOps {
+		if insts[i].Op != w {
+			t.Errorf("inst %d op = %v, want %v", i, insts[i].Op, w)
+		}
+	}
+	// jnz displacement: target = loop label; check it round-trips.
+	loopAddr := p.Symbols["loop"]
+	jnzOff := 0
+	for _, in := range insts[:4] {
+		jnzOff += in.Size
+	}
+	jnz := insts[4]
+	next := p.Base + Word(jnzOff) + Word(jnz.Size)
+	if got := Word(int64(next) + jnz.Imm); got != loopAddr {
+		t.Errorf("jnz resolves to %#x, want %#x", got, loopAddr)
+	}
+}
+
+func TestAssembleForwardReference(t *testing.T) {
+	p, err := Assemble(`
+			jmp done
+			nop
+		done:
+			halt
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := decodeAll(t, p)
+	if len(insts) != 3 {
+		t.Fatalf("got %d instructions, want 3", len(insts))
+	}
+	if got := Word(int64(insts[0].Size) + insts[0].Imm); got != p.Symbols["done"] {
+		t.Errorf("forward jmp resolves to %#x, want %#x", got, p.Symbols["done"])
+	}
+}
+
+func TestAssembleDirectives(t *testing.T) {
+	p, err := Assemble(`
+		.equ MAGIC, 0xBEEF
+		.org 0x10
+		data:
+		.word MAGIC, data, 'A'
+		.half 0x1234
+		.byte 1, 2, 3
+		.asciz "ok"
+		.align 8
+		aligned:
+		.space 4
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) < 0x10 {
+		t.Fatalf(".org did not pad: len=%d", len(p.Code))
+	}
+	w := func(off int) uint32 {
+		return uint32(p.Code[off]) | uint32(p.Code[off+1])<<8 |
+			uint32(p.Code[off+2])<<16 | uint32(p.Code[off+3])<<24
+	}
+	if w(0x10) != 0xBEEF {
+		t.Errorf(".word MAGIC = %#x, want 0xBEEF", w(0x10))
+	}
+	if w(0x14) != 0x10 {
+		t.Errorf(".word data = %#x, want 0x10", w(0x14))
+	}
+	if w(0x18) != 'A' {
+		t.Errorf(".word 'A' = %#x, want %#x", w(0x18), 'A')
+	}
+	if p.Code[0x1C] != 0x34 || p.Code[0x1D] != 0x12 {
+		t.Errorf(".half wrong: % x", p.Code[0x1C:0x1E])
+	}
+	if string(p.Code[0x21:0x24]) != "ok\x00" {
+		t.Errorf(".asciz wrong: %q", p.Code[0x21:0x24])
+	}
+	if p.Symbols["aligned"]%8 != 0 {
+		t.Errorf("aligned label at %#x, not 8-aligned", p.Symbols["aligned"])
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	p, err := Assemble(`
+		ldw r1, [r2]
+		ldw r1, [r2+8]
+		stw r3, [sp-4]
+		fld f0, [r4+16]
+		fst f1, [r4+24]
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := decodeAll(t, p)
+	if insts[0].Disp != 0 || insts[1].Disp != 8 || insts[2].Disp != -4 {
+		t.Errorf("displacements: %d %d %d, want 0 8 -4",
+			insts[0].Disp, insts[1].Disp, insts[2].Disp)
+	}
+	if insts[2].Rs != RegSP {
+		t.Errorf("store base = %v, want SP", insts[2].Rs)
+	}
+	if insts[3].Rd != FP(0) || insts[3].Rs != 4 {
+		t.Errorf("fld operands: %v, [%v]", insts[3].Rd, insts[3].Rs)
+	}
+	if insts[4].Rd != FP(1) {
+		t.Errorf("fst data reg = %v, want F1", insts[4].Rd)
+	}
+}
+
+func TestAssemblePrefixes(t *testing.T) {
+	p, err := Assemble("rep movs\nlock inc r0\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := decodeAll(t, p)
+	if !insts[0].Rep || insts[0].Op != OpMovs {
+		t.Errorf("rep movs decoded as %+v", insts[0])
+	}
+	if !insts[1].Lock || insts[1].Op != OpIncR {
+		t.Errorf("lock inc decoded as %+v", insts[1])
+	}
+}
+
+func TestAssembleFloatImmediate(t *testing.T) {
+	p, err := Assemble("fldi f2, 2.5\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := decodeAll(t, p)
+	if insts[0].Op != OpFLdI || insts[0].Float() != 2.5 || insts[0].Rd != FP(2) {
+		t.Errorf("fldi decoded as %+v (float %g)", insts[0], insts[0].Float())
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "frobnicate r0\n", "unknown mnemonic"},
+		{"bad register", "mov r99, r0\n", "bad register"},
+		{"wrong arity", "add r0\n", "wants 2 operands"},
+		{"undefined symbol", "jmp nowhere\n", "undefined symbol"},
+		{"duplicate label", "a:\na:\n", "duplicate label"},
+		{"org backwards", ".org 8\n.org 4\n", "moves backwards"},
+		{"bad align", ".align 3\n", "not a power of two"},
+		{"unknown directive", ".bogus 1\n", "unknown directive"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src, 0)
+		if err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+		if _, ok := err.(*AsmError); !ok {
+			t.Errorf("%s: error type %T, want *AsmError", c.name, err)
+		}
+	}
+}
+
+func TestAssembleCommentsAndLiterals(t *testing.T) {
+	p, err := Assemble(`
+		movi r0, ';'   ; a semicolon character
+		movi r1, '#'   # a hash character
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := decodeAll(t, p)
+	if insts[0].Imm != ';' || insts[1].Imm != '#' {
+		t.Errorf("char literals: %d %d, want %d %d", insts[0].Imm, insts[1].Imm, ';', '#')
+	}
+}
+
+func TestAssembleRel16RangeCheck(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("jmp far\n")
+	for i := 0; i < 9000; i++ {
+		sb.WriteString("movi r0, 1\n") // 6 bytes each; > 32 KiB total
+	}
+	sb.WriteString("far: halt\n")
+	if _, err := Assemble(sb.String(), 0); err == nil {
+		t.Error("out-of-range rel16 branch not rejected")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bogus r0\n", 0)
+}
+
+func TestProgramEnd(t *testing.T) {
+	p := MustAssemble("nop\nnop\n", 0x100)
+	if p.End() != 0x102 {
+		t.Errorf("End() = %#x, want 0x102", p.End())
+	}
+}
+
+// TestAssembleArbitraryInputNeverPanics: the assembler must reject garbage
+// with errors, never panics (it consumes generated workload sources).
+func TestAssembleArbitraryInputNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", src, r)
+				panic(r)
+			}
+		}()
+		_, _ = Assemble(src, 0)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	// A few adversarial shapes.
+	for _, src := range []string{
+		":", "::", "a:b:", ".word", ".ascii", ".ascii \"", "movi r0,",
+		"[r1]", "ldw r1, [", "jmp", ".equ", ".org", "rep", "rep rep movs",
+		".align 0", ".space -1", "movi r0, 'ab'", "x" + string(rune(0)),
+	} {
+		_, _ = Assemble(src, 0)
+	}
+}

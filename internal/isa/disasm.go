@@ -1,0 +1,69 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmLine is one decoded (or undecodable) location in an image.
+type DisasmLine struct {
+	Addr  Word
+	Bytes []byte
+	Inst  Inst // valid only when Err is nil
+	Err   error
+}
+
+func (l DisasmLine) String() string {
+	hex := make([]string, len(l.Bytes))
+	for i, b := range l.Bytes {
+		hex[i] = fmt.Sprintf("%02x", b)
+	}
+	text := fmt.Sprintf(".byte %#02x", l.Bytes[0])
+	if l.Err == nil {
+		text = l.Inst.String()
+	}
+	return fmt.Sprintf("%08x:  %-24s %s", l.Addr, strings.Join(hex, " "), text)
+}
+
+// Disassemble decodes an image linearly from base. Undecodable bytes become
+// single-byte lines so the stream always resynchronizes (data regions print
+// as .byte runs).
+func Disassemble(code []byte, base Word) []DisasmLine {
+	var out []DisasmLine
+	for off := 0; off < len(code); {
+		inst, err := Decode(code[off:], base+Word(off))
+		if err != nil {
+			out = append(out, DisasmLine{
+				Addr:  base + Word(off),
+				Bytes: code[off : off+1],
+				Err:   err,
+			})
+			off++
+			continue
+		}
+		out = append(out, DisasmLine{
+			Addr:  base + Word(off),
+			Bytes: code[off : off+inst.Size],
+			Inst:  inst,
+		})
+		off += inst.Size
+	}
+	return out
+}
+
+// DisassembleProgram renders an assembled program with symbol labels
+// interleaved.
+func DisassembleProgram(p *Program) string {
+	labels := make(map[Word][]string)
+	for name, addr := range p.Symbols {
+		labels[addr] = append(labels[addr], name)
+	}
+	var b strings.Builder
+	for _, line := range Disassemble(p.Code, p.Base) {
+		for _, name := range labels[line.Addr] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	// Every defined opcode encodes, then disassembles back to the same
+	// instruction.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		want := randomInst(r)
+		buf, err := Encode(nil, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := Disassemble(buf, 0x1000)
+		if len(lines) != 1 {
+			t.Fatalf("%v disassembled to %d lines", want, len(lines))
+		}
+		if lines[0].Err != nil {
+			t.Fatalf("%v failed to disassemble: %v", want, lines[0].Err)
+		}
+		want.Size = len(buf)
+		if lines[0].Inst != want {
+			t.Fatalf("round trip: got %+v want %+v", lines[0].Inst, want)
+		}
+	}
+}
+
+func TestDisassembleResynchronizes(t *testing.T) {
+	// Garbage byte in the middle: the stream must not lose the following
+	// instruction.
+	good, _ := Encode(nil, Inst{Op: OpIncR, Rd: 3})
+	buf := append([]byte{0xFE}, good...) // 0xFE is undefined
+	lines := Disassemble(buf, 0)
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	if lines[0].Err == nil {
+		t.Error("garbage byte decoded")
+	}
+	if lines[1].Err != nil || lines[1].Inst.Op != OpIncR {
+		t.Errorf("did not resynchronize: %+v", lines[1])
+	}
+	if !strings.Contains(lines[0].String(), ".byte") {
+		t.Error("garbage line not rendered as .byte")
+	}
+}
+
+func TestDisassembleProgramLabels(t *testing.T) {
+	p := MustAssemble(`
+		start:
+			movi r0, 5
+		loop:	dec r0
+			jnz loop
+			halt
+	`, 0x2000)
+	out := DisassembleProgram(p)
+	for _, want := range []string{"start:", "loop:", "movi", "jnz", "halt", "00002000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

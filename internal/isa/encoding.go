@@ -1,0 +1,280 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Inst is one decoded FISA instruction. The zero value is an invalid
+// instruction; Decode and the assembler produce well-formed values.
+type Inst struct {
+	Op   Op
+	Rd   Reg   // destination / first operand register
+	Rs   Reg   // source / second operand register (also base for FmtRM in Rs)
+	Imm  int64 // immediate, sign-extended; float64 bits for FmtFI64
+	Disp int32 // displacement for FmtRM
+	Size int   // encoded length in bytes, including prefixes
+	Rep  bool  // PrefixREP present
+	Lock bool  // PrefixLock present
+}
+
+// Info returns the static opcode description for the instruction.
+func (i Inst) Info() Info { return Lookup(i.Op) }
+
+// Float returns the FmtFI64 immediate as a float64.
+func (i Inst) Float() float64 { return math.Float64frombits(uint64(i.Imm)) }
+
+func (i Inst) String() string {
+	in := i.Info()
+	pre := ""
+	if i.Rep {
+		pre = "rep "
+	}
+	switch in.Format {
+	case FmtNone:
+		return pre + in.Name
+	case FmtR:
+		return fmt.Sprintf("%s%s %s", pre, in.Name, i.Rd)
+	case FmtRR:
+		return fmt.Sprintf("%s%s %s, %s", pre, in.Name, i.Rd, i.Rs)
+	case FmtRI8, FmtRI32:
+		return fmt.Sprintf("%s%s %s, %d", pre, in.Name, i.Rd, i.Imm)
+	case FmtRM:
+		return fmt.Sprintf("%s%s %s, [%s%+d]", pre, in.Name, i.Rd, i.Rs, i.Disp)
+	case FmtRel16:
+		return fmt.Sprintf("%s%s %+d", pre, in.Name, i.Imm)
+	case FmtI8R:
+		return fmt.Sprintf("%s%s %s, cr%d", pre, in.Name, i.Rd, i.Imm)
+	case FmtI16R:
+		return fmt.Sprintf("%s%s %s, port %d", pre, in.Name, i.Rd, i.Imm)
+	case FmtFI64:
+		return fmt.Sprintf("%s%s %s, %g", pre, in.Name, i.Rd, i.Float())
+	case FmtI32:
+		return fmt.Sprintf("%s%s %#x", pre, in.Name, uint32(i.Imm))
+	}
+	return pre + in.Name + " ?"
+}
+
+// MaxInstLen is the longest legal encoding (REP + escape + FmtFI64).
+const MaxInstLen = 15
+
+// regPair packs two register names into one operand byte. FP registers are
+// encoded by their low three bits; the opcode determines the bank.
+func regPair(rd, rs Reg) byte {
+	return byte(rd&0x0F)<<4 | byte(rs&0x0F)
+}
+
+// Encode appends the binary encoding of inst to dst and returns the extended
+// slice. It returns an error for operands that do not fit the format.
+func Encode(dst []byte, inst Inst) ([]byte, error) {
+	in := Lookup(inst.Op)
+	if inst.Rep {
+		dst = append(dst, PrefixREP)
+	}
+	if inst.Lock {
+		dst = append(dst, PrefixLock)
+	}
+	if inst.Op >= opSecondaryBase {
+		dst = append(dst, escapeByte, byte(inst.Op-opSecondaryBase))
+	} else {
+		dst = append(dst, byte(inst.Op))
+	}
+	switch in.Format {
+	case FmtNone:
+	case FmtR:
+		dst = append(dst, regPair(inst.Rd, 0))
+	case FmtRR, FmtRM:
+		dst = append(dst, regPair(inst.Rd, inst.Rs))
+	case FmtRI8, FmtI8R:
+		if inst.Imm < -128 || inst.Imm > 255 {
+			return nil, fmt.Errorf("isa: %s immediate %d out of 8-bit range", in.Name, inst.Imm)
+		}
+		dst = append(dst, regPair(inst.Rd, 0), byte(inst.Imm))
+	case FmtRI32:
+		dst = append(dst, regPair(inst.Rd, 0))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(inst.Imm))
+	case FmtRel16:
+		if inst.Imm < math.MinInt16 || inst.Imm > math.MaxInt16 {
+			return nil, fmt.Errorf("isa: %s displacement %d out of 16-bit range", in.Name, inst.Imm)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(inst.Imm))
+	case FmtI16R:
+		if inst.Imm < 0 || inst.Imm > math.MaxUint16 {
+			return nil, fmt.Errorf("isa: %s port %d out of 16-bit range", in.Name, inst.Imm)
+		}
+		dst = append(dst, regPair(inst.Rd, 0))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(inst.Imm))
+	case FmtFI64:
+		dst = append(dst, regPair(inst.Rd, 0))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(inst.Imm))
+	case FmtI32:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(inst.Imm))
+	default:
+		return nil, fmt.Errorf("isa: %s has unknown format %d", in.Name, in.Format)
+	}
+	if in.Format == FmtRM {
+		if inst.Disp < math.MinInt16 || inst.Disp > math.MaxInt16 {
+			return nil, fmt.Errorf("isa: %s displacement %d out of 16-bit range", in.Name, inst.Disp)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(inst.Disp))
+	}
+	return dst, nil
+}
+
+// DecodeError describes a malformed instruction encountered by Decode.
+type DecodeError struct {
+	PC     Word
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("isa: decode fault at %#x: %s", e.PC, e.Reason)
+}
+
+// Decode decodes the instruction starting at buf[0]. pc is used only for
+// error reporting. A short buffer or an undefined opcode yields a
+// *DecodeError, which the functional model turns into an illegal-instruction
+// exception.
+func Decode(buf []byte, pc Word) (Inst, error) {
+	inst := Inst{Rd: RegNone, Rs: RegNone}
+	i := 0
+	for i < len(buf) {
+		switch buf[i] {
+		case PrefixREP:
+			inst.Rep = true
+			i++
+			continue
+		case PrefixLock:
+			inst.Lock = true
+			i++
+			continue
+		}
+		break
+	}
+	if i > 2 {
+		return inst, &DecodeError{PC: pc, Reason: "too many prefixes"}
+	}
+	if i >= len(buf) {
+		return inst, &DecodeError{PC: pc, Reason: "truncated instruction"}
+	}
+	if buf[i] == escapeByte {
+		i++
+		if i >= len(buf) {
+			return inst, &DecodeError{PC: pc, Reason: "truncated escape opcode"}
+		}
+		inst.Op = opSecondaryBase + Op(buf[i])
+	} else {
+		inst.Op = Op(buf[i])
+	}
+	i++
+	if !Valid(inst.Op) {
+		return inst, &DecodeError{PC: pc, Reason: fmt.Sprintf("undefined opcode %#x", uint16(inst.Op))}
+	}
+	in := infoTable[inst.Op]
+	need := func(n int) error {
+		if i+n > len(buf) {
+			return &DecodeError{PC: pc, Reason: "truncated operands"}
+		}
+		return nil
+	}
+	fpBank := in.FP && in.Format != FmtRM // FmtRM mixes an FP data reg with a GPR base
+
+	readPair := func(fpRd, fpRs bool) {
+		b := buf[i]
+		i++
+		inst.Rd = Reg(b >> 4)
+		inst.Rs = Reg(b & 0x0F)
+		if fpRd {
+			inst.Rd = FPRBase + (inst.Rd & 0x07)
+		}
+		if fpRs {
+			inst.Rs = FPRBase + (inst.Rs & 0x07)
+		}
+	}
+
+	switch in.Format {
+	case FmtNone:
+	case FmtR:
+		if err := need(1); err != nil {
+			return inst, err
+		}
+		readPair(fpBank, false)
+		inst.Rs = RegNone
+	case FmtRR:
+		if err := need(1); err != nil {
+			return inst, err
+		}
+		// I2F reads a GPR source; F2I writes a GPR destination.
+		switch inst.Op {
+		case OpI2F:
+			readPair(true, false)
+		case OpF2I:
+			readPair(false, true)
+		default:
+			readPair(fpBank, fpBank)
+		}
+	case FmtRI8, FmtI8R:
+		if err := need(2); err != nil {
+			return inst, err
+		}
+		readPair(fpBank, false)
+		inst.Rs = RegNone
+		if in.Format == FmtRI8 {
+			inst.Imm = int64(int8(buf[i]))
+		} else {
+			inst.Imm = int64(buf[i])
+		}
+		i++
+	case FmtRI32:
+		if err := need(5); err != nil {
+			return inst, err
+		}
+		readPair(fpBank, false)
+		inst.Rs = RegNone
+		inst.Imm = int64(int32(binary.LittleEndian.Uint32(buf[i:])))
+		i += 4
+	case FmtRM:
+		if err := need(3); err != nil {
+			return inst, err
+		}
+		readPair(in.FP, false) // Rd may be FP (FLd/FSt); base Rs is a GPR
+		inst.Disp = int32(int16(binary.LittleEndian.Uint16(buf[i:])))
+		i += 2
+	case FmtRel16:
+		if err := need(2); err != nil {
+			return inst, err
+		}
+		inst.Rd, inst.Rs = RegNone, RegNone
+		inst.Imm = int64(int16(binary.LittleEndian.Uint16(buf[i:])))
+		i += 2
+	case FmtI16R:
+		if err := need(3); err != nil {
+			return inst, err
+		}
+		readPair(false, false)
+		inst.Rs = RegNone
+		inst.Imm = int64(binary.LittleEndian.Uint16(buf[i:]))
+		i += 2
+	case FmtFI64:
+		if err := need(9); err != nil {
+			return inst, err
+		}
+		readPair(true, false)
+		inst.Rs = RegNone
+		inst.Imm = int64(binary.LittleEndian.Uint64(buf[i:]))
+		i += 8
+	case FmtI32:
+		if err := need(4); err != nil {
+			return inst, err
+		}
+		inst.Rd, inst.Rs = RegNone, RegNone
+		inst.Imm = int64(binary.LittleEndian.Uint32(buf[i:]))
+		i += 4
+	}
+	inst.Size = i
+	if inst.Size > MaxInstLen {
+		return inst, &DecodeError{PC: pc, Reason: "instruction longer than 15 bytes"}
+	}
+	return inst, nil
+}

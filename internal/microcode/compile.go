@@ -1,0 +1,604 @@
+package microcode
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// System-operation subcodes carried in a USys µop's Imm field.
+const (
+	SysHalt int64 = iota
+	SysCli
+	SysSti
+	SysTlbWr
+	SysTlbFl
+	SysRdCR
+	SysWrCR
+	SysSyscall
+	SysIret
+	SysBreak
+	SysCpuid
+)
+
+// Compile translates a µC specification into an optimized µop template.
+// Placeholder registers (PRd, PRs) and immediate sources (ImmFromImm,
+// ImmFromDisp) remain symbolic; Crack instantiates them per dynamic
+// instruction.
+func Compile(src string) ([]UOp, error) {
+	stmts, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g := &codegen{}
+	for _, s := range stmts {
+		if err := g.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	out := g.out
+	out = fuseCC(out)
+	out = propagateCopies(out)
+	out = dropDeadTemps(out)
+	if len(out) == 0 {
+		out = []UOp{{Kind: UNop, Dst: MRegNone, A: MRegNone, B: MRegNone}}
+	}
+	return out, nil
+}
+
+// MustCompile is Compile for the statically known-good specification table.
+func MustCompile(src string) []UOp {
+	ops, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return ops
+}
+
+type codegen struct {
+	out     []UOp
+	nextTmp int
+}
+
+func (g *codegen) tmp() (MReg, error) {
+	if g.nextTmp >= NumTmps {
+		return MRegNone, fmt.Errorf("µC: out of temporaries")
+	}
+	t := Tmp(g.nextTmp)
+	g.nextTmp++
+	return t, nil
+}
+
+func (g *codegen) emit(u UOp) { g.out = append(g.out, u) }
+
+func regFor(name string) (MReg, bool) {
+	switch name {
+	case "rd", "fd":
+		return PRd, true
+	case "rs", "rb", "fs":
+		return PRs, true
+	case "sp":
+		return MReg(isa.RegSP), true
+	case "lr":
+		return MReg(isa.RegLR), true
+	case "pc":
+		return MRegPC, true
+	}
+	if len(name) >= 2 && (name[0] == 't' || name[0] == 'r') {
+		n := 0
+		for i := 1; i < len(name); i++ {
+			if name[i] < '0' || name[i] > '9' {
+				return MRegNone, false
+			}
+			n = n*10 + int(name[i]-'0')
+		}
+		if name[0] == 't' && n < NumTmps {
+			return Tmp(n), true
+		}
+		// Fixed architectural registers, used by the string instructions
+		// (R0 source, R1 destination, R2 count, R3 value).
+		if name[0] == 'r' && n < isa.NumGPR {
+			return MReg(n), true
+		}
+	}
+	return MRegNone, false
+}
+
+// immFor recognizes expressions usable directly as µop immediates.
+func immFor(e expr) (int64, ImmSource, bool) {
+	switch t := e.(type) {
+	case numExpr:
+		return t.val, ImmLit, true
+	case termExpr:
+		switch t.name {
+		case "imm":
+			return 0, ImmFromImm, true
+		case "disp":
+			return 0, ImmFromDisp, true
+		}
+	case unExpr:
+		if t.op == "-" {
+			if n, ok := t.x.(numExpr); ok {
+				return -n.val, ImmLit, true
+			}
+		}
+	}
+	return 0, ImmNone, false
+}
+
+var binKinds = map[string]UKind{
+	"+": UAdd, "-": USub, "&": UAnd, "|": UOr, "^": UXor,
+	"<<": UShl, ">>": USar, ">>>": UShr, "*": UMul, "/": UDiv, "%": UMod,
+}
+
+func (g *codegen) stmt(s stmt) error {
+	if s.dst == "" {
+		_, err := g.expr(s.rhs, MRegNone, false)
+		return err
+	}
+	dst, ok := regFor(s.dst)
+	if !ok {
+		return fmt.Errorf("µC: bad destination %q", s.dst)
+	}
+	_, err := g.expr(s.rhs, dst, true)
+	return err
+}
+
+// expr generates code for e. If needValue, the result lands in want (or a
+// fresh temporary when want is MRegNone) and that register is returned.
+func (g *codegen) expr(e expr, want MReg, needValue bool) (MReg, error) {
+	into := func() (MReg, error) {
+		if want != MRegNone {
+			return want, nil
+		}
+		return g.tmp()
+	}
+	switch t := e.(type) {
+	case termExpr:
+		if r, ok := regFor(t.name); ok {
+			if want != MRegNone && want != r {
+				g.emit(UOp{Kind: UMov, Dst: want, A: r, B: MRegNone})
+				return want, nil
+			}
+			return r, nil
+		}
+		if _, src, ok := immFor(e); ok {
+			dst, err := into()
+			if err != nil {
+				return MRegNone, err
+			}
+			g.emit(UOp{Kind: UMovImm, Dst: dst, A: MRegNone, B: MRegNone, ImmSrc: src})
+			return dst, nil
+		}
+		return MRegNone, fmt.Errorf("µC: unknown term %q", t.name)
+	case numExpr:
+		dst, err := into()
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: UMovImm, Dst: dst, A: MRegNone, B: MRegNone, Imm: t.val, ImmSrc: ImmLit})
+		return dst, nil
+	case unExpr:
+		switch t.op {
+		case "-": // 0 - x
+			return g.binary(binExpr{op: "-", l: numExpr{0}, r: t.x}, want)
+		case "~": // x ^ -1
+			return g.binary(binExpr{op: "^", l: t.x, r: numExpr{-1}}, want)
+		}
+		return MRegNone, fmt.Errorf("µC: unknown unary %q", t.op)
+	case binExpr:
+		return g.binary(t, want)
+	case callExpr:
+		return g.call(t, want, needValue)
+	}
+	return MRegNone, fmt.Errorf("µC: unhandled expression %T", e)
+}
+
+func (g *codegen) binary(b binExpr, want MReg) (MReg, error) {
+	kind, ok := binKinds[b.op]
+	if !ok {
+		return MRegNone, fmt.Errorf("µC: unknown operator %q", b.op)
+	}
+	a, err := g.expr(b.l, MRegNone, true)
+	if err != nil {
+		return MRegNone, err
+	}
+	dst := want
+	if dst == MRegNone {
+		if dst, err = g.tmp(); err != nil {
+			return MRegNone, err
+		}
+	}
+	if imm, src, ok := immFor(b.r); ok {
+		g.emit(UOp{Kind: kind, Dst: dst, A: a, B: MRegNone, Imm: imm, ImmSrc: src})
+		return dst, nil
+	}
+	rb, err := g.expr(b.r, MRegNone, true)
+	if err != nil {
+		return MRegNone, err
+	}
+	g.emit(UOp{Kind: kind, Dst: dst, A: a, B: rb})
+	return dst, nil
+}
+
+func (g *codegen) call(c callExpr, want MReg, needValue bool) (MReg, error) {
+	arity := func(n int) error {
+		if len(c.args) != n {
+			return fmt.Errorf("µC: %s wants %d args, got %d", c.fn, n, len(c.args))
+		}
+		return nil
+	}
+	into := func() (MReg, error) {
+		if want != MRegNone {
+			return want, nil
+		}
+		return g.tmp()
+	}
+	genReg := func(e expr) (MReg, error) { return g.expr(e, MRegNone, true) }
+
+	loadSize := map[string]int64{"load8": 1, "load16": 2, "load32": 4, "load64": 8}
+	storeSize := map[string]int64{"store8": 1, "store16": 2, "store32": 4, "store64": 8}
+	fpBin := map[string]UKind{"fadd": UFAdd, "fsub": UFSub, "fmul": UFMul, "fdiv": UFDiv, "fcmp": UFCmp}
+	fpUn := map[string]UKind{"fsqrt": UFSqrt, "fmov": UFMov, "fcvt": UFCvt}
+
+	switch {
+	case loadSize[c.fn] != 0:
+		if err := arity(1); err != nil {
+			return MRegNone, err
+		}
+		addr, err := genReg(c.args[0])
+		if err != nil {
+			return MRegNone, err
+		}
+		dst, err := into()
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: ULoad, Dst: dst, A: addr, B: MRegNone, Imm: loadSize[c.fn], ImmSrc: ImmLit})
+		return dst, nil
+	case storeSize[c.fn] != 0:
+		if err := arity(2); err != nil {
+			return MRegNone, err
+		}
+		addr, err := genReg(c.args[0])
+		if err != nil {
+			return MRegNone, err
+		}
+		val, err := genReg(c.args[1])
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: UStore, Dst: MRegNone, A: addr, B: val, Imm: storeSize[c.fn], ImmSrc: ImmLit})
+		return MRegNone, nil
+	case c.fn == "agen":
+		if err := arity(2); err != nil {
+			return MRegNone, err
+		}
+		base, err := genReg(c.args[0])
+		if err != nil {
+			return MRegNone, err
+		}
+		imm, src, ok := immFor(c.args[1])
+		if !ok {
+			return MRegNone, fmt.Errorf("µC: agen offset must be imm, disp or a literal")
+		}
+		dst, err := into()
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: UAgen, Dst: dst, A: base, B: MRegNone, Imm: imm, ImmSrc: src})
+		return dst, nil
+	case c.fn == "cc":
+		if err := arity(1); err != nil {
+			return MRegNone, err
+		}
+		x, err := genReg(c.args[0])
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: UTest, Dst: MRegNone, A: x, B: x, WritesCC: true})
+		return MRegNone, nil
+	case c.fn == "cmp":
+		if err := arity(2); err != nil {
+			return MRegNone, err
+		}
+		a, err := genReg(c.args[0])
+		if err != nil {
+			return MRegNone, err
+		}
+		if imm, src, ok := immFor(c.args[1]); ok {
+			g.emit(UOp{Kind: UCmp, Dst: MRegNone, A: a, B: MRegNone, Imm: imm, ImmSrc: src, WritesCC: true})
+			return MRegNone, nil
+		}
+		b, err := genReg(c.args[1])
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: UCmp, Dst: MRegNone, A: a, B: b, WritesCC: true})
+		return MRegNone, nil
+	case c.fn == "jump":
+		if err := arity(0); err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: UBr, Dst: MRegNone, A: MRegNone, B: MRegNone})
+		return MRegNone, nil
+	case c.fn == "jumpr":
+		if err := arity(1); err != nil {
+			return MRegNone, err
+		}
+		x, err := genReg(c.args[0])
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: UBr, Dst: MRegNone, A: x, B: MRegNone})
+		return MRegNone, nil
+	case fpBin[c.fn] != 0:
+		if err := arity(2); err != nil {
+			return MRegNone, err
+		}
+		a, err := genReg(c.args[0])
+		if err != nil {
+			return MRegNone, err
+		}
+		b, err := genReg(c.args[1])
+		if err != nil {
+			return MRegNone, err
+		}
+		dst := MRegNone
+		if c.fn != "fcmp" {
+			if dst, err = into(); err != nil {
+				return MRegNone, err
+			}
+		}
+		g.emit(UOp{Kind: fpBin[c.fn], Dst: dst, A: a, B: b, WritesCC: c.fn == "fcmp"})
+		return dst, nil
+	case fpUn[c.fn] != 0:
+		if err := arity(1); err != nil {
+			return MRegNone, err
+		}
+		a, err := genReg(c.args[0])
+		if err != nil {
+			return MRegNone, err
+		}
+		dst, err := into()
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: fpUn[c.fn], Dst: dst, A: a, B: MRegNone})
+		return dst, nil
+	case c.fn == "sys":
+		if err := arity(1); err != nil {
+			return MRegNone, err
+		}
+		code, _, ok := immFor(c.args[0])
+		if !ok {
+			return MRegNone, fmt.Errorf("µC: sys code must be a literal")
+		}
+		g.emit(UOp{Kind: USys, Dst: MRegNone, A: MRegNone, B: MRegNone, Imm: code, ImmSrc: ImmLit})
+		return MRegNone, nil
+	case c.fn == "sysr":
+		if err := arity(2); err != nil {
+			return MRegNone, err
+		}
+		code, _, ok := immFor(c.args[0])
+		if !ok {
+			return MRegNone, fmt.Errorf("µC: sysr code must be a literal")
+		}
+		x, err := genReg(c.args[1])
+		if err != nil {
+			return MRegNone, err
+		}
+		dst := MRegNone
+		if needValue {
+			if dst, err = into(); err != nil {
+				return MRegNone, err
+			}
+		}
+		g.emit(UOp{Kind: USys, Dst: dst, A: x, B: MRegNone, Imm: code, ImmSrc: ImmLit})
+		return dst, nil
+	case c.fn == "sysrr":
+		if err := arity(3); err != nil {
+			return MRegNone, err
+		}
+		code, _, ok := immFor(c.args[0])
+		if !ok {
+			return MRegNone, fmt.Errorf("µC: sysrr code must be a literal")
+		}
+		a, err := genReg(c.args[1])
+		if err != nil {
+			return MRegNone, err
+		}
+		b, err := genReg(c.args[2])
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: USys, Dst: MRegNone, A: a, B: b, Imm: code, ImmSrc: ImmLit})
+		return MRegNone, nil
+	case c.fn == "sysval":
+		if err := arity(1); err != nil {
+			return MRegNone, err
+		}
+		code, _, ok := immFor(c.args[0])
+		if !ok {
+			return MRegNone, fmt.Errorf("µC: sysval code must be a literal")
+		}
+		dst, err := into()
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: USys, Dst: dst, A: MRegNone, B: MRegNone, Imm: code, ImmSrc: ImmLit})
+		return dst, nil
+	case c.fn == "ioin":
+		if err := arity(1); err != nil {
+			return MRegNone, err
+		}
+		imm, src, ok := immFor(c.args[0])
+		if !ok {
+			return MRegNone, fmt.Errorf("µC: ioin port must be imm or a literal")
+		}
+		dst, err := into()
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: UIO, Dst: dst, A: MRegNone, B: MRegNone, Imm: imm, ImmSrc: src})
+		return dst, nil
+	case c.fn == "ioout":
+		if err := arity(2); err != nil {
+			return MRegNone, err
+		}
+		imm, src, ok := immFor(c.args[0])
+		if !ok {
+			return MRegNone, fmt.Errorf("µC: ioout port must be imm or a literal")
+		}
+		x, err := genReg(c.args[1])
+		if err != nil {
+			return MRegNone, err
+		}
+		g.emit(UOp{Kind: UIO, Dst: MRegNone, A: x, B: MRegNone, Imm: imm, ImmSrc: src})
+		return MRegNone, nil
+	}
+	return MRegNone, fmt.Errorf("µC: unknown intrinsic %q", c.fn)
+}
+
+// Optimizer passes.
+
+// hasSideEffect reports whether a µop must be preserved regardless of
+// whether its destination is read.
+func hasSideEffect(u UOp) bool {
+	switch u.Kind {
+	case UStore, UBr, USys, UIO:
+		return true
+	}
+	return u.WritesCC || u.Dst != MRegNone && !u.Dst.IsTmp()
+}
+
+// canWriteCC reports whether the µop kind may carry a fused CC update.
+func canWriteCC(k UKind) bool {
+	switch k {
+	case UAdd, USub, UAnd, UOr, UXor, UShl, UShr, USar, UMul, UDiv, UMod,
+		UMov, UMovImm, UAgen, ULoad, UFAdd, UFSub, UFMul, UFDiv, UFCvt:
+		return true
+	}
+	return false
+}
+
+// fuseCC merges a `cc(x)` pseudo-µop (UTest x,x) into the immediately
+// preceding µop when that µop produced x.
+func fuseCC(ops []UOp) []UOp {
+	out := ops[:0]
+	for _, u := range ops {
+		if u.Kind == UTest && u.WritesCC && u.Dst == MRegNone && u.A == u.B && len(out) > 0 {
+			prev := &out[len(out)-1]
+			if prev.Dst == u.A && canWriteCC(prev.Kind) {
+				prev.WritesCC = true
+				continue
+			}
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+func reads(u UOp, r MReg) bool { return r != MRegNone && (u.A == r || u.B == r) }
+
+// propagateCopies retargets `tN = <op> ...; dst = tN` into `dst = <op> ...`
+// when tN has no other readers.
+func propagateCopies(ops []UOp) []UOp {
+	for i := 1; i < len(ops); i++ {
+		mov := ops[i]
+		if mov.Kind != UMov || !mov.A.IsTmp() || mov.WritesCC {
+			continue
+		}
+		def := -1
+		for j := i - 1; j >= 0; j-- {
+			if ops[j].Dst == mov.A {
+				def = j
+				break
+			}
+			if reads(ops[j], mov.A) {
+				def = -2
+				break
+			}
+		}
+		if def < 0 {
+			continue
+		}
+		// The temp must not be read anywhere but the move, nor live after.
+		used := false
+		for j := def + 1; j < len(ops); j++ {
+			if j != i && reads(ops[j], mov.A) {
+				used = true
+				break
+			}
+		}
+		if used {
+			continue
+		}
+		// Retargeting must not break a reader of the new dst between def and i.
+		conflict := false
+		for j := def + 1; j < i; j++ {
+			if reads(ops[j], mov.Dst) || ops[j].Dst == mov.Dst {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		ops[def].Dst = mov.Dst
+		ops = append(ops[:i], ops[i+1:]...)
+		i--
+	}
+	return ops
+}
+
+// dropDeadTemps removes effect-free µops whose temporary destination is
+// never read.
+func dropDeadTemps(ops []UOp) []UOp {
+	for i := len(ops) - 1; i >= 0; i-- {
+		u := ops[i]
+		if hasSideEffect(u) || u.Dst == MRegNone || !u.Dst.IsTmp() {
+			continue
+		}
+		live := false
+		for j := i + 1; j < len(ops); j++ {
+			if reads(ops[j], u.Dst) {
+				live = true
+				break
+			}
+			if ops[j].Dst == u.Dst {
+				break
+			}
+		}
+		if !live {
+			ops = append(ops[:i], ops[i+1:]...)
+		}
+	}
+	return ops
+}
+
+// instantiate substitutes the decoded instruction's registers and immediates
+// into a template.
+func instantiate(tmpl []UOp, inst isa.Inst) []UOp {
+	out := make([]UOp, len(tmpl))
+	sub := func(m MReg) MReg {
+		switch m {
+		case PRd:
+			return MReg(inst.Rd)
+		case PRs:
+			return MReg(inst.Rs)
+		}
+		return m
+	}
+	for i, u := range tmpl {
+		u.Dst, u.A, u.B = sub(u.Dst), sub(u.A), sub(u.B)
+		switch u.ImmSrc {
+		case ImmFromImm:
+			u.Imm, u.ImmSrc = inst.Imm, ImmLit
+		case ImmFromDisp:
+			u.Imm, u.ImmSrc = int64(inst.Disp), ImmLit
+		}
+		out[i] = u
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+// Package stats implements FAST's statistics gathering (§3, §4.6, Figure
+// 6): windowed counter sampling ("The statistics are gathered every 100K
+// basic blocks"), continuous run-time queries that dedicated hardware could
+// evaluate at full speed ("when does the number of active functional units
+// drop below 1?"), and a model of the tree-based statistics network that
+// replaces the prototype's routing-hungry per-Module taps (§4.7).
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tm"
+)
+
+// Sample is one Figure 6 data point: windowed metrics over the last
+// sampling interval.
+type Sample struct {
+	BasicBlocks   uint64 // cumulative BBs at the end of the window
+	Instructions  uint64
+	Cycles        uint64
+	ICacheHitRate float64
+	BPAccuracy    float64
+	DrainPct      float64 // pipe-drain cycles due to mispredicts, % of window
+	IPC           float64
+}
+
+// snapshot holds the cumulative counters a window is diffed against.
+type snapshot struct {
+	cycles, inst, drains  uint64
+	bpBranches, bpCorrect uint64
+	icAccesses, icHits    uint64
+}
+
+func snap(model *tm.TM) snapshot {
+	ic := model.IL1.Stats()
+	return snapshot{
+		cycles:     model.Stats.Cycles,
+		inst:       model.Stats.Instructions,
+		drains:     model.Stats.DrainCycles,
+		bpBranches: model.BPStats.Branches,
+		bpCorrect:  model.BPStats.Correct,
+		icAccesses: ic.Accesses,
+		icHits:     ic.Hits,
+	}
+}
+
+// Sampler produces a Sample every Interval committed basic blocks.
+type Sampler struct {
+	Interval uint64 // basic blocks per window (Figure 6 uses 100_000)
+
+	model   *tm.TM
+	lastBB  uint64
+	prev    snapshot
+	Samples []Sample
+}
+
+// NewSampler attaches a sampler to a timing model.
+func NewSampler(model *tm.TM, interval uint64) *Sampler {
+	if interval == 0 {
+		interval = 100_000
+	}
+	return &Sampler{Interval: interval, model: model, prev: snap(model)}
+}
+
+// Poll takes a sample if a full window of basic blocks has committed. Call
+// it as often as convenient (e.g. every cycle or every thousand cycles);
+// dedicated statistics hardware costs nothing, and polling here only reads
+// counters.
+func (s *Sampler) Poll() {
+	bb := s.model.Stats.BasicBlocks
+	if bb-s.lastBB < s.Interval {
+		return
+	}
+	s.lastBB = bb
+	cur := snap(s.model)
+	d := func(a, b uint64) uint64 { return a - b }
+	win := Sample{
+		BasicBlocks:  bb,
+		Instructions: cur.inst,
+		Cycles:       cur.cycles,
+	}
+	if dc := d(cur.cycles, s.prev.cycles); dc > 0 {
+		win.DrainPct = 100 * float64(d(cur.drains, s.prev.drains)) / float64(dc)
+		win.IPC = float64(d(cur.inst, s.prev.inst)) / float64(dc)
+	}
+	if db := d(cur.bpBranches, s.prev.bpBranches); db > 0 {
+		win.BPAccuracy = 100 * float64(d(cur.bpCorrect, s.prev.bpCorrect)) / float64(db)
+	}
+	if da := d(cur.icAccesses, s.prev.icAccesses); da > 0 {
+		win.ICacheHitRate = 100 * float64(d(cur.icHits, s.prev.icHits)) / float64(da)
+	}
+	s.prev = cur
+	s.Samples = append(s.Samples, win)
+}
+
+// Render prints the Figure 6 series as aligned text columns.
+func (s *Sampler) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%14s %10s %10s %10s %8s\n",
+		"basic-blocks", "iL1-hit%", "BP-acc%", "drain%", "IPC")
+	for _, x := range s.Samples {
+		fmt.Fprintf(&b, "%14d %10.2f %10.2f %10.2f %8.3f\n",
+			x.BasicBlocks, x.ICacheHitRate, x.BPAccuracy, x.DrainPct, x.IPC)
+	}
+	return b.String()
+}
+
+// Query is a continuous run-time query over per-cycle observations — the
+// §3 example is "when does the number of active functional units drop
+// below 1?". In hardware it runs at full speed; here it is a Probe
+// callback.
+type Query struct {
+	// Below is the threshold on issued µops per cycle.
+	Below int
+	// FirstCycle is the first cycle the condition held (ok=false until
+	// then).
+	FirstCycle uint64
+	Hit        bool
+	// Count is the total number of cycles the condition held.
+	Count uint64
+}
+
+// Probe returns the callback to install as tm.TM.Probe.
+func (q *Query) Probe() func(cycle uint64, issued int) {
+	return func(cycle uint64, issued int) {
+		if issued < q.Below {
+			if !q.Hit {
+				q.Hit = true
+				q.FirstCycle = cycle
+			}
+			q.Count++
+		}
+	}
+}
+
+// TreeNetwork models the §4.7 statistics fabric: the prototype's temporary
+// per-Module taps consumed "significant global routing resources"; the fix
+// is "a tree-based statistics network that will flow back through the
+// Connectors". The model compares routing cost (point-to-point wires vs a
+// tree) for n modules reporting w-bit counters.
+type TreeNetwork struct {
+	Modules int
+	Width   int // bits per counter word
+}
+
+// FlatWires returns the global routing cost of the prototype's approach in
+// wire-units: a dedicated w-bit path from every module all the way to the
+// collection point, each spanning on average half the module array — the
+// global routes that "limited the number of metrics tracked as well as
+// impacted FPGA timing closure" (§4.7).
+func (t TreeNetwork) FlatWires() int { return t.Modules * t.Width * (t.Modules / 2) }
+
+// TreeWires returns the routing cost of the tree network: one w-bit link
+// per tree edge (n-1 edges), each a short local hop between neighbouring
+// modules/Connectors, time-multiplexing reports upward.
+func (t TreeNetwork) TreeWires() int {
+	if t.Modules == 0 {
+		return 0
+	}
+	return (t.Modules - 1) * t.Width
+}
+
+// DrainCycles returns the host cycles to collect all counters through the
+// tree root, one word per cycle.
+func (t TreeNetwork) DrainCycles() int { return t.Modules }

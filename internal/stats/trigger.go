@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Trigger implements the §4.6 plan: "logging/tracing statistics support
+// with triggering (start, stop and dump logs/traces based on
+// user-specified criteria)". A Trigger watches per-cycle observations,
+// starts capturing committed-instruction events when the start predicate
+// fires, and stops on the stop predicate — all "hardware-side", costing
+// the simulation nothing.
+type Trigger struct {
+	// Start fires capture; Stop ends it. Either may be nil (always
+	// false). Predicates see the per-cycle observation.
+	Start func(Observation) bool
+	Stop  func(Observation) bool
+	// Depth bounds the capture buffer (dump-on-full), like a logic
+	// analyzer's sample memory. 0 means 4096.
+	Depth int
+
+	active    bool
+	fired     bool
+	StartedAt uint64
+	StoppedAt uint64
+	Log       []trace.Entry
+	Dropped   uint64
+}
+
+// Observation is what trigger predicates see each cycle.
+type Observation struct {
+	Cycle   uint64
+	Issued  int // µops issued this cycle
+	Drained bool
+}
+
+// Observe feeds one cycle's state; call from a tm Probe.
+func (t *Trigger) Observe(o Observation) {
+	if t.Depth == 0 {
+		t.Depth = 4096
+	}
+	if !t.active && !t.fired && t.Start != nil && t.Start(o) {
+		t.active = true
+		t.fired = true
+		t.StartedAt = o.Cycle
+	}
+	if t.active && t.Stop != nil && t.Stop(o) {
+		t.active = false
+		t.StoppedAt = o.Cycle
+	}
+}
+
+// Capture records a committed instruction while the trigger is active; call
+// from the commit stream.
+func (t *Trigger) Capture(e trace.Entry) {
+	if !t.active {
+		return
+	}
+	if len(t.Log) >= t.Depth {
+		t.Dropped++
+		return
+	}
+	t.Log = append(t.Log, e)
+}
+
+// Active reports whether capture is running.
+func (t *Trigger) Active() bool { return t.active }
+
+// Fired reports whether the start condition ever matched.
+func (t *Trigger) Fired() bool { return t.fired }
+
+// Dump renders the captured window.
+func (t *Trigger) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trigger window: cycles %d..%d, %d entries (%d dropped)\n",
+		t.StartedAt, t.StoppedAt, len(t.Log), t.Dropped)
+	for _, e := range t.Log {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}

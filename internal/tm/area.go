@@ -1,0 +1,110 @@
+package tm
+
+import (
+	"fmt"
+
+	"repro/internal/fpga"
+	"repro/internal/isa"
+)
+
+// ModuleArea is one row of the area breakdown.
+type ModuleArea struct {
+	Name string
+	Area fpga.Area
+}
+
+// AreaBreakdown estimates the FPGA footprint of every timing-model module,
+// in the spirit of Table 2. The estimates follow §3.3's discipline: all
+// capacity lives in dual-ported block RAMs cycled over multiple host cycles,
+// so footprints depend on structure sizes (ROB entries, cache bytes, BTB
+// entries) and NOT on issue width — which is why Table 2 is flat from
+// 1-issue to 8-issue.
+//
+// Constants are calibrated against §4.7's reported totals for the default
+// configuration (32.8% of an LX200's slices, 50-51% of its block RAMs,
+// "Connectors ... under-optimized regarding area, especially in the block
+// RAMs", a statistics fabric that consumed "significant global routing
+// resources").
+func (c Config) AreaBreakdown() []ModuleArea {
+	cacheFoot := func(sizeBytes, ways, lineBytes int) fpga.Area {
+		lines := sizeBytes / lineBytes
+		data := fpga.BlockRAM(sizeBytes*8, 2)
+		tags := fpga.BlockRAM(lines*22, 2)
+		meta := fpga.BlockRAM(lines*4, 2)
+		return data.Add(tags).Add(meta).Add(fpga.Area{Slices: 450}).Add(fpga.Arbiter(ways))
+	}
+
+	// Branch predictor: 8K-entry PHT of 2-bit counters plus the 4-way 8K
+	// BTB holding partial tags and targets (12 bits/entry, a standard
+	// space trick).
+	pht := fpga.BlockRAM(8192*2, 2)
+	btb := fpga.BlockRAM(8192*12, 2)
+	bp := pht.Add(btb).Add(fpga.Area{Slices: 600})
+
+	// Microcode table: every opcode's µop template (~4 µops × 36 bits),
+	// read one µop per host cycle during decode.
+	ucodeBits := isa.NumOpcodes * 4 * 36
+	ucode := fpga.BlockRAM(ucodeBits, 2).Add(fpga.Area{Slices: 800})
+
+	rob := fpga.BlockRAM(c.ROBEntries*96, 3*c.IssueWidth).
+		Add(fpga.Registers(2 * 16)).Add(fpga.Area{Slices: 900})
+	rename := fpga.BlockRAM(64*8, 3*c.IssueWidth).Add(fpga.Area{Slices: 400})
+	rs := fpga.CAM(c.RSEntries, 8).Add(fpga.CAM(c.RSEntries, 8)).
+		Add(fpga.BlockRAM(c.RSEntries*80, 2)).
+		Add(fpga.Arbiter(c.RSEntries)).Add(fpga.Area{Slices: 700})
+	lsq := fpga.CAM(c.LSQEntries, 32).
+		Add(fpga.BlockRAM(c.LSQEntries*72, 2)).Add(fpga.Area{Slices: 500})
+
+	// Functional-unit timing stubs: no datapath, just occupancy state.
+	fus := fpga.Area{Slices: 60 * (c.ALUs + c.BranchUnits + c.LoadStoreUnits + c.FPUs)}
+
+	itlb := fpga.CAM(c.ITLBEntries, 20).Add(fpga.Area{Slices: 150})
+	dtlb := fpga.CAM(c.DTLBEntries, 20).Add(fpga.Area{Slices: 150})
+
+	// Connectors: two deep front-end FIFOs land in BRAM (the §4.7
+	// under-optimization), the rest in fabric.
+	connectors := fpga.FIFO(64, 128).Add(fpga.FIFO(64, 96)).
+		Add(fpga.Area{Slices: 6 * 120})
+
+	// Statistics: the temporary per-Module metric fabric of §4.7 that
+	// "required significant global routing resources".
+	stats := fpga.Area{Slices: 7400}
+	// Host-link interface (HyperTransport endpoint + trace unpacking).
+	link := fpga.Area{Slices: 1600, BRAMs: 2}
+	// Top-level glue, clocking, compiler overhead.
+	glue := fpga.Area{Slices: 10200}
+
+	return []ModuleArea{
+		{"Fetch+BP", bp.Add(fpga.Area{Slices: 900})},
+		{"iTLB", itlb},
+		{"dTLB", dtlb},
+		{"iL1", cacheFoot(c.L1I.SizeBytes, c.L1I.Ways, c.L1I.LineBytes)},
+		{"dL1", cacheFoot(c.L1D.SizeBytes, c.L1D.Ways, c.L1D.LineBytes)},
+		{"L2", cacheFoot(c.L2.SizeBytes, c.L2.Ways, c.L2.LineBytes)},
+		{"Decode+µcode", ucode},
+		{"Rename/ROB", rob.Add(rename)},
+		{"ReservationStations", rs},
+		{"LoadStoreQueue", lsq},
+		{"FunctionalUnits", fus},
+		{"Connectors", connectors},
+		{"Statistics", stats},
+		{"HostLink", link},
+		{"TopLevel", glue},
+	}
+}
+
+// Area returns the total footprint of the configured timing model.
+func (c Config) Area() fpga.Area {
+	var a fpga.Area
+	for _, m := range c.AreaBreakdown() {
+		a = a.Add(m.Area)
+	}
+	return a
+}
+
+// AreaReport renders Table 2's row for this configuration on a device.
+func (c Config) AreaReport(d fpga.Device) string {
+	a := c.Area()
+	return fmt.Sprintf("issue=%d logic=%.2f%% brams=%.1f%% (%s on %s)",
+		c.IssueWidth, 100*d.LogicFraction(a), 100*d.BRAMFraction(a), a, d.Name)
+}

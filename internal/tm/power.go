@@ -1,0 +1,167 @@
+package tm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Power estimation — the §6 extension: "We have started the process of
+// incorporating power estimation into the timing model. The initial goal is
+// not to perfectly estimate power, but to provide relative power estimates
+// that will permit architects to compare different architectures."
+//
+// The model is activity-based: every structure charges a fixed energy unit
+// per access (issue, cache access, predictor lookup, rename, commit), plus
+// a static leakage charge per cycle proportional to structure capacity.
+// Units are arbitrary ("energy units"); only ratios between configurations
+// and workloads are meaningful — exactly the paper's stated goal.
+
+// PowerWeights are per-event energy charges (arbitrary units) and per-cycle
+// leakage.
+type PowerWeights struct {
+	ALUOp      float64
+	FPUOp      float64
+	BranchOp   float64
+	LoadOp     float64 // dL1 access included
+	StoreOp    float64
+	Fetch      float64 // per instruction fetched (iL1 + predictor)
+	Rename     float64 // per µop renamed
+	Commit     float64 // per µop committed
+	L2Access   float64
+	MemAccess  float64
+	Mispredict float64 // recovery energy (flush + refill)
+
+	// LeakagePerKBCycle charges static power per KiB of SRAM capacity per
+	// cycle.
+	LeakagePerKBCycle float64
+}
+
+// DefaultPowerWeights is a set of relative weights in the spirit of early
+// architectural power models (Wattch-style): FP and memory events cost a
+// multiple of simple ALU events; leakage is small per cycle but always on.
+func DefaultPowerWeights() PowerWeights {
+	return PowerWeights{
+		ALUOp:             1.0,
+		FPUOp:             4.0,
+		BranchOp:          1.2,
+		LoadOp:            2.5,
+		StoreOp:           2.0,
+		Fetch:             1.5,
+		Rename:            0.8,
+		Commit:            0.5,
+		L2Access:          8.0,
+		MemAccess:         40.0,
+		Mispredict:        12.0,
+		LeakagePerKBCycle: 0.002,
+	}
+}
+
+// PowerModel accumulates activity-based energy alongside a timing model.
+// Attach with TM.AttachPower; it reads the TM's counters, so it costs the
+// simulation nothing — like the statistics hardware of §4.6.
+type PowerModel struct {
+	W PowerWeights
+
+	tm         *TM
+	prev       powerSnapshot
+	capacityKB float64
+
+	Energy       float64 // dynamic
+	Leakage      float64
+	sampleCycles uint64
+}
+
+type powerSnapshot struct {
+	cycles     uint64
+	fetched    uint64
+	uops       uint64
+	issued     [isa.NumClasses]uint64
+	l2, mem    uint64
+	mispredict uint64
+}
+
+// AttachPower wires a power model to the TM (replacing any previous one).
+func (t *TM) AttachPower(w PowerWeights) *PowerModel {
+	capacity := float64(t.cfg.L1I.SizeBytes+t.cfg.L1D.SizeBytes+t.cfg.L2.SizeBytes) / 1024
+	capacity += float64(t.cfg.ROBEntries*12+t.cfg.RSEntries*10+t.cfg.LSQEntries*9) / 1024
+	capacity += 8192 * 2 / 8 / 1024  // PHT
+	capacity += 8192 * 12 / 8 / 1024 // BTB
+	p := &PowerModel{W: w, tm: t, capacityKB: capacity}
+	p.prev = p.snap()
+	return p
+}
+
+func (p *PowerModel) snap() powerSnapshot {
+	s := p.tm.Stats
+	return powerSnapshot{
+		cycles:     s.Cycles,
+		fetched:    s.Instructions, // committed ≈ fetched on the right path
+		uops:       s.UOps,
+		issued:     s.IssuedByClass,
+		l2:         p.tm.L2.Stats().Accesses,
+		mem:        p.tm.Memory.Stats().Accesses,
+		mispredict: s.Mispredicts,
+	}
+}
+
+// Sample folds activity since the last call into the energy accumulators
+// and returns the average power (energy units per cycle) over the window.
+func (p *PowerModel) Sample() float64 {
+	cur := p.snap()
+	d := func(a, b uint64) float64 { return float64(a - b) }
+	w := p.W
+	e := d(cur.fetched, p.prev.fetched) * w.Fetch
+	e += d(cur.uops, p.prev.uops) * (w.Rename + w.Commit)
+	e += d(cur.issued[isa.ClassALU], p.prev.issued[isa.ClassALU]) * w.ALUOp
+	e += d(cur.issued[isa.ClassSystem], p.prev.issued[isa.ClassSystem]) * w.ALUOp
+	e += d(cur.issued[isa.ClassFPU], p.prev.issued[isa.ClassFPU]) * w.FPUOp
+	e += d(cur.issued[isa.ClassBranch], p.prev.issued[isa.ClassBranch]) * w.BranchOp
+	e += d(cur.issued[isa.ClassLoad], p.prev.issued[isa.ClassLoad]) * w.LoadOp
+	e += d(cur.issued[isa.ClassStore], p.prev.issued[isa.ClassStore]) * w.StoreOp
+	e += d(cur.l2, p.prev.l2) * w.L2Access
+	e += d(cur.mem, p.prev.mem) * w.MemAccess
+	e += d(cur.mispredict, p.prev.mispredict) * w.Mispredict
+	cycles := d(cur.cycles, p.prev.cycles)
+	leak := cycles * p.capacityKB * w.LeakagePerKBCycle
+	p.Energy += e
+	p.Leakage += leak
+	p.sampleCycles += cur.cycles - p.prev.cycles
+	p.prev = cur
+	if cycles == 0 {
+		return 0
+	}
+	return (e + leak) / cycles
+}
+
+// Total returns accumulated energy (dynamic + leakage).
+func (p *PowerModel) Total() float64 { return p.Energy + p.Leakage }
+
+// AveragePower returns energy units per cycle over everything sampled.
+func (p *PowerModel) AveragePower() float64 {
+	if p.sampleCycles == 0 {
+		return 0
+	}
+	return p.Total() / float64(p.sampleCycles)
+}
+
+// EnergyPerInstruction returns total energy over committed instructions —
+// the metric for "write code that trades off power for performance" (§6).
+func (p *PowerModel) EnergyPerInstruction() float64 {
+	if p.tm.Stats.Instructions == 0 {
+		return 0
+	}
+	return p.Total() / float64(p.tm.Stats.Instructions)
+}
+
+// Report renders the accumulated estimate.
+func (p *PowerModel) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "relative power estimate (arbitrary units):\n")
+	fmt.Fprintf(&b, "  dynamic energy   %12.1f\n", p.Energy)
+	fmt.Fprintf(&b, "  leakage energy   %12.1f\n", p.Leakage)
+	fmt.Fprintf(&b, "  avg power        %12.3f /cycle\n", p.AveragePower())
+	fmt.Fprintf(&b, "  energy/inst      %12.3f\n", p.EnergyPerInstruction())
+	return b.String()
+}

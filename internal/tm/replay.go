@@ -1,0 +1,19 @@
+package tm
+
+import "repro/internal/trace"
+
+// SliceSource replays a pre-recorded functional-path trace (the standalone
+// "soft timing model" mode and the unit tests use it). Because the trace is
+// already the architecturally correct path, re-steering is unnecessary:
+// pair it with NopControl.
+type SliceSource struct {
+	Entries []trace.Entry
+}
+
+// Fetch implements Source.
+func (s *SliceSource) Fetch(in uint64) (trace.Entry, FetchStatus) {
+	if in >= uint64(len(s.Entries)) {
+		return trace.Entry{}, FetchEnd
+	}
+	return s.Entries[in], FetchOK
+}

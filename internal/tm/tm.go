@@ -1,0 +1,732 @@
+package tm
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/fullsys"
+	"repro/internal/isa"
+	"repro/internal/microcode"
+	"repro/internal/trace"
+)
+
+// FetchStatus is the result of asking the trace source for an instruction.
+type FetchStatus int
+
+const (
+	// FetchOK delivered an entry.
+	FetchOK FetchStatus = iota
+	// FetchWait means the functional model has not produced the entry yet
+	// (or the target is halted): the timing model sees a fetch bubble.
+	FetchWait
+	// FetchEnd means the stream is over.
+	FetchEnd
+)
+
+// Source supplies functional-path trace entries by instruction number.
+// After a re-steer, re-fetching an IN returns the replacement entry.
+type Source interface {
+	Fetch(in uint64) (trace.Entry, FetchStatus)
+}
+
+// Control is the TM→FM command channel: commits release rollback resources;
+// Mispredict/Resolve implement §2.1's path re-steering.
+type Control interface {
+	// Commit tells the FM instruction in is fully committed.
+	Commit(in uint64)
+	// Mispredict asks the FM to produce wrong-path instructions starting
+	// at instruction number in, fetching from wrongPC.
+	Mispredict(in uint64, wrongPC isa.Word)
+	// Resolve asks the FM to return to the right path at in.
+	Resolve(in uint64, rightPC isa.Word)
+}
+
+// NopControl is the replay-mode control: the trace is already the right
+// path and nothing is coupled behind it.
+type NopControl struct{}
+
+// Commit implements Control.
+func (NopControl) Commit(uint64) {}
+
+// Mispredict implements Control.
+func (NopControl) Mispredict(uint64, isa.Word) {}
+
+// Resolve implements Control.
+func (NopControl) Resolve(uint64, isa.Word) {}
+
+// instr is one in-flight instruction.
+type instr struct {
+	e            trace.Entry
+	mispredicted bool
+	serialize    bool // exception/interrupt: fetch stalls until it commits
+	uopsLeft     int
+}
+
+// uop is one in-flight micro-operation.
+type uop struct {
+	ins      *instr
+	idx      int
+	last     bool
+	kind     microcode.UKind
+	class    isa.Class
+	dst      microcode.MReg
+	srcA     microcode.MReg
+	srcB     microcode.MReg
+	readsCC  bool
+	writesCC bool
+	deps     [3]*uop
+
+	dispatched bool
+	issued     bool
+	done       bool
+	doneCycle  uint64
+	isMem      bool
+	resolved   bool // branch µop: resolution handled
+}
+
+// Stats aggregates the timing model's counters.
+type Stats struct {
+	Cycles        uint64
+	Instructions  uint64
+	UOps          uint64
+	BasicBlocks   uint64 // committed control transfers
+	DrainCycles   uint64 // fetch stalled by mispredict recovery (Fig. 6)
+	FetchBubbles  uint64 // fetch stalled because the FM had nothing for us
+	ICacheStalls  uint64
+	Mispredicts   uint64
+	Exceptions    uint64
+	Serializes    uint64
+	RSFullStalls  uint64
+	ROBFullStalls uint64
+	LSQFullStalls uint64
+
+	// Per-class issue counts (the "active functional units" query of §3).
+	IssuedByClass [isa.NumClasses]uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// TM is the cycle-accurate timing model.
+type TM struct {
+	cfg Config
+	src Source
+	ctl Control
+
+	BP      bpred.Predictor
+	BPStats bpred.Stats
+	IL1     *cache.Cache
+	DL1     *cache.Cache
+	L2      *cache.Cache
+	Memory  *cache.FixedMemory
+	ITLB    *cache.TLBTiming
+	DTLB    *cache.TLBTiming
+
+	table *microcode.Table
+
+	cycle   uint64
+	fetchIN uint64
+	ended   bool
+
+	// Front-end connectors: Fetch→Decode and Decode→Rename. Their
+	// MinLatency values realize the front-end pipeline depth.
+	fetchQ *Connector[*instr]
+	uopQ   *Connector[*uop]
+
+	decodeBuf []*uop // µops of the instruction currently being decoded
+
+	rob       []*uop
+	rsCount   int
+	lsqCount  int
+	regWriter map[microcode.MReg]*uop
+	ccWriter  *uop
+
+	lsuFreeAt []uint64
+
+	pendingBranches []*uop
+	pendingMisses   []*uop // outstanding non-blocking cache misses (MSHRs)
+
+	// Recovery state: a mispredicted branch or serializing instruction is
+	// in flight; fetch resumes FrontEndDepth cycles after it commits.
+	recovering       bool
+	recoverIN        uint64
+	refillUntil      uint64
+	icacheStallUntil uint64
+
+	unresolved int // in-flight predicted branches (nested-branch limit)
+
+	// ras is the front end's return-address stack: calls push their
+	// fall-through PC, returns predict from the top. Without it every
+	// subroutine returning to more than one site mispredicts its target.
+	ras    [8]isa.Word
+	rasTop int
+
+	Stats Stats
+	host  hostModel
+
+	// Probe, when set, observes every target cycle (cycle number, µops
+	// issued that cycle). It models dedicated statistics hardware: it
+	// sees everything and costs the simulation nothing (§3, §4.6).
+	Probe func(cycle uint64, issued int)
+}
+
+// New builds a timing model over the given trace source and control
+// channel.
+func New(cfg Config, src Source, ctl Control) (*TM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bp, err := bpred.New(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	if ctl == nil {
+		ctl = NopControl{}
+	}
+	mem := cache.NewFixedMemory(cfg.MemLatency)
+	l2 := cache.New(cfg.L2, mem)
+	t := &TM{
+		cfg:       cfg,
+		src:       src,
+		ctl:       ctl,
+		BP:        bp,
+		IL1:       cache.New(cfg.L1I, l2),
+		DL1:       cache.New(cfg.L1D, l2),
+		L2:        l2,
+		Memory:    mem,
+		ITLB:      cache.NewTLBTiming(cfg.ITLBEntries),
+		DTLB:      cache.NewTLBTiming(cfg.DTLBEntries),
+		table:     microcode.NewTable(),
+		regWriter: make(map[microcode.MReg]*uop),
+		lsuFreeAt: make([]uint64, cfg.LoadStoreUnits),
+		fetchQ: NewConnector[*instr]("fetch→decode", ConnectorConfig{
+			InputThroughput:  cfg.IssueWidth,
+			OutputThroughput: cfg.IssueWidth,
+			MinLatency:       uint64(cfg.FrontEndDepth) / 2,
+			MaxTransactions:  4 * cfg.IssueWidth,
+		}),
+		uopQ: NewConnector[*uop]("decode→rename", ConnectorConfig{
+			InputThroughput:  cfg.IssueWidth,
+			OutputThroughput: cfg.IssueWidth,
+			MinLatency:       uint64((cfg.FrontEndDepth + 1) / 2),
+			MaxTransactions:  4 * cfg.IssueWidth,
+		}),
+	}
+	t.host.init(cfg)
+	return t, nil
+}
+
+// Config returns the target configuration.
+func (t *TM) Config() Config { return t.cfg }
+
+// Cycle returns the current target cycle.
+func (t *TM) Cycle() uint64 { return t.cycle }
+
+// HostCycles returns the host (FPGA) cycles consumed so far.
+func (t *TM) HostCycles() uint64 { return t.host.total }
+
+// NextFetchIN returns the next instruction number fetch will request.
+func (t *TM) NextFetchIN() uint64 { return t.fetchIN }
+
+// Done reports whether the stream ended and the pipeline fully drained.
+func (t *TM) Done() bool {
+	return t.ended && len(t.rob) == 0 && t.fetchQ.Len() == 0 && t.uopQ.Len() == 0 && len(t.decodeBuf) == 0
+}
+
+// Run advances the model until Done or maxCycles elapses; it returns the
+// number of cycles executed.
+func (t *TM) Run(maxCycles uint64) uint64 {
+	start := t.cycle
+	for !t.Done() && t.cycle-start < maxCycles {
+		t.Step()
+	}
+	return t.cycle - start
+}
+
+// Step evaluates one target cycle: commit → resolve → issue → dispatch →
+// decode → fetch (reverse pipeline order, so a value produced this cycle is
+// consumed next cycle).
+func (t *TM) Step() {
+	w := workCounts{}
+	t.commit(&w)
+	t.resolveBranches()
+	t.issue(&w)
+	t.dispatch(&w)
+	t.decode(&w)
+	t.fetch(&w)
+	t.host.account(w)
+	if t.Probe != nil {
+		t.Probe(t.cycle, w.issued)
+	}
+	t.Stats.Cycles++
+	t.cycle++
+}
+
+// commit retires completed µops in order, up to IssueWidth per cycle.
+func (t *TM) commit(w *workCounts) {
+	n := 0
+	for n < t.cfg.IssueWidth && len(t.rob) > 0 {
+		u := t.rob[0]
+		if !u.done || u.doneCycle > t.cycle {
+			break
+		}
+		t.rob = t.rob[1:]
+		if u.isMem {
+			t.lsqCount--
+		}
+		n++
+		t.Stats.UOps++
+		u.ins.uopsLeft--
+		if u.last {
+			t.Stats.Instructions++
+			e := u.ins.e
+			if e.Branch {
+				t.Stats.BasicBlocks++
+			}
+			t.ctl.Commit(e.IN)
+			if t.recovering && t.recoverIN == e.IN {
+				// The mispredicted/serializing instruction has committed:
+				// the pipeline has flushed through the ROB (§4.1) and the
+				// front end refills.
+				t.recovering = false
+				t.refillUntil = t.cycle + uint64(t.cfg.FrontEndDepth)
+			}
+		}
+	}
+	w.committed = n
+}
+
+// resolveBranches processes branch µops whose execution completed: train
+// the predictor and, on a misprediction, re-steer the FM to the right path.
+func (t *TM) resolveBranches() {
+	keep := t.pendingBranches[:0]
+	for _, u := range t.pendingBranches {
+		if !u.done || u.doneCycle > t.cycle {
+			keep = append(keep, u)
+			continue
+		}
+		e := u.ins.e
+		t.BP.Update(e.PC, e.Taken, e.NextPC)
+		t.unresolved--
+		u.resolved = true
+		if u.ins.mispredicted {
+			t.ctl.Resolve(e.IN+1, e.NextPC)
+			if t.cfg.FastRecovery && t.recovering && t.recoverIN == e.IN {
+				// §4.1 fix: resume fetch at resolution instead of waiting
+				// for the branch to flush through the ROB.
+				t.recovering = false
+				t.refillUntil = t.cycle + uint64(t.cfg.FrontEndDepth)
+			}
+		}
+	}
+	t.pendingBranches = keep
+	// Retire completed misses from the MSHRs.
+	misses := t.pendingMisses[:0]
+	for _, u := range t.pendingMisses {
+		if !u.done || u.doneCycle > t.cycle {
+			misses = append(misses, u)
+		}
+	}
+	t.pendingMisses = misses
+}
+
+// latency returns the execution latency of a non-memory µop.
+func (t *TM) latency(u *uop) uint64 {
+	switch u.class {
+	case isa.ClassBranch:
+		return uint64(t.cfg.BranchLatency)
+	case isa.ClassFPU:
+		return uint64(t.cfg.FPULatency)
+	default:
+		return uint64(t.cfg.ALULatency)
+	}
+}
+
+// depsReady reports whether all of u's producers have completed.
+func depsReady(u *uop, cycle uint64) bool {
+	for _, d := range u.deps {
+		if d != nil && (!d.done || d.doneCycle > cycle) {
+			return false
+		}
+	}
+	return true
+}
+
+// issue selects ready µops oldest-first and sends them to functional units.
+func (t *TM) issue(w *workCounts) {
+	aluLeft := t.cfg.ALUs
+	bruLeft := t.cfg.BranchUnits
+	fpuLeft := t.cfg.FPUs
+	memIssued := false
+	for _, u := range t.rob {
+		if !u.dispatched || u.issued {
+			if u.isMem && !u.issued && u.dispatched {
+				// In-order memory issue (blocking caches): a younger
+				// memory µop cannot bypass this one.
+				memIssued = true
+			}
+			continue
+		}
+		if u.isMem {
+			if memIssued {
+				continue
+			}
+			memIssued = true // whether or not it issues, younger mem µops wait
+			if !depsReady(u, t.cycle) {
+				continue
+			}
+			lsu := -1
+			for i, freeAt := range t.lsuFreeAt {
+				if freeAt <= t.cycle {
+					lsu = i
+					break
+				}
+			}
+			if lsu < 0 {
+				continue
+			}
+			if t.cfg.MSHRs > 0 && len(t.pendingMisses) >= t.cfg.MSHRs {
+				continue // all miss-status registers busy
+			}
+			lat := t.memLatency(u)
+			if t.cfg.MSHRs > 0 {
+				// Non-blocking cache (§4.1 fix): the LSU frees after the
+				// issue cycle; the miss rides an MSHR.
+				t.lsuFreeAt[lsu] = t.cycle + 1
+				if lat > uint64(t.cfg.L1D.HitLatency)+1 {
+					t.pendingMisses = append(t.pendingMisses, u)
+				}
+			} else {
+				t.lsuFreeAt[lsu] = t.cycle + lat // blocking LSU
+			}
+			t.issueUop(u, lat, w)
+			continue
+		}
+		if !depsReady(u, t.cycle) {
+			continue
+		}
+		switch u.class {
+		case isa.ClassBranch:
+			if bruLeft == 0 {
+				continue
+			}
+			bruLeft--
+		case isa.ClassFPU:
+			if fpuLeft == 0 {
+				continue
+			}
+			fpuLeft--
+		default:
+			if aluLeft == 0 {
+				continue
+			}
+			aluLeft--
+		}
+		t.issueUop(u, t.latency(u), w)
+	}
+}
+
+func (t *TM) issueUop(u *uop, lat uint64, w *workCounts) {
+	u.issued = true
+	u.done = true
+	u.doneCycle = t.cycle + lat
+	t.rsCount--
+	t.Stats.IssuedByClass[u.class]++
+	w.issued++
+	if u.isMem {
+		w.memIssued = true
+	}
+	if u.kind == microcode.UBr {
+		t.pendingBranches = append(t.pendingBranches, u)
+	}
+}
+
+// memLatency models the data-side access: dTLB, then the blocking dL1/L2/
+// memory hierarchy.
+func (t *TM) memLatency(u *uop) uint64 {
+	e := u.ins.e
+	lat := uint64(1) // address to the LSU
+	if e.MemSize != 0 {
+		if !e.Kernel && !t.DTLB.Access(e.MemVA>>fullsys.PageShift) {
+			lat += uint64(t.cfg.TLBMissPenalty)
+		}
+		lat += uint64(t.DL1.Access(e.MemPA, u.kind == microcode.UStore))
+	} else if u.kind == microcode.UStore {
+		lat += uint64(t.cfg.StoreLatency)
+	}
+	return lat
+}
+
+// dispatch renames µops into the ROB/RS/LSQ, up to IssueWidth per cycle.
+func (t *TM) dispatch(w *workCounts) {
+	for n := 0; n < t.cfg.IssueWidth; n++ {
+		u, ok := t.uopQ.Peek(t.cycle)
+		if !ok {
+			return
+		}
+		if len(t.rob) >= t.cfg.ROBEntries {
+			t.Stats.ROBFullStalls++
+			return
+		}
+		if t.rsCount >= t.cfg.RSEntries {
+			t.Stats.RSFullStalls++
+			return
+		}
+		if u.isMem && t.lsqCount >= t.cfg.LSQEntries {
+			t.Stats.LSQFullStalls++
+			return
+		}
+		t.uopQ.Get(t.cycle)
+		u.dispatched = true
+		t.rob = append(t.rob, u)
+		t.rsCount++
+		if u.isMem {
+			t.lsqCount++
+		}
+		w.renamed++
+	}
+}
+
+// decode cracks fetched instructions into µops via the microcode table and
+// feeds the rename queue; bandwidth is IssueWidth µops per cycle.
+func (t *TM) decode(w *workCounts) {
+	for n := 0; n < t.cfg.IssueWidth; n++ {
+		if len(t.decodeBuf) == 0 {
+			ins, ok := t.fetchQ.Get(t.cycle)
+			if !ok {
+				return
+			}
+			t.decodeBuf = t.expand(ins)
+		}
+		u := t.decodeBuf[0]
+		if !t.uopQ.Put(t.cycle, u) {
+			return
+		}
+		t.renameDeps(u)
+		t.decodeBuf = t.decodeBuf[1:]
+		w.decoded++
+	}
+}
+
+// expand cracks one instruction into its dynamic µop sequence (REP
+// iterations repeated) from the trace entry's instantiated microcode.
+func (t *TM) expand(ins *instr) []*uop {
+	tmpl := ins.e.UOps
+	iters := 1
+	if ins.e.RepIterations > 1 {
+		iters = int(ins.e.RepIterations)
+	}
+	out := make([]*uop, 0, len(tmpl)*iters)
+	for it := 0; it < iters; it++ {
+		for _, mu := range tmpl {
+			u := &uop{
+				ins:   ins,
+				idx:   len(out),
+				kind:  mu.Kind,
+				class: mu.Kind.Class(),
+				dst:   mu.Dst,
+			}
+			u.isMem = mu.Kind == microcode.ULoad || mu.Kind == microcode.UStore
+			u.srcsFrom(mu)
+			out = append(out, u)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, &uop{ins: ins, kind: microcode.UNop, class: isa.ClassALU})
+	}
+	out[len(out)-1].last = true
+	ins.uopsLeft = len(out)
+	return out
+}
+
+// srcsFrom records the µop's source register names for rename.
+func (u *uop) srcsFrom(mu microcode.UOp) {
+	u.srcA, u.srcB = mu.A, mu.B
+	u.readsCC = mu.Kind == microcode.UBr && u.ins.e.ReadsCC
+	u.writesCC = mu.WritesCC
+}
+
+// renameDeps links the µop to its producers through the register writer
+// table (data dependencies only — names, not values: §2's orthogonality).
+func (t *TM) renameDeps(u *uop) {
+	look := func(r microcode.MReg) *uop {
+		if r == microcode.MRegNone {
+			return nil
+		}
+		return t.regWriter[r]
+	}
+	u.deps[0] = look(u.srcA)
+	u.deps[1] = look(u.srcB)
+	if u.readsCC {
+		u.deps[2] = t.ccWriter
+	}
+	if u.dst != microcode.MRegNone {
+		t.regWriter[u.dst] = u
+	}
+	if u.writesCC {
+		t.ccWriter = u
+	}
+}
+
+// fetch brings instructions from the trace source into the pipeline,
+// modeling the iTLB, the iL1, branch prediction and the nested-branch
+// limit.
+func (t *TM) fetch(w *workCounts) {
+	if t.recovering {
+		t.Stats.DrainCycles++
+		return
+	}
+	if t.cycle < t.refillUntil {
+		t.Stats.DrainCycles++
+		return
+	}
+	if t.cycle < t.icacheStallUntil {
+		t.Stats.ICacheStalls++
+		return
+	}
+	if t.ended {
+		return
+	}
+	var lastLine isa.Word
+	haveLine := false
+	for n := 0; n < t.cfg.IssueWidth; n++ {
+		if t.unresolved >= t.cfg.MaxNestedBranches {
+			return
+		}
+		if !t.fetchQ.CanPut(t.cycle) {
+			return
+		}
+		e, st := t.src.Fetch(t.fetchIN)
+		switch st {
+		case FetchWait:
+			if n == 0 {
+				t.Stats.FetchBubbles++
+			}
+			return
+		case FetchEnd:
+			t.ended = true
+			return
+		}
+		// iTLB.
+		if !e.Kernel && !t.ITLB.Access(e.PC>>fullsys.PageShift) {
+			t.icacheStallUntil = t.cycle + uint64(t.cfg.TLBMissPenalty)
+		}
+		// One iL1 line per cycle: a second line ends the fetch group.
+		line := e.PPC / isa.Word(t.cfg.L1I.LineBytes)
+		if haveLine && line != lastLine {
+			return
+		}
+		lat := t.IL1.Access(e.PPC, false)
+		if lat > t.cfg.L1I.HitLatency {
+			t.icacheStallUntil = t.cycle + uint64(lat)
+		}
+		lastLine, haveLine = line, true
+
+		if e.TLBWrite {
+			// Mirror software TLB fills into the timing structures (§2).
+			t.DTLB.Insert(e.TLBVPN)
+			t.ITLB.Insert(e.TLBVPN)
+		}
+
+		ins := &instr{e: e}
+		if e.Exception {
+			t.Stats.Exceptions++
+			ins.serialize = true
+		}
+		if e.Interrupt {
+			ins.serialize = true
+		}
+		hasBr := false
+		for _, mu := range e.UOps {
+			if mu.Kind == microcode.UBr {
+				hasBr = true
+				break
+			}
+		}
+		if e.Branch && hasBr && !ins.serialize {
+			pred := t.BP.Predict(e.PC, e.Taken, e.NextPC)
+			if !e.Cond {
+				// Unconditional control transfers don't consult the
+				// direction predictor: a decode-stage front end knows they
+				// are taken; only the target (BTB/RAS) can be wrong.
+				pred.Taken = true
+			}
+			switch e.Op {
+			case isa.OpCall, isa.OpCallR, isa.OpCallFar:
+				t.ras[t.rasTop&7] = e.PC + isa.Word(e.Size)
+				t.rasTop++
+			case isa.OpRet:
+				if t.rasTop > 0 {
+					t.rasTop--
+					pred = bpred.Prediction{Taken: true, Target: t.ras[t.rasTop&7], BTBHit: true}
+				}
+			}
+			miss := t.BPStats.Record(pred, e.Taken, e.NextPC)
+			w.predicted = true
+			t.unresolved++
+			if miss {
+				t.Stats.Mispredicts++
+				ins.mispredicted = true
+				wrongPC := e.PC + isa.Word(e.Size)
+				if pred.Taken && pred.BTBHit {
+					wrongPC = pred.Target
+				}
+				t.ctl.Mispredict(e.IN+1, wrongPC)
+			}
+		}
+		t.fetchQ.Put(t.cycle, ins)
+		t.fetchIN = e.IN + 1
+		w.fetched++
+
+		takenBranch := e.Branch && e.Taken
+
+		if ins.mispredicted || ins.serialize {
+			if ins.serialize {
+				t.Stats.Serializes++
+			}
+			t.recovering = true
+			t.recoverIN = e.IN
+			return
+		}
+		if takenBranch {
+			return // the fetch group ends at a taken branch (redirect)
+		}
+		if t.cycle < t.icacheStallUntil {
+			return // miss latency applies to the following fetch group
+		}
+	}
+}
+
+// ConnectorReport renders the §4 Connector statistics (throughput stalls,
+// average occupancy) for the front-end connectors.
+func (t *TM) ConnectorReport() string {
+	report := func(name string, st ConnectorStats, cfg ConnectorConfig) string {
+		avg := 0.0
+		if st.Puts > 0 {
+			avg = float64(st.OccupancySum) / float64(st.Puts)
+		}
+		return fmt.Sprintf("  %-14s lat=%d cap=%d puts=%d gets=%d putStalls=%d getStalls=%d avgOcc=%.2f\n",
+			name, cfg.MinLatency, cfg.MaxTransactions, st.Puts, st.Gets,
+			st.PutStalls, st.GetStalls, avg)
+	}
+	return "connectors:\n" +
+		report(t.fetchQ.Name(), t.fetchQ.Stats(), t.fetchQ.Config()) +
+		report(t.uopQ.Name(), t.uopQ.Stats(), t.uopQ.Config())
+}
+
+// Describe summarizes run statistics.
+func (t *TM) Describe() string {
+	s := t.Stats
+	return fmt.Sprintf("cycles=%d inst=%d uops=%d IPC=%.3f bp=%.2f%% iL1=%.2f%% dL1=%.2f%% drains=%.1f%%",
+		s.Cycles, s.Instructions, s.UOps, s.IPC(),
+		t.BPStats.Accuracy()*100,
+		t.IL1.Stats().HitRate()*100,
+		t.DL1.Stats().HitRate()*100,
+		100*float64(s.DrainCycles)/float64(max(1, s.Cycles)))
+}

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Buffer is the trace buffer (TB) coupling the functional model (producer)
+// to the timing model (consumer), with the semantics of Figures 1 and 2:
+//
+//   - Entries are indexed by instruction number (IN). The FM pushes entries
+//     in IN order at the tail.
+//   - An entry holds information used by multiple pipeline stages and "is
+//     thus not deallocated until the instruction is fully committed": the
+//     commit pointer, advanced by the TM, frees space.
+//   - On a re-steer (mis-speculation or resolution) the FM rewinds the tail
+//     to the re-steered IN and overwrites the incorrect-path entries, as I4*
+//     and I5* overwrite I3..I5 in Figure 2.
+//
+// The buffer is safe for one producer and one consumer goroutine; it also
+// supports non-blocking Try variants for deterministic serial coupling.
+type Buffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []Entry
+	commit uint64 // oldest live IN (everything below is committed & freed)
+	next   uint64 // next IN to be produced (tail)
+	closed bool
+
+	// Peak occupancy statistic.
+	maxOccupancy int
+}
+
+// NewBuffer creates a trace buffer holding capacity in-flight instructions.
+// Capacity bounds FM run-ahead: the paper's prototype sizes it so the FM can
+// speculate well past the TM without unbounded memory.
+func NewBuffer(capacity int) *Buffer {
+	if capacity < 1 {
+		panic("trace: buffer capacity must be positive")
+	}
+	b := &Buffer{ring: make([]Entry, capacity)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Cap returns the buffer capacity.
+func (b *Buffer) Cap() int { return len(b.ring) }
+
+func (b *Buffer) slot(in uint64) *Entry { return &b.ring[in%uint64(len(b.ring))] }
+
+// Push appends e (which must carry IN == next unproduced IN) at the tail,
+// blocking while the buffer is full. It returns false if the buffer was
+// closed.
+func (b *Buffer) Push(e Entry) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.next-b.commit >= uint64(len(b.ring)) && !b.closed {
+		b.cond.Wait()
+	}
+	if b.closed {
+		return false
+	}
+	b.pushLocked(e)
+	return true
+}
+
+// TryPush is Push without blocking; it reports whether the entry was stored.
+func (b *Buffer) TryPush(e Entry) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.next-b.commit >= uint64(len(b.ring)) {
+		return false
+	}
+	b.pushLocked(e)
+	return true
+}
+
+func (b *Buffer) pushLocked(e Entry) {
+	if e.IN != b.next {
+		panic(fmt.Sprintf("trace: push IN %d, expected %d", e.IN, b.next))
+	}
+	*b.slot(e.IN) = e
+	b.next++
+	if occ := int(b.next - b.commit); occ > b.maxOccupancy {
+		b.maxOccupancy = occ
+	}
+	b.cond.Broadcast()
+}
+
+// Fetch returns the entry with instruction number in, blocking until the
+// producer has written it. ok is false if the buffer closed first.
+//
+// After a Rewind past in, the eventually produced entry is the
+// *replacement* (correct-path) instruction — exactly the Figure 2 overwrite
+// behaviour — so a TM that stalls waiting for IN k always receives the
+// current functional path's instruction k.
+func (b *Buffer) Fetch(in uint64) (Entry, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for in >= b.next && !b.closed {
+		b.cond.Wait()
+	}
+	if in >= b.next {
+		return Entry{}, false
+	}
+	if in < b.commit {
+		panic(fmt.Sprintf("trace: fetch of committed IN %d (commit=%d)", in, b.commit))
+	}
+	return *b.slot(in), true
+}
+
+// TryFetch is Fetch without blocking.
+func (b *Buffer) TryFetch(in uint64) (Entry, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if in >= b.next || in < b.commit {
+		return Entry{}, false
+	}
+	return *b.slot(in), true
+}
+
+// Commit advances the commit pointer past in: the ROB has fully committed
+// instructions up to and including in, deallocating their TB entries and
+// releasing the FM's rollback resources.
+func (b *Buffer) Commit(in uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if in+1 > b.next {
+		panic(fmt.Sprintf("trace: commit of unproduced IN %d (next=%d)", in, b.next))
+	}
+	if in+1 > b.commit {
+		b.commit = in + 1
+		b.cond.Broadcast()
+	}
+}
+
+// Rewind moves the tail back so that in is the next IN to be produced,
+// discarding the incorrect-path entries at and above in. The producer calls
+// this when servicing a set_pc.
+func (b *Buffer) Rewind(in uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if in < b.commit {
+		panic(fmt.Sprintf("trace: rewind to committed IN %d (commit=%d)", in, b.commit))
+	}
+	if in < b.next {
+		b.next = in
+		b.cond.Broadcast()
+	}
+}
+
+// Close wakes all waiters; subsequent pushes fail and fetches past the tail
+// return ok=false.
+func (b *Buffer) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}
+
+// Closed reports whether the producer closed the stream.
+func (b *Buffer) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// Produced returns the next IN the producer will write.
+func (b *Buffer) Produced() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next
+}
+
+// Committed returns the commit pointer (first uncommitted IN).
+func (b *Buffer) Committed() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.commit
+}
+
+// Occupancy returns the number of live (produced, uncommitted) entries.
+func (b *Buffer) Occupancy() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int(b.next - b.commit)
+}
+
+// MaxOccupancy returns the high-water mark of Occupancy.
+func (b *Buffer) MaxOccupancy() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.maxOccupancy
+}

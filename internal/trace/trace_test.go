@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func entry(in uint64) Entry { return Entry{IN: in, Op: isa.OpNop} }
+
+func TestBufferFIFO(t *testing.T) {
+	b := NewBuffer(4)
+	for i := uint64(0); i < 4; i++ {
+		if !b.TryPush(entry(i)) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if b.TryPush(entry(4)) {
+		t.Error("push into full buffer succeeded")
+	}
+	if b.Occupancy() != 4 {
+		t.Errorf("occupancy = %d", b.Occupancy())
+	}
+	e, ok := b.TryFetch(2)
+	if !ok || e.IN != 2 {
+		t.Errorf("fetch(2) = %+v, %v", e, ok)
+	}
+	// Entries stay until committed: fetch(0) still works.
+	if _, ok := b.TryFetch(0); !ok {
+		t.Error("uncommitted entry deallocated")
+	}
+	b.Commit(1)
+	if b.Occupancy() != 2 {
+		t.Errorf("occupancy after commit = %d", b.Occupancy())
+	}
+	if !b.TryPush(entry(4)) || !b.TryPush(entry(5)) {
+		t.Error("space not reclaimed by commit")
+	}
+}
+
+func TestBufferRewindOverwrites(t *testing.T) {
+	// Figure 2: wrong-path entries are overwritten by the re-steered
+	// producer.
+	b := NewBuffer(8)
+	for i := uint64(0); i < 6; i++ {
+		b.TryPush(entry(i))
+	}
+	b.Rewind(3)
+	if b.Produced() != 3 {
+		t.Fatalf("produced after rewind = %d", b.Produced())
+	}
+	repl := Entry{IN: 3, Op: isa.OpHalt}
+	if !b.TryPush(repl) {
+		t.Fatal("re-push failed")
+	}
+	e, _ := b.TryFetch(3)
+	if e.Op != isa.OpHalt {
+		t.Errorf("fetch(3) returned stale entry %v", e.Op)
+	}
+	if _, ok := b.TryFetch(4); ok {
+		t.Error("fetch(4) returned a discarded wrong-path entry")
+	}
+}
+
+func TestBufferPanicsOnMisuse(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	b := NewBuffer(4)
+	b.TryPush(entry(0))
+	b.TryPush(entry(1))
+	expectPanic("out-of-order push", func() { b.TryPush(entry(5)) })
+	expectPanic("commit unproduced", func() { b.Commit(7) })
+	b.Commit(0)
+	expectPanic("rewind committed", func() { b.Rewind(0) })
+	expectPanic("fetch committed", func() { b.Fetch(0) })
+	expectPanic("zero capacity", func() { NewBuffer(0) })
+}
+
+func TestBufferConcurrent(t *testing.T) {
+	// One producer, one consumer, interleaved commits: every fetched IN
+	// must match, and blocking push/fetch must not deadlock.
+	const n = 10000
+	b := NewBuffer(16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; i++ {
+			if !b.Push(entry(i)) {
+				t.Error("push failed")
+				return
+			}
+		}
+	}()
+	for i := uint64(0); i < n; i++ {
+		e, ok := b.Fetch(i)
+		if !ok || e.IN != i {
+			t.Fatalf("fetch(%d) = %+v, %v", i, e, ok)
+		}
+		b.Commit(i)
+	}
+	wg.Wait()
+	if b.MaxOccupancy() > 16 {
+		t.Errorf("max occupancy %d exceeded capacity", b.MaxOccupancy())
+	}
+}
+
+func TestBufferCloseUnblocks(t *testing.T) {
+	b := NewBuffer(2)
+	done := make(chan bool)
+	go func() {
+		_, ok := b.Fetch(0) // blocks: nothing produced
+		done <- ok
+	}()
+	b.Close()
+	if ok := <-done; ok {
+		t.Error("fetch after close reported ok")
+	}
+	if b.Push(entry(0)) {
+		t.Error("push after close succeeded")
+	}
+}
+
+func TestEncodingWords(t *testing.T) {
+	o := DefaultEncoding
+	alu := Entry{Op: isa.OpAddRR, Size: 2}
+	if w := o.Words(alu); w != 3 {
+		t.Errorf("ALU entry = %d words, want 3", w)
+	}
+	br := Entry{Op: isa.OpJz, Size: 3, Branch: true}
+	if w := o.Words(br); w != 4 {
+		t.Errorf("branch entry = %d words, want 4", w)
+	}
+	mem := Entry{Op: isa.OpLdW, Size: 4, MemSize: 4}
+	if w := o.Words(mem); w != 5 {
+		t.Errorf("mem entry = %d words, want 5 (with PA)", w)
+	}
+	noPA := EncodeOptions{SendPhysical: false}
+	if w := noPA.Words(mem); w != 4 {
+		t.Errorf("mem entry without PA = %d words, want 4", w)
+	}
+	tlb := Entry{Op: isa.OpTlbWr, Size: 2, TLBWrite: true}
+	if w := o.Words(tlb); w != 5 {
+		t.Errorf("tlb entry = %d words, want 5", w)
+	}
+}
+
+func TestEncodingCompressionWins(t *testing.T) {
+	// Property: the compressed encoding is never larger than the naive
+	// encoding (ablation A5's premise).
+	f := func(size uint8, branch, mem, tlbw bool) bool {
+		e := Entry{Op: isa.OpAddRR, Size: size%16 + 1, Branch: branch, TLBWrite: tlbw}
+		if mem {
+			e.MemSize = 4
+		}
+		c := DefaultEncoding.Words(e)
+		u := EncodeOptions{Uncompressed: true}.Words(e)
+		return c <= u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := Entry{IN: 7, PC: 0x100, Op: isa.OpJz, Branch: true, Taken: true, NextPC: 0x200}
+	s := e.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	m := Entry{IN: 8, PC: 0x104, Op: isa.OpStW, MemSize: 4, IsStore: true, MemVA: 0x3000}
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/isa"
+)
+
+// These tests verify the miniature benchmarks compute what their names
+// promise — they are real algorithms, not instruction noise.
+
+// runUser boots a FastBoot system with the given user program and runs to
+// shutdown, returning the model for memory/register inspection.
+func runUser(t *testing.T, userAsm string) *fm.Model {
+	t.Helper()
+	boot, err := BuildBoot(FastBoot(), userAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fm.New(fm.Config{Devices: boot.Devices()})
+	m.LoadProgram(boot.Kernel)
+	idle := 0
+	for steps := 0; steps < 80_000_000; steps++ {
+		if _, ok := m.Step(); ok {
+			idle = 0
+			continue
+		}
+		if m.Fatal() != nil {
+			t.Fatalf("fatal: %v", m.Fatal())
+		}
+		if m.Halted() && m.Flags&isa.FlagI == 0 {
+			return m
+		}
+		m.AdvanceIdle(100)
+		if idle++; idle > 1_000_000 {
+			t.Fatal("hung")
+		}
+	}
+	t.Fatal("did not finish")
+	return nil
+}
+
+// userByte reads a byte from a user virtual address (linear map).
+func userByte(m *fm.Model, va uint32) byte {
+	return byte(m.Mem.Read(va-UserVA+UserPA, 1))
+}
+
+func TestBzip2ActuallySorts(t *testing.T) {
+	m := runUser(t, Bzip2Program(1))
+	const block = 128
+	got := make([]byte, block)
+	for i := range got {
+		got[i] = userByte(m, uint32(dataVA+i))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("block not sorted after insertion sort: %v", got)
+	}
+	// And non-degenerate input: more than 3 distinct byte values.
+	distinct := map[byte]bool{}
+	for _, b := range got {
+		distinct[b] = true
+	}
+	if len(distinct) < 4 {
+		t.Errorf("suspiciously uniform block: %d distinct values", len(distinct))
+	}
+}
+
+func TestMysqlRowsActuallyCopied(t *testing.T) {
+	m := runUser(t, MysqlProgram(300))
+	// The row template at dataVA must appear in at least one table slot.
+	const rowBytes = 8
+	template := make([]byte, rowBytes)
+	for i := range template {
+		template[i] = userByte(m, uint32(dataVA+i))
+	}
+	const tableRows = 256
+	matches := 0
+	for r := 0; r < tableRows; r++ {
+		same := true
+		for i := 0; i < rowBytes; i++ {
+			if userByte(m, uint32(dataVA2+r*rowBytes+i)) != template[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			matches++
+		}
+	}
+	if matches == 0 {
+		t.Error("no inserted rows match the template: REP MOVS copies broken")
+	}
+	// SELECT verification counted matches in R7 and corruption in R8.
+	if m.GPR[8] != 0 {
+		t.Errorf("%d corrupt rows detected by in-target verification", m.GPR[8])
+	}
+}
+
+func TestGapCarriesPropagate(t *testing.T) {
+	m := runUser(t, GapProgram(3))
+	// After three big-adds a = a + 3b (mod 2^(32·limbs)); spot-check the
+	// low limb arithmetic: a0_final = a0_init + 3·b0 (mod 2^32) with the
+	// generator's deterministic values. Rather than re-deriving the LCG,
+	// verify the invariant that the in-target sum register chain left the
+	// arrays intact: b unchanged across iterations.
+	const limbs = 64
+	// b lives at dataVA + 4·limbs; regenerate expected b with the LCG.
+	lcg := func(x uint32) uint32 { return x*1103515245 + 12345 }
+	seed := uint32(987654321)
+	var vals []uint32
+	for i := 0; i < 2*limbs; i++ {
+		seed = lcg(seed)
+		vals = append(vals, seed>>4)
+	}
+	for i := 0; i < limbs; i++ {
+		got := uint32(m.Mem.Read(uint32(dataVA+4*limbs+4*i)-UserVA+UserPA, 4))
+		if got != vals[limbs+i] {
+			t.Fatalf("b[%d] = %#x, want %#x (operand corrupted)", i, got, vals[limbs+i])
+		}
+	}
+	// a = a0 + 3·b elementwise with carry; check limb 0 exactly.
+	a0 := vals[0]
+	b0 := vals[limbs]
+	want := a0 + 3*b0 // low limb ignores incoming carry
+	got := uint32(m.Mem.Read(uint32(dataVA)-UserVA+UserPA, 4))
+	if got != want {
+		t.Errorf("a[0] = %#x, want %#x", got, want)
+	}
+}
+
+func TestVortexHashConsistency(t *testing.T) {
+	m := runUser(t, VortexProgram(5000))
+	// Lookups of freshly inserted keys use a different random key, so most
+	// miss — but the bucket structure must be populated: count nonzero
+	// buckets.
+	const buckets = 1024
+	populated := 0
+	for b := 0; b < buckets; b++ {
+		if m.Mem.Read(uint32(dataVA+b*8)-UserVA+UserPA, 4) != 0 {
+			populated++
+		}
+	}
+	if populated < buckets/2 {
+		t.Errorf("only %d/%d buckets populated after 5000 inserts", populated, buckets)
+	}
+	if m.GPR[8] == 0 {
+		t.Error("no lookup misses recorded — hash probe path never ran")
+	}
+}
+
+func TestGzipFindsMatches(t *testing.T) {
+	m := runUser(t, GzipProgram(1))
+	// With a 16-symbol alphabet the window search must find matches: the
+	// token count (r8) must be well below the buffer length (compression!)
+	// and above zero.
+	tokens := m.GPR[8]
+	if tokens == 0 {
+		t.Fatal("no tokens emitted")
+	}
+	const bufLen = 4096
+	if tokens >= bufLen-80 {
+		t.Errorf("%d tokens for %d bytes: no matches found, not compressing", tokens, bufLen)
+	}
+}
+
+func TestSweep3DConverges(t *testing.T) {
+	m := runUser(t, Sweep3DProgram(3))
+	// The stencil must have written back finite, nonzero interior values.
+	const n = 24
+	nonzero := 0
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			v := uint32(m.Mem.Read(uint32(dataVA+4*(i*n+j))-UserVA+UserPA, 4))
+			if v != 0 {
+				nonzero++
+			}
+		}
+	}
+	if nonzero < (n-2)*(n-2)/2 {
+		t.Errorf("only %d interior cells updated", nonzero)
+	}
+}

@@ -1,0 +1,73 @@
+// Package workload provides the full-system software stack the FAST
+// reproduction runs: toyOS — a small kernel with a BIOS phase, an on-disk
+// compressed payload it decompresses at boot (the Figure 6 phases), a
+// software-filled TLB handler, timer interrupts and a syscall interface —
+// plus sixteen synthetic workload programs standing in for the paper's
+// benchmarks (SPECINT2000, Linux/Windows boots, MySQL, Sweep3D), each
+// tuned to its published characteristics (Table 1 µop expansion and
+// microcode coverage, Figure 5 branch-prediction accuracy, Figure 4
+// behaviour such as perlbmk's HALT-heavy sleeps).
+package workload
+
+import "fmt"
+
+// RLE encoding used for the "compressed kernel/program image" on disk: a
+// stream of 32-bit words, each count<<8|value (1 ≤ count ≤ 255), terminated
+// by a zero word. toyOS decompresses it with REP STOS — a deliberately
+// string-op-heavy boot phase, like a real kernel's decompressor.
+
+// RLECompress encodes data as RLE words (terminator included).
+func RLECompress(data []byte) []uint32 {
+	var out []uint32
+	for i := 0; i < len(data); {
+		j := i + 1
+		for j < len(data) && data[j] == data[i] && j-i < 255 {
+			j++
+		}
+		out = append(out, uint32(j-i)<<8|uint32(data[i]))
+		i = j
+	}
+	out = append(out, 0)
+	return out
+}
+
+// RLEDecompress is the reference decoder (tests compare toyOS's in-target
+// decompression against it).
+func RLEDecompress(words []uint32) ([]byte, error) {
+	var out []byte
+	for _, w := range words {
+		if w == 0 {
+			return out, nil
+		}
+		count := int(w >> 8)
+		val := byte(w)
+		if count == 0 {
+			return nil, fmt.Errorf("workload: zero-count RLE word %#x", w)
+		}
+		for i := 0; i < count; i++ {
+			out = append(out, val)
+		}
+	}
+	return nil, fmt.Errorf("workload: missing RLE terminator")
+}
+
+// SectorWords is the toyOS disk geometry (512-byte sectors).
+const SectorWords = 128
+
+// ToSectors splits an RLE stream into disk sectors, zero-padding the last.
+func ToSectors(words []uint32) [][]uint32 {
+	var sectors [][]uint32
+	for i := 0; i < len(words); i += SectorWords {
+		end := i + SectorWords
+		if end > len(words) {
+			end = len(words)
+		}
+		sec := make([]uint32, SectorWords)
+		copy(sec, words[i:end])
+		sectors = append(sectors, sec)
+	}
+	if len(sectors) == 0 {
+		sectors = append(sectors, make([]uint32, SectorWords))
+	}
+	return sectors
+}

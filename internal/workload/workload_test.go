@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fm"
+	"repro/internal/isa"
+)
+
+func TestRLERoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{0, 0, 0, 0},
+		{1, 2, 3, 4, 5},
+		append(make([]byte, 300), 7, 7, 7), // run longer than 255
+	}
+	for _, c := range cases {
+		got, err := RLEDecompress(RLECompress(c))
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if string(got) != string(c) {
+			t.Errorf("round trip failed for %v", c)
+		}
+	}
+	f := func(data []byte) bool {
+		got, err := RLEDecompress(RLECompress(data))
+		return err == nil && string(got) == string(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLEErrors(t *testing.T) {
+	if _, err := RLEDecompress([]uint32{1 << 8}); err == nil {
+		t.Error("missing terminator accepted")
+	}
+	if _, err := RLEDecompress([]uint32{0x00_07, 0}); err == nil {
+		t.Error("zero-count word accepted")
+	}
+}
+
+func TestToSectors(t *testing.T) {
+	words := make([]uint32, SectorWords+5)
+	secs := ToSectors(words)
+	if len(secs) != 2 || len(secs[0]) != SectorWords || len(secs[1]) != SectorWords {
+		t.Errorf("sectors: %d of sizes %d,%d", len(secs), len(secs[0]), len(secs[1]))
+	}
+	if len(ToSectors(nil)) != 1 {
+		t.Error("empty stream should still give one sector")
+	}
+}
+
+// bootAndRun boots a spec on the functional model until terminal halt.
+func bootAndRun(t *testing.T, spec Spec, maxSteps int) (*fm.Model, *Boot) {
+	t.Helper()
+	boot, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fm.New(fm.Config{Devices: boot.Devices()})
+	m.LoadProgram(boot.Kernel)
+	idle := 0
+	for steps := 0; steps < maxSteps; steps++ {
+		if _, ok := m.Step(); ok {
+			idle = 0
+			continue
+		}
+		if m.Fatal() != nil {
+			t.Fatalf("%s: fatal after %d steps: %v (console %q)",
+				spec.Name, steps, m.Fatal(), boot.Console.Output())
+		}
+		if m.Halted() && m.Flags&isa.FlagI == 0 {
+			return m, boot // clean shutdown
+		}
+		m.AdvanceIdle(100)
+		idle++
+		if idle > 1_000_000 {
+			t.Fatalf("%s: hung in HALT", spec.Name)
+		}
+	}
+	t.Fatalf("%s: did not shut down in %d steps (console %q)",
+		spec.Name, maxSteps, boot.Console.Output())
+	return nil, nil
+}
+
+func TestBootDecompressesUserProgram(t *testing.T) {
+	// Run just the boot (init user program) and verify the decompressed
+	// image at UserPA matches the assembled user program byte for byte.
+	spec := Spec{Name: "boot", Kernel: FastBoot(), UserAsm: InitProgram}
+	m, boot := bootAndRun(t, spec, 5_000_000)
+	user := isa.MustAssemble(InitProgram(), UserVA)
+	for i, want := range user.Code {
+		if got := byte(m.Mem.Read(isa.Word(UserPA+i), 1)); got != want {
+			t.Fatalf("decompressed byte %d = %#x, want %#x", i, got, want)
+		}
+	}
+	out := string(boot.Console.Output())
+	if !strings.Contains(out, "init") {
+		t.Errorf("init program did not run: console %q", out)
+	}
+}
+
+func TestBootBannersAndPhases(t *testing.T) {
+	spec, ok := ByName("Linux-2.4")
+	if !ok {
+		t.Fatal("Linux-2.4 spec missing")
+	}
+	m, boot := bootAndRun(t, spec, 20_000_000)
+	out := string(boot.Console.Output())
+	if !strings.Contains(out, "toyOS 2.4 booting") {
+		t.Errorf("banner missing: %q", out)
+	}
+	if m.Interrupts == 0 {
+		t.Error("timer never interrupted the boot")
+	}
+	if m.Exceptions == 0 {
+		t.Error("no TLB-miss exceptions during user startup")
+	}
+}
+
+func TestAllWorkloadsBuild(t *testing.T) {
+	specs := append(All(), WindowsXP())
+	if len(specs) != 17 {
+		t.Fatalf("%d specs, want 17", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate workload %s", s.Name)
+		}
+		seen[s.Name] = true
+		if _, err := s.Build(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if s.PaperUopsPerInst < 1 || s.PaperFraction <= 0 || s.PaperFraction > 1 {
+			t.Errorf("%s: bad paper reference values", s.Name)
+		}
+	}
+}
+
+// TestWorkloadsRunToCompletion executes every workload (with reduced
+// iteration counts via the standard specs but bounded steps) and checks
+// clean shutdown plus sane microcode statistics.
+func TestWorkloadsRunToCompletion(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m, _ := bootAndRun(t, shrink(spec), 40_000_000)
+			cov := m.Coverage
+			if cov.Instructions < 1000 {
+				t.Fatalf("only %d instructions executed", cov.Instructions)
+			}
+			if got := cov.UopsPerInst(); got < 1.0 || got > 2.5 {
+				t.Errorf("µops/inst = %.3f implausible", got)
+			}
+			if got := cov.Fraction(); got < 0.30 || got > 1.0 {
+				t.Errorf("microcode coverage = %.3f implausible", got)
+			}
+		})
+	}
+}
+
+// shrink reduces a spec's work so functional-only runs stay fast, keeping
+// the program structure identical.
+func shrink(s Spec) Spec {
+	small := map[string]func() string{
+		"164.gzip":    func() string { return GzipProgram(3) },
+		"175.vpr":     func() string { return VprProgram(3000) },
+		"176.gcc":     func() string { return GccProgram(3000) },
+		"181.mcf":     func() string { return McfProgram(3000) },
+		"186.crafty":  func() string { return CraftyProgram(2000) },
+		"197.parser":  func() string { return ParserProgram(5) },
+		"252.eon":     func() string { return EonProgram(3000) },
+		"253.perlbmk": func() string { return PerlbmkProgram(20) },
+		"254.gap":     func() string { return GapProgram(200) },
+		"255.vortex":  func() string { return VortexProgram(3000) },
+		"256.bzip2":   func() string { return Bzip2Program(20) },
+		"300.twolf":   func() string { return TwolfProgram(5000) },
+		"Sweep3D":     func() string { return Sweep3DProgram(10) },
+		"MySQL":       func() string { return MysqlProgram(500) },
+	}
+	if f, ok := small[s.Name]; ok {
+		s.UserAsm = f
+	}
+	return s
+}
+
+func TestPerlbmkSleeps(t *testing.T) {
+	spec := Spec{Name: "perl", Kernel: FastBoot(),
+		UserAsm: func() string { return PerlbmkProgram(12) }}
+	m, _ := bootAndRun(t, spec, 10_000_000)
+	// Sleep syscalls leave the FM halted awaiting the timer: idle time
+	// accrues (the §4.4 perlbmk effect).
+	if m.Now() <= m.IN() {
+		t.Error("no idle (HALT) time accumulated despite sleep syscalls")
+	}
+	if m.Interrupts < 3 {
+		t.Errorf("only %d interrupts; sleeps should wait for the timer", m.Interrupts)
+	}
+}
+
+func TestMysqlStringOpsRaiseUopRate(t *testing.T) {
+	my, _ := bootAndRun(t, shrink(mustSpec(t, "MySQL")), 40_000_000)
+	crafty, _ := bootAndRun(t, shrink(mustSpec(t, "186.crafty")), 40_000_000)
+	if my.Coverage.UopsPerInst() <= crafty.Coverage.UopsPerInst() {
+		t.Errorf("MySQL µops/inst %.3f not above crafty %.3f (string ops, Table 1)",
+			my.Coverage.UopsPerInst(), crafty.Coverage.UopsPerInst())
+	}
+}
+
+func TestFPWorkloadsHaveLowCoverage(t *testing.T) {
+	eon, _ := bootAndRun(t, shrink(mustSpec(t, "252.eon")), 40_000_000)
+	gzip, _ := bootAndRun(t, shrink(mustSpec(t, "164.gzip")), 40_000_000)
+	if eon.Coverage.Fraction() >= gzip.Coverage.Fraction() {
+		t.Errorf("eon coverage %.3f not below gzip %.3f (Table 1 FP story)",
+			eon.Coverage.Fraction(), gzip.Coverage.Fraction())
+	}
+	if eon.Coverage.Fraction() > 0.85 {
+		t.Errorf("eon coverage %.3f too high; paper reports 52%%", eon.Coverage.Fraction())
+	}
+}
+
+func mustSpec(t *testing.T, name string) Spec {
+	t.Helper()
+	s, ok := ByName(name)
+	if !ok {
+		t.Fatalf("spec %s missing", name)
+	}
+	return s
+}
+
+func TestKernelSourceDeterministic(t *testing.T) {
+	a := KernelSource(FastBoot())
+	b := KernelSource(FastBoot())
+	if a != b {
+		t.Error("kernel generation not deterministic")
+	}
+	if !strings.Contains(a, "rep stos") {
+		t.Error("kernel lost its string-op decompressor")
+	}
+}
+
+func TestUserEntryValidation(t *testing.T) {
+	if _, err := BuildBoot(FastBoot(), ".entry lab\n.org 0x40\nlab: halt\n"); err == nil {
+		t.Error("user program with wrong entry accepted")
+	}
+}
