@@ -1,0 +1,33 @@
+# Developer entry points. `make check` is the tier-1 gate: formatting,
+# vet, build, full test suite. `make race` exercises the concurrent paths
+# (the goroutine-parallel coupling and the sim.Fleet sweep runner) under
+# the race detector.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/sim/...
+
+# The same harness the paper tables come from: one pass over every
+# table/figure benchmark.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -13,8 +13,10 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/analytic"
 	"repro/internal/core"
@@ -54,7 +56,8 @@ func BenchmarkTable1Microcode(b *testing.B) {
 }
 
 // figure4Rows runs the Figure 4/5 sweep once and caches it: both figures
-// come from the same 51 coupled simulations.
+// come from the same 51 coupled simulations, fanned out over a
+// GOMAXPROCS-wide sim.Fleet.
 var figure4Once = sync.OnceValues(func() (rowsAndText, error) {
 	rows, text, err := experiments.Figure4()
 	return rowsAndText{rows, text}, err
@@ -100,6 +103,38 @@ func BenchmarkFigure5BranchPrediction(b *testing.B) {
 			sum += r.GshareAccuracy
 		}
 		b.ReportMetric(100*sum/float64(len(rt.rows)), "amean-accuracy-%")
+	}
+}
+
+// BenchmarkFigure4FleetSpeedup regenerates Figure 4 twice in one
+// iteration — once through a single-worker (sequential) sim.Fleet, once
+// through a GOMAXPROCS-wide fleet — verifies the rendered tables are
+// byte-identical, and reports the wall-clock speedup. The sweep is
+// embarrassingly parallel, so on a ≥4-core host the fleet runs >2× faster;
+// on a single-core host the ratio degenerates to ~1× (the fleet adds no
+// overhead worth measuring).
+func BenchmarkFigure4FleetSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		_, seqText, err := experiments.Figure4Workers(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq := time.Since(t0)
+
+		t0 = time.Now()
+		_, parText, err := experiments.Figure4Workers(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		par := time.Since(t0)
+
+		if seqText != parText {
+			b.Fatalf("fleet output differs from sequential output:\n--- sequential ---\n%s\n--- fleet ---\n%s",
+				seqText, parText)
+		}
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (table1|table2|table3|fig4|fig6|analytic|bottleneck|ablations)")
+	workers := flag.Int("workers", 0, "sim.Fleet workers for swept experiments (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	want := func(name string) bool { return *only == "" || *only == name }
@@ -37,7 +38,7 @@ func main() {
 		bar()
 	}
 	if want("fig4") {
-		rows, out, err := experiments.Figure4()
+		rows, out, err := experiments.Figure4Workers(*workers)
 		check(err)
 		fmt.Println(out)
 		fmt.Println(experiments.Figure5(rows))

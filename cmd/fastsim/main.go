@@ -1,9 +1,11 @@
-// fastsim runs one workload on the FAST simulator (or one of the baseline
-// simulators) and prints the run statistics.
+// fastsim runs one workload on any registered simulator engine and prints
+// the run statistics. Engines resolve through the internal/sim registry:
+// fast, fast-parallel, monolithic, gems, lockstep, fsbcache.
 //
 // Usage:
 //
 //	fastsim -list
+//	fastsim -engines
 //	fastsim -workload 164.gzip [-predictor gshare] [-max 250000]
 //	fastsim -workload Linux-2.4 -parallel
 //	fastsim -workload 176.gcc -simulator monolithic
@@ -15,13 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
 	"repro/internal/fm"
 	"repro/internal/fpga"
-	"repro/internal/hostlink"
 	"repro/internal/isa"
+	"repro/internal/sim"
 	"repro/internal/tm"
 	"repro/internal/workload"
 )
@@ -29,20 +30,21 @@ import (
 func main() {
 	var (
 		list        = flag.Bool("list", false, "list workloads")
+		engines     = flag.Bool("engines", false, "list registered simulator engines")
 		name        = flag.String("workload", "Linux-2.4", "workload name (see -list)")
 		predictor   = flag.String("predictor", "gshare", "branch predictor: gshare, 2bit, 97%, 95%, perfect")
 		maxInst     = flag.Uint64("max", 250_000, "maximum committed instructions (0 = to completion)")
-		parallel    = flag.Bool("parallel", false, "run FM and TM in separate goroutines")
-		simulator   = flag.String("simulator", "fast", "fast, monolithic, gems, lockstep")
+		parallel    = flag.Bool("parallel", false, "run FM and TM in separate goroutines (fast engine only)")
+		simulator   = flag.String("simulator", "fast", "simulator engine (see -engines)")
 		issueWidth  = flag.Int("issue", 2, "target issue width")
 		link        = flag.String("link", "drc", "host link: drc, pins, coherent")
 		printConfig = flag.Bool("print-config", false, "print the Figure 3 target configuration and exit")
 		printKernel = flag.Bool("print-kernel", false, "print the generated toyOS kernel assembly and exit")
 		disasm      = flag.Bool("disasm", false, "print the workload's kernel and user program disassembly and exit")
 		console     = flag.Bool("console", false, "dump target console output")
-		power       = flag.Bool("power", false, "print the relative power estimate (§6 extension)")
+		power       = flag.Bool("power", false, "print the relative power estimate (§6 extension; serial fast engine only)")
 		traceN      = flag.Int("trace", 0, "dump the first N committed trace entries")
-		connectors  = flag.Bool("connectors", false, "print Connector statistics")
+		connectors  = flag.Bool("connectors", false, "print Connector statistics (serial fast engine only)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,45 @@ func main() {
 		}
 		return
 	}
+	if *engines {
+		for _, n := range sim.Names() {
+			eng, err := sim.New(n, sim.Params{Workload: "164.gzip"})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-14s %s\n", n, eng.Describe())
+		}
+		return
+	}
+
+	// Resolve the engine name through the registry before doing anything
+	// else, so a typo fails with the valid names instead of a late error.
+	engine := *simulator
+	if !sim.Registered(engine) {
+		fatal(fmt.Errorf("unknown simulator %q (registered: %s)",
+			engine, strings.Join(sim.Names(), ", ")))
+	}
+	if *parallel {
+		switch engine {
+		case "fast":
+			engine = "fast-parallel"
+		case "fast-parallel":
+		default:
+			fatal(fmt.Errorf("-parallel selects the goroutine-parallel FAST coupling "+
+				"and does not apply to -simulator %s", engine))
+		}
+	}
+	// Reject instrumentation flags the selected engine cannot honour —
+	// previously they were silently ignored.
+	if *power && engine != "fast" {
+		fatal(fmt.Errorf("-power requires the serial fast engine (the power model "+
+			"attaches to the live timing model); -simulator %s cannot honour it", engine))
+	}
+	if *connectors && engine != "fast" {
+		fatal(fmt.Errorf("-connectors requires the serial fast engine; "+
+			"-simulator %s cannot honour it", engine))
+	}
+
 	spec, ok := workload.ByName(*name)
 	if !ok {
 		fatal(fmt.Errorf("unknown workload %q (try -list)", *name))
@@ -66,11 +107,11 @@ func main() {
 		fmt.Print(workload.KernelSource(spec.Kernel))
 		return
 	}
-	boot, err := spec.Build()
-	if err != nil {
-		fatal(err)
-	}
 	if *disasm {
+		boot, err := spec.Build()
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Println("; ---- toyOS kernel ----")
 		fmt.Print(isa.DisassembleProgram(boot.Kernel))
 		user, uerr := isa.Assemble(spec.UserAsm(), workload.UserVA)
@@ -81,48 +122,8 @@ func main() {
 		return
 	}
 
-	tmCfg := tm.DefaultConfig().WithIssueWidth(*issueWidth)
-	tmCfg.Predictor = *predictor
-	fmCfg := fm.Config{Devices: boot.Devices()}
-
-	switch *simulator {
-	case "monolithic", "gems":
-		cost := baseline.SimOutorderCost()
-		if *simulator == "gems" {
-			cost = baseline.GEMSCost()
-		}
-		r, err := baseline.Monolithic{
-			TM: tmCfg, FM: fmCfg, Cost: cost, Label: *simulator, MaxInstructions: *maxInst,
-		}.Run(boot.Kernel)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(r)
-		return
-	case "lockstep":
-		r, err := baseline.Lockstep{
-			TM: tmCfg, FM: fmCfg, Link: pickLink(*link),
-			FunctionalNanosPerCycle: 50, FPGANanosPerCycle: 300,
-			MaxInstructions: *maxInst,
-		}.Run(boot.Kernel)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(r)
-		return
-	case "fast":
-	default:
-		fatal(fmt.Errorf("unknown simulator %q", *simulator))
-	}
-
-	cfg := core.DefaultConfig()
-	cfg.TM = tmCfg
-	cfg.FM = fmCfg
-	cfg.Link = pickLink(*link)
-	cfg.MaxInstructions = *maxInst
-
 	// -trace: dump the first N trace entries from a fresh functional run
-	// of the same boot (the committed right path starts identically).
+	// of the same boot (every engine commits the identical right path).
 	if *traceN > 0 {
 		tb, terr := spec.Build()
 		if terr != nil {
@@ -139,52 +140,45 @@ func main() {
 		}
 	}
 
+	eng, err := sim.New(engine, sim.Params{
+		Workload:        *name,
+		Predictor:       *predictor,
+		IssueWidth:      *issueWidth,
+		Link:            *link,
+		MaxInstructions: *maxInst,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
 	var powerModel *tm.PowerModel
-	var result core.Result
-	if *parallel {
-		sim, err := core.NewParallel(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		sim.LoadProgram(boot.Kernel)
-		if result, err = sim.Run(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%v\n%s\n", result, sim.TM.Describe())
-	} else {
-		sim, err := core.New(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		sim.LoadProgram(boot.Kernel)
-		if *power {
-			powerModel = sim.TM.AttachPower(tm.DefaultPowerWeights())
-		}
-		if result, err = sim.Run(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%v\n%s\n", result, sim.TM.Describe())
-		if *connectors {
-			fmt.Print(sim.TM.ConnectorReport())
-		}
-		if powerModel != nil {
-			powerModel.Sample()
-			fmt.Print(powerModel.Report())
-		}
+	if *power {
+		powerModel = eng.(sim.Coupled).TimingModel().AttachPower(tm.DefaultPowerWeights())
+	}
+	result, err := eng.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(result)
+	if c, ok := eng.(sim.Coupled); ok {
+		fmt.Printf("fm: %.1fms ∥ tm: %.1fms  wrong-path: %d  rollbacks: %d\n",
+			result.FMNanos/1e6, result.TMNanos/1e6, result.WrongPath, result.Rollbacks)
+		fmt.Println(c.TimingModel().Describe())
+	}
+	if sc, ok := eng.(sim.SoftwareComparison); ok {
+		fmt.Printf("vs %v\n", sc.Software())
+	}
+	if *connectors {
+		fmt.Print(eng.(sim.Coupled).TimingModel().ConnectorReport())
+	}
+	if powerModel != nil {
+		powerModel.Sample()
+		fmt.Print(powerModel.Report())
 	}
 	if *console {
-		fmt.Printf("console: %q\n", boot.Console.Output())
-	}
-}
-
-func pickLink(name string) hostlink.Config {
-	switch name {
-	case "pins":
-		return hostlink.DRCPinRegisters()
-	case "coherent":
-		return hostlink.CoherentHT()
-	default:
-		return hostlink.DRC()
+		if booted, ok := eng.(sim.Booted); ok && booted.Boot() != nil {
+			fmt.Printf("console: %q\n", booted.Boot().Console.Output())
+		}
 	}
 }
 

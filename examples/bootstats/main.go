@@ -2,6 +2,10 @@
 // on the coupled FAST simulator with the hardware statistics fabric
 // sampling every N basic blocks, and render the iCache / branch-prediction
 // / pipe-drain phases of the boot.
+//
+// The engine comes from the internal/sim registry; its two-phase
+// Configure/Run lifecycle is what lets the sampler and the run-time query
+// probe attach to the live timing model before execution.
 package main
 
 import (
@@ -9,9 +13,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -19,29 +22,25 @@ func main() {
 	maxInst := flag.Uint64("max", 400_000, "instruction budget")
 	flag.Parse()
 
-	spec, _ := workload.ByName("Linux-2.4")
-	boot, err := spec.Build()
+	eng, err := sim.New("fast", sim.Params{
+		Workload:        "Linux-2.4",
+		MaxInstructions: *maxInst,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.DefaultConfig()
-	cfg.FM.Devices = boot.Devices()
-	cfg.MaxInstructions = *maxInst
-	sim, err := core.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sim.LoadProgram(boot.Kernel)
+	coupled := eng.(sim.Coupled)
+	tmodel := coupled.TimingModel()
 
-	sampler := stats.NewSampler(sim.TM, *interval)
+	sampler := stats.NewSampler(tmodel, *interval)
 	query := &stats.Query{Below: 1} // §3's example run-time query
 	probe := query.Probe()
-	sim.TM.Probe = func(cycle uint64, issued int) {
+	tmodel.Probe = func(cycle uint64, issued int) {
 		probe(cycle, issued)
 		sampler.Poll()
 	}
 
-	if _, err := sim.Run(); err != nil {
+	if _, err := eng.Run(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -50,7 +49,7 @@ func main() {
 	fmt.Println(" kernel+init mix with lower BP accuracy and more pipe drains)")
 	fmt.Println()
 	fmt.Print(sampler.Render())
-	fmt.Printf("\nconsole: %q\n", boot.Console.Output())
+	fmt.Printf("\nconsole: %q\n", eng.(sim.Booted).Boot().Console.Output())
 	fmt.Printf("\nrun-time query \"active FUs < 1\": first at cycle %d, %d cycles total (%.1f%%)\n",
-		query.FirstCycle, query.Count, 100*float64(query.Count)/float64(sim.TM.Stats.Cycles))
+		query.FirstCycle, query.Count, 100*float64(query.Count)/float64(tmodel.Stats.Cycles))
 }

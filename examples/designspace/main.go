@@ -3,49 +3,46 @@
 // issue machine to a multi-issue machine ... Using such a scheme, one can
 // quickly and easily explore a wide range of microarchitectures."
 //
-// It sweeps issue width × branch predictor on one workload and prints
-// target IPC, simulation speed and the FPGA footprint of each point.
+// It sweeps issue width × branch predictor on one workload through the
+// internal/sim engine registry and prints target IPC, simulation speed and
+// the FPGA footprint of each point. (The per-point power model is the one
+// piece of instrumentation that needs the live engine, which is why this
+// drives sim.New directly rather than a sim.Fleet.)
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/fpga"
+	"repro/internal/sim"
 	"repro/internal/tm"
-	"repro/internal/workload"
 )
 
 func main() {
-	spec, _ := workload.ByName("176.gcc")
-	fmt.Printf("design-space sweep on %s (%d-point grid)\n\n", spec.Name, 4*3)
+	const app = "176.gcc"
+	fmt.Printf("design-space sweep on %s (%d-point grid)\n\n", app, 4*3)
 	fmt.Printf("%-6s %-9s %8s %8s %10s %10s %8s %10s\n",
 		"issue", "predictor", "IPC", "MIPS", "cycles", "logic%", "BRAM%", "energy/in")
 
 	for _, width := range []int{1, 2, 4, 8} {
 		for _, pred := range []string{"2bit", "gshare", "perfect"} {
-			boot, err := spec.Build()
+			eng, err := sim.New("fast", sim.Params{
+				Workload:        app,
+				Predictor:       pred,
+				IssueWidth:      width,
+				MaxInstructions: 60_000,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			cfg := core.DefaultConfig()
-			cfg.TM = cfg.TM.WithIssueWidth(width)
-			cfg.TM.Predictor = pred
-			cfg.FM.Devices = boot.Devices()
-			cfg.MaxInstructions = 60_000
-			sim, err := core.New(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sim.LoadProgram(boot.Kernel)
-			power := sim.TM.AttachPower(tm.DefaultPowerWeights())
-			r, err := sim.Run()
+			power := eng.(sim.Coupled).TimingModel().AttachPower(tm.DefaultPowerWeights())
+			r, err := eng.Run()
 			if err != nil {
 				log.Fatal(err)
 			}
 			power.Sample()
-			area := cfg.TM.Area()
+			area := tm.DefaultConfig().WithIssueWidth(width).Area()
 			dev := fpga.Virtex4LX200
 			fmt.Printf("%-6d %-9s %8.3f %8.2f %10d %9.2f%% %7.1f%% %10.2f\n",
 				width, pred, r.IPC, r.TargetMIPS, r.TargetCycles,

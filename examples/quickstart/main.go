@@ -1,14 +1,14 @@
 // Quickstart: assemble a small FISA program, run it on the coupled FAST
-// simulator (speculative functional model + cycle-accurate timing model),
-// and print what the simulator saw.
+// simulator (speculative functional model + cycle-accurate timing model)
+// through the engine registry, and print what the simulator saw.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/sim"
 )
 
 const program = `
@@ -43,21 +43,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.FM.DisableInterrupts = true // bare-metal: no OS under this program
-	sim, err := core.New(cfg)
+	// A raw Program in Params runs bare metal: no toyOS underneath, so the
+	// engine disables interrupts for us.
+	eng, err := sim.New("fast", sim.Params{Program: prog})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim.LoadProgram(prog)
 
-	result, err := sim.Run()
+	result, err := eng.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
+	coupled := eng.(sim.Coupled)
 
 	fmt.Println("FAST quickstart")
-	fmt.Println("  target state:  sum =", sim.FM.GPR[2], " odd bytes =", sim.FM.GPR[3])
+	fmt.Println("  target state:  sum =", coupled.FunctionalModel().GPR[2],
+		" odd bytes =", coupled.FunctionalModel().GPR[3])
 	fmt.Printf("  instructions:  %d committed (+%d wrong-path requested)\n",
 		result.Instructions, result.WrongPath)
 	fmt.Printf("  target cycles: %d  (IPC %.3f)\n", result.TargetCycles, result.IPC)
@@ -67,5 +68,5 @@ func main() {
 	fmt.Printf("  host time:     FM %.1fµs ∥ TM %.1fµs\n",
 		result.FMNanos/1e3, result.TMNanos/1e3)
 	fmt.Printf("  trace buffer:  peak occupancy %d entries\n", result.TBMaxOccupancy)
-	fmt.Println("  timing model: ", sim.TM.Describe())
+	fmt.Println("  timing model: ", coupled.TimingModel().Describe())
 }

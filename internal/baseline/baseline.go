@@ -20,7 +20,11 @@ import (
 	"repro/internal/trace"
 )
 
-// Result is a baseline run summary, comparable with core.Result.
+// Result is a baseline run summary, comparable with core.Result and
+// liftable into the unified internal/sim result shape: it carries the full
+// timing-model statistics so architectural counters (basic blocks, per-
+// class issues, mispredicts) are available from every simulator, not just
+// FAST.
 type Result struct {
 	Name         string
 	Instructions uint64
@@ -28,6 +32,8 @@ type Result struct {
 	IPC          float64
 	SimNanos     float64
 	KIPS         float64 // Table 3 reports software simulators in KIPS
+	BPAccuracy   float64
+	TM           tm.Stats
 }
 
 func (r Result) String() string {
@@ -122,7 +128,7 @@ func (b Monolithic) Run(prog *isa.Program) (Result, error) {
 	if name == "" {
 		name = "monolithic"
 	}
-	return finish(name, st, nanos), nil
+	return finish(name, model, nanos), nil
 }
 
 // Lockstep simulates the timing-directed partitioning (Asim, Timing-First,
@@ -157,7 +163,7 @@ func (b Lockstep) Run(prog *isa.Program) (Result, error) {
 	perCycle := b.Link.ReadNanos + b.Link.WriteNanos +
 		b.FunctionalNanosPerCycle + b.FPGANanosPerCycle
 	nanos := float64(st.Cycles) * perCycle
-	return finish("lockstep(F=1)", st, nanos), nil
+	return finish("lockstep(F=1)", model, nanos), nil
 }
 
 // FSBCache reproduces the Intel experiment of [30]/§1: the L1 data cache of
@@ -190,23 +196,26 @@ func (b FSBCache) Run(prog *isa.Program) (withFPGA, pureSoftware Result, err err
 	swNanos := float64(st.Cycles)*b.Cost.BaseNanosPerCycle +
 		float64(st.UOps)*b.Cost.NanosPerUop +
 		float64(st.Instructions)*b.Cost.FunctionalNanosPerInst
-	pureSoftware = finish("software (unmodified)", st, swNanos)
+	pureSoftware = finish("software (unmodified)", model, swNanos)
 
 	// Offloading the dL1 removes its software cost (a fraction of per-µop
 	// work) but adds a blocking round trip per access.
 	offloaded := swNanos - float64(memAccesses)*b.Cost.NanosPerUop*0.5
 	fpgaNanos := offloaded + float64(memAccesses)*(b.Link.ReadNanos+b.Link.WriteNanos)
-	withFPGA = finish("software + FPGA L1 on FSB", st, fpgaNanos)
+	withFPGA = finish("software + FPGA L1 on FSB", model, fpgaNanos)
 	return withFPGA, pureSoftware, nil
 }
 
-func finish(name string, st tm.Stats, nanos float64) Result {
+func finish(name string, model *tm.TM, nanos float64) Result {
+	st := model.Stats
 	r := Result{
 		Name:         name,
 		Instructions: st.Instructions,
 		TargetCycles: st.Cycles,
 		IPC:          st.IPC(),
 		SimNanos:     nanos,
+		BPAccuracy:   model.BPStats.Accuracy(),
+		TM:           st,
 	}
 	if nanos > 0 {
 		r.KIPS = float64(st.Instructions) / nanos * 1e6

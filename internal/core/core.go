@@ -264,23 +264,31 @@ func (s *Sim) Run() (Result, error) {
 }
 
 func (s *Sim) result() Result {
-	st := s.TM.Stats
-	tmNanos := s.cfg.Clock.Nanos(s.TM.HostCycles())
+	return buildResult(s.cfg, s.TM, s.FM, s.TB, s.link, s.fmNanos, s.wrongProduced)
+}
+
+// buildResult assembles the canonical run summary from a finished coupled
+// simulation — shared by the serial and goroutine-parallel engines, which
+// account host time identically.
+func buildResult(cfg Config, t *tm.TM, f *fm.Model, tb *trace.Buffer,
+	link *hostlink.Link, fmNanos float64, wrongProduced uint64) Result {
+	st := t.Stats
+	tmNanos := cfg.Clock.Nanos(t.HostCycles())
 	r := Result{
 		Instructions:   st.Instructions,
-		WrongPath:      s.wrongProduced,
+		WrongPath:      wrongProduced,
 		TargetCycles:   st.Cycles,
 		IPC:            st.IPC(),
-		FMNanos:        s.fmNanos,
+		FMNanos:        fmNanos,
 		TMNanos:        tmNanos,
 		SimNanos:       tmNanos,
-		BPAccuracy:     s.TM.BPStats.Accuracy(),
+		BPAccuracy:     t.BPStats.Accuracy(),
 		Mispredicts:    st.Mispredicts,
-		Rollbacks:      s.FM.Rollbacks,
-		TraceWords:     s.FM.TraceWords,
-		LinkStats:      s.link.Stats(),
+		Rollbacks:      f.Rollbacks,
+		TraceWords:     f.TraceWords,
+		LinkStats:      link.Stats(),
 		TM:             st,
-		TBMaxOccupancy: s.TB.MaxOccupancy(),
+		TBMaxOccupancy: tb.MaxOccupancy(),
 	}
 	if r.SimNanos < r.FMNanos {
 		// The FM never finished streaming inside the TM's time: it is the

@@ -136,31 +136,7 @@ func (p *ParallelSim) Run() (Result, error) {
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	st := p.TM.Stats
-	tmNanos := p.cfg.Clock.Nanos(p.TM.HostCycles())
-	r := Result{
-		Instructions:   st.Instructions,
-		WrongPath:      p.wrongProduced,
-		TargetCycles:   st.Cycles,
-		IPC:            st.IPC(),
-		FMNanos:        p.fmNanos,
-		TMNanos:        tmNanos,
-		SimNanos:       tmNanos,
-		BPAccuracy:     p.TM.BPStats.Accuracy(),
-		Mispredicts:    st.Mispredicts,
-		Rollbacks:      p.FM.Rollbacks,
-		TraceWords:     p.FM.TraceWords,
-		LinkStats:      p.link.Stats(),
-		TM:             st,
-		TBMaxOccupancy: p.TB.MaxOccupancy(),
-	}
-	if r.SimNanos < r.FMNanos {
-		r.SimNanos = r.FMNanos
-	}
-	if r.SimNanos > 0 {
-		r.TargetMIPS = float64(r.Instructions+r.WrongPath) / r.SimNanos * 1e3
-	}
-	return r, p.err
+	return buildResult(p.cfg, p.TM, p.FM, p.TB, p.link, p.fmNanos, p.wrongProduced), p.err
 }
 
 // producer is the FM goroutine: it speculatively runs ahead, pushing trace

@@ -2,6 +2,12 @@
 // evaluation (the per-experiment index in DESIGN.md). cmd/fastbench and the
 // top-level benchmarks both drive these functions, so the numbers printed
 // by `go test -bench` and by the CLI are the same.
+//
+// Every simulator run goes through the internal/sim engine registry, and
+// every multi-point experiment is a declarative sim.Sweep executed by a
+// sim.Fleet — Figure 4's 51 coupled simulations fan out over a worker pool
+// and still aggregate in spec order, so the rendered tables are
+// byte-identical at any worker count.
 package experiments
 
 import (
@@ -16,6 +22,7 @@ import (
 	"repro/internal/hostlink"
 	"repro/internal/isa"
 	"repro/internal/microcode"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tm"
 	"repro/internal/workload"
@@ -30,6 +37,8 @@ const InstCap = 250_000
 const FMInstCap = 400_000
 
 // runFM executes a workload on the functional model alone and returns it.
+// (Table 1 measures the microcode layer, not a simulator, so it is the one
+// run shape that does not go through the engine registry.)
 func runFM(spec workload.Spec, maxInst uint64) (*fm.Model, *workload.Boot, error) {
 	boot, err := spec.Build()
 	if err != nil {
@@ -57,25 +66,14 @@ func runFM(spec workload.Spec, maxInst uint64) (*fm.Model, *workload.Boot, error
 	return m, boot, nil
 }
 
-// runFAST executes a workload on the coupled FAST simulator.
-func runFAST(spec workload.Spec, predictor string, maxInst uint64, mutate func(*core.Config)) (core.Result, error) {
-	boot, err := spec.Build()
-	if err != nil {
-		return core.Result{}, err
+// fastParams is the shared parameter shape of a capped FAST run.
+func fastParams(workloadName, predictor string, mutate func(*core.Config)) sim.Params {
+	return sim.Params{
+		Workload:        workloadName,
+		Predictor:       predictor,
+		MaxInstructions: InstCap,
+		Mutate:          mutate,
 	}
-	cfg := core.DefaultConfig()
-	cfg.TM.Predictor = predictor
-	cfg.FM.Devices = boot.Devices()
-	cfg.MaxInstructions = maxInst
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	sim, err := core.New(cfg)
-	if err != nil {
-		return core.Result{}, err
-	}
-	sim.LoadProgram(boot.Kernel)
-	return sim.Run()
 }
 
 // Table1 reproduces "Fraction of Dynamic Instructions Translated to µOps".
@@ -110,33 +108,59 @@ type Figure4Row struct {
 	IPC                      float64
 }
 
-// Figure4 reproduces simulator performance under the three predictor
-// configurations (gshare, 97%, perfect).
-func Figure4() ([]Figure4Row, string, error) {
+// figure4Predictors are the three predictor configurations of the figure,
+// in column order.
+var figure4Predictors = []string{"gshare", "97%", "perfect"}
+
+// Figure4Sweep is the declarative spec of the figure: every workload
+// (Linux and WindowsXP first, as the paper orders them) × the FAST engine
+// × the three predictor configurations.
+func Figure4Sweep() sim.Sweep {
 	all := workload.All()
-	specs := make([]workload.Spec, 0, len(all)+1)
-	specs = append(specs, all[0], workload.WindowsXP()) // Linux, WindowsXP, then SPEC...
-	specs = append(specs, all[1:]...)
+	names := make([]string, 0, len(all)+1)
+	names = append(names, all[0].Name, "WindowsXP")
+	for _, s := range all[1:] {
+		names = append(names, s.Name)
+	}
+	variants := make([]sim.Params, len(figure4Predictors))
+	for i, pred := range figure4Predictors {
+		variants[i] = sim.Params{Predictor: pred}
+	}
+	return sim.Sweep{
+		Workloads: names,
+		Engines:   []string{"fast"},
+		Variants:  variants,
+		Base:      sim.Params{MaxInstructions: InstCap},
+	}
+}
+
+// Figure4 reproduces simulator performance under the three predictor
+// configurations (gshare, 97%, perfect), fanning the sweep out over
+// GOMAXPROCS fleet workers.
+func Figure4() ([]Figure4Row, string, error) { return Figure4Workers(0) }
+
+// Figure4Workers is Figure4 with an explicit fleet width (1 = the
+// sequential path; output is byte-identical at any width).
+func Figure4Workers(workers int) ([]Figure4Row, string, error) {
+	sweep := Figure4Sweep()
+	results := sim.Fleet{Workers: workers}.RunSweep(sweep)
+	if err := sim.FirstErr(results); err != nil {
+		return nil, "", err
+	}
+	nPred := len(figure4Predictors)
 	var rows []Figure4Row
-	for _, spec := range specs {
-		row := Figure4Row{Name: spec.Name, PaperGshare: spec.PaperGshareMIPS}
-		for _, pred := range []string{"gshare", "97%", "perfect"} {
-			r, err := runFAST(spec, pred, InstCap, nil)
-			if err != nil {
-				return nil, "", fmt.Errorf("%s/%s: %w", spec.Name, pred, err)
-			}
-			switch pred {
-			case "gshare":
-				row.Gshare = r.TargetMIPS
-				row.GshareAccuracy = r.BPAccuracy
-				row.IPC = r.IPC
-			case "97%":
-				row.Fixed97 = r.TargetMIPS
-			case "perfect":
-				row.Perfect = r.TargetMIPS
-			}
-		}
-		rows = append(rows, row)
+	for i := 0; i < len(results); i += nPred {
+		g := results[i].Result // the gshare point leads each group
+		spec, _ := workload.ByName(g.Workload)
+		rows = append(rows, Figure4Row{
+			Name:           g.Workload,
+			PaperGshare:    spec.PaperGshareMIPS,
+			Gshare:         g.TargetMIPS,
+			GshareAccuracy: g.BPAccuracy,
+			IPC:            g.IPC,
+			Fixed97:        results[i+1].Result.TargetMIPS,
+			Perfect:        results[i+2].Result.TargetMIPS,
+		})
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 4 — simulator performance (MIPS)\n")
@@ -176,24 +200,20 @@ func Figure5(rows []Figure4Row) string {
 
 // Figure6 reproduces the statistics trace over the Linux boot: iCache hit
 // rate, BP accuracy and pipe-drain percentage sampled every interval basic
-// blocks.
+// blocks. The sampler attaches between Configure and Run — the reason the
+// engine interface splits them.
 func Figure6(interval uint64, maxInst uint64) (*stats.Sampler, string, error) {
-	spec, _ := workload.ByName("Linux-2.4")
-	boot, err := spec.Build()
+	eng, err := sim.New("fast", sim.Params{
+		Workload:        "Linux-2.4",
+		MaxInstructions: maxInst,
+	})
 	if err != nil {
 		return nil, "", err
 	}
-	cfg := core.DefaultConfig()
-	cfg.FM.Devices = boot.Devices()
-	cfg.MaxInstructions = maxInst
-	sim, err := core.New(cfg)
-	if err != nil {
-		return nil, "", err
-	}
-	sim.LoadProgram(boot.Kernel)
-	sampler := stats.NewSampler(sim.TM, interval)
-	sim.TM.Probe = func(uint64, int) { sampler.Poll() }
-	if _, err := sim.Run(); err != nil {
+	t := eng.(sim.Coupled).TimingModel()
+	sampler := stats.NewSampler(t, interval)
+	t.Probe = func(uint64, int) { sampler.Poll() }
+	if _, err := eng.Run(); err != nil {
 		return nil, "", err
 	}
 	out := "Figure 6 — statistics trace, Linux boot (per-window metrics)\n" + sampler.Render()
@@ -217,8 +237,17 @@ func Table2() string {
 	return b.String()
 }
 
-// Table3 reproduces the simulator comparison: published rows, our runnable
-// baselines, and FAST itself (Linux boot).
+// table3Engines are the runnable rows of the simulator comparison, with
+// the display labels the paper's table uses.
+var table3Engines = []struct{ engine, label, note string }{
+	{"monolithic", "monolithic (sim-outorder-class)", "(ours, measured)"},
+	{"gems", "monolithic (GEMS-class)", "(ours, measured)"},
+	{"lockstep", "lockstep(F=1)", "(ours, measured)"},
+	{"fast", "FAST", "(ours, measured; paper: 1.2 MIPS avg)"},
+}
+
+// Table3 reproduces the simulator comparison: published rows, then every
+// runnable engine on the Linux boot — one sweep across the registry.
 func Table3() (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 3 — software simulator performance (Linux boot class workload)\n")
@@ -230,50 +259,22 @@ func Table3() (string, error) {
 		}
 		fmt.Fprintf(&b, "%-28s %7.0fKIPS %6s   (published)\n", r.Simulator, r.KIPS, os)
 	}
-	spec, _ := workload.ByName("Linux-2.4")
-	boot, err := spec.Build()
-	if err != nil {
+	engines := make([]string, len(table3Engines))
+	for i, row := range table3Engines {
+		engines[i] = row.engine
+	}
+	results := sim.Fleet{}.RunSweep(sim.Sweep{
+		Workloads: []string{"Linux-2.4"},
+		Engines:   engines,
+		Base:      sim.Params{MaxInstructions: InstCap},
+	})
+	if err := sim.FirstErr(results); err != nil {
 		return "", err
 	}
-	prog := boot.Kernel
-	fmCfg := fm.Config{Devices: boot.Devices()}
-
-	mono, err := baseline.Monolithic{
-		TM: tm.DefaultConfig(), FM: fmCfg, Cost: baseline.SimOutorderCost(),
-		Label: "monolithic (sim-outorder-class)", MaxInstructions: InstCap,
-	}.Run(prog)
-	if err != nil {
-		return "", err
+	for i, row := range table3Engines {
+		fmt.Fprintf(&b, "%-28s %7.0fKIPS %6s   %s\n",
+			row.label, results[i].Result.KIPS, "Y", row.note)
 	}
-	fmt.Fprintf(&b, "%-28s %7.0fKIPS %6s   (ours, measured)\n", mono.Name, mono.KIPS, "Y")
-
-	boot2, _ := spec.Build()
-	gems, err := baseline.Monolithic{
-		TM: tm.DefaultConfig(), FM: fm.Config{Devices: boot2.Devices()},
-		Cost: baseline.GEMSCost(), Label: "monolithic (GEMS-class)", MaxInstructions: InstCap,
-	}.Run(boot2.Kernel)
-	if err != nil {
-		return "", err
-	}
-	fmt.Fprintf(&b, "%-28s %7.0fKIPS %6s   (ours, measured)\n", gems.Name, gems.KIPS, "Y")
-
-	boot3, _ := spec.Build()
-	lock, err := baseline.Lockstep{
-		TM: tm.DefaultConfig(), FM: fm.Config{Devices: boot3.Devices()},
-		Link: hostlink.DRC(), FunctionalNanosPerCycle: 50, FPGANanosPerCycle: 300,
-		MaxInstructions: InstCap,
-	}.Run(boot3.Kernel)
-	if err != nil {
-		return "", err
-	}
-	fmt.Fprintf(&b, "%-28s %7.0fKIPS %6s   (ours, measured)\n", lock.Name, lock.KIPS, "Y")
-
-	fast, err := runFAST(spec, "gshare", InstCap, nil)
-	if err != nil {
-		return "", err
-	}
-	fmt.Fprintf(&b, "%-28s %7.0fKIPS %6s   (ours, measured; paper: 1.2 MIPS avg)\n",
-		"FAST", fast.TargetMIPS*1000, "Y")
 	return b.String(), nil
 }
 
@@ -335,60 +336,53 @@ func Bottleneck() (string, error) {
 		per2BB/10, 1e3/(per2BB/10))
 
 	// Coherent-HT projection: run the same workload under both links.
-	spec, _ := workload.ByName("Linux-2.4")
-	rd, err := runFAST(spec, "95%", InstCap, func(c *core.Config) { c.Link = hostlink.DRC() })
-	if err != nil {
+	linkSweep := sim.Fleet{}.RunSweep(sim.Sweep{
+		Workloads: []string{"Linux-2.4"},
+		Variants:  []sim.Params{{Link: "drc"}, {Link: "coherent"}},
+		Base:      sim.Params{Predictor: "95%", MaxInstructions: InstCap},
+	})
+	if err := sim.FirstErr(linkSweep); err != nil {
 		return "", err
 	}
-	rc, err := runFAST(spec, "95%", InstCap, func(c *core.Config) { c.Link = hostlink.CoherentHT() })
-	if err != nil {
-		return "", err
-	}
-	perInst := func(r core.Result) float64 {
+	perInst := func(r sim.Result) float64 {
 		return r.LinkStats.Nanos / float64(r.Instructions+r.WrongPath)
 	}
 	fmt.Fprintf(&b, "\nCoherent-HT projection (95%% BP): link cost %.1f -> %.1f ns/inst "+
 		"(paper: ~127 -> ~1.2 ns/inst; FM-side bound then ~5.9 MIPS)\n",
-		perInst(rd), perInst(rc))
+		perInst(linkSweep[0].Result), perInst(linkSweep[1].Result))
 	return b.String(), nil
 }
 
-// Ablations runs A1-A6 of DESIGN.md on a fixed workload.
+// Ablations runs A1-A8 of DESIGN.md on a fixed workload.
 func Ablations() (string, error) {
 	var b strings.Builder
-	spec, _ := workload.ByName("176.gcc")
-	fmt.Fprintf(&b, "Ablations (%s, gshare)\n", spec.Name)
+	const app = "176.gcc"
+	fmt.Fprintf(&b, "Ablations (%s, gshare)\n", app)
 
 	// A1: parallel (latency-tolerant) vs lockstep coupling.
-	fastRes, err := runFAST(spec, "gshare", InstCap, nil)
+	fastRes, err := sim.Run("fast", fastParams(app, "gshare", nil))
 	if err != nil {
 		return "", err
 	}
-	boot, err := spec.Build()
-	if err != nil {
-		return "", err
-	}
-	lock, err := baseline.Lockstep{
-		TM: tm.DefaultConfig(), FM: fm.Config{Devices: boot.Devices()},
-		Link: hostlink.DRC(), FunctionalNanosPerCycle: 50, FPGANanosPerCycle: 300,
-		MaxInstructions: InstCap,
-	}.Run(boot.Kernel)
+	lock, err := sim.Run("lockstep", sim.Params{Workload: app, MaxInstructions: InstCap})
 	if err != nil {
 		return "", err
 	}
 	fmt.Fprintf(&b, "  A1 coupling: FAST %.2f MIPS vs lockstep %.2f MIPS (%.1fx)\n",
-		fastRes.TargetMIPS, lock.KIPS/1000, fastRes.TargetMIPS/(lock.KIPS/1000))
+		fastRes.TargetMIPS, lock.TargetMIPS, fastRes.TargetMIPS/lock.TargetMIPS)
 
 	// A2: polling frequency.
-	perBB, err := runFAST(spec, "gshare", InstCap, func(c *core.Config) { c.PollEveryBBs = 1 })
+	perBB, err := sim.Run("fast", sim.Merge(fastParams(app, "gshare", nil),
+		sim.Params{PollEveryBBs: 1}))
 	if err != nil {
 		return "", err
 	}
-	resteer, err := runFAST(spec, "gshare", InstCap, func(c *core.Config) { c.PollEveryBBs = 0 })
+	resteer, err := sim.Run("fast", sim.Merge(fastParams(app, "gshare", nil),
+		sim.Params{PollEveryBBs: sim.PollOnResteer}))
 	if err != nil {
 		return "", err
 	}
-	linkPer := func(r core.Result) float64 {
+	linkPer := func(r sim.Result) float64 {
 		return r.LinkStats.Nanos / float64(r.Instructions+r.WrongPath)
 	}
 	fmt.Fprintf(&b, "  A2 polling: per-BB %d reads, per-2-BB %d reads, per-resteer %d reads "+
@@ -397,7 +391,8 @@ func Ablations() (string, error) {
 		linkPer(perBB), linkPer(fastRes), linkPer(resteer))
 
 	// A3: branch-predictor-predictor.
-	bpp, err := runFAST(spec, "gshare", InstCap, func(c *core.Config) { c.BPP = true })
+	bpp, err := sim.Run("fast", sim.Merge(fastParams(app, "gshare", nil),
+		sim.Params{BPP: true}))
 	if err != nil {
 		return "", err
 	}
@@ -410,13 +405,10 @@ func Ablations() (string, error) {
 		fpga.HostCyclesForPorts(20), fpga.BlockRAM(64*32, 20), fpga.BlockRAM(64*32, 2))
 
 	// A5: trace compression.
-	comp, err := runFAST(spec, "gshare", InstCap, nil)
-	if err != nil {
-		return "", err
-	}
-	uncomp, err := runFAST(spec, "gshare", InstCap, func(c *core.Config) {
+	comp := fastRes
+	uncomp, err := sim.Run("fast", fastParams(app, "gshare", func(c *core.Config) {
 		c.FM.Encoding.Uncompressed = true
-	})
+	}))
 	if err != nil {
 		return "", err
 	}
@@ -425,7 +417,8 @@ func Ablations() (string, error) {
 		float64(uncomp.TraceWords)/float64(uncomp.Instructions+uncomp.WrongPath))
 
 	// A6: blocking vs coherent polling reads.
-	coh, err := runFAST(spec, "gshare", InstCap, func(c *core.Config) { c.Link = hostlink.CoherentHT() })
+	coh, err := sim.Run("fast", sim.Merge(fastParams(app, "gshare", nil),
+		sim.Params{Link: "coherent"}))
 	if err != nil {
 		return "", err
 	}
@@ -434,25 +427,30 @@ func Ablations() (string, error) {
 
 	// A7: rollback engine — per-instruction undo journal vs the paper's
 	// leapfrog checkpoints + replay (§3.2), whose re-execution is the αBA
-	// of §3.1.
-	var cpSim *core.Sim
-	cp, err := runFASTWith(spec, "gshare", InstCap, func(c *core.Config) {
+	// of §3.1. Needs the live functional model, so it uses the two-phase
+	// engine API instead of sim.Run.
+	cpEng, err := sim.New("fast", fastParams(app, "gshare", func(c *core.Config) {
 		c.FM.Rollback = fm.RollbackCheckpoint
 		c.FM.CheckpointInterval = 64
-	}, &cpSim)
+	}))
 	if err != nil {
 		return "", err
 	}
+	cp, err := cpEng.Run()
+	if err != nil {
+		return "", err
+	}
+	cpFM := cpEng.(sim.Coupled).FunctionalModel()
 	fmt.Fprintf(&b, "  A7 rollback: journal FM %.2fms vs leapfrog checkpoints %.2fms "+
 		"(%d instructions re-executed across %d rollbacks)\n",
-		fastRes.FMNanos/1e6, cp.FMNanos/1e6, cpSim.FM.ReExecuted(), cp.Rollbacks)
+		fastRes.FMNanos/1e6, cp.FMNanos/1e6, cpFM.ReExecuted(), cp.Rollbacks)
 
 	// A8: the §4.1 target limitations fixed — non-blocking caches +
 	// resolve-time recovery ("Improving performance requires both improving
 	// the target microarchitecture ... and going over each module", §4.5).
-	future, err := runFAST(spec, "gshare", InstCap, func(c *core.Config) {
+	future, err := sim.Run("fast", fastParams(app, "gshare", func(c *core.Config) {
 		c.TM = c.TM.WithFutureMicroarch()
-	})
+	}))
 	if err != nil {
 		return "", err
 	}
@@ -460,26 +458,4 @@ func Ablations() (string, error) {
 		"non-blocking+fast-recovery IPC %.3f / %.2f MIPS\n",
 		fastRes.IPC, fastRes.TargetMIPS, future.IPC, future.TargetMIPS)
 	return b.String(), nil
-}
-
-// runFASTWith is runFAST but also hands back the simulator for inspection.
-func runFASTWith(spec workload.Spec, predictor string, maxInst uint64, mutate func(*core.Config), out **core.Sim) (core.Result, error) {
-	boot, err := spec.Build()
-	if err != nil {
-		return core.Result{}, err
-	}
-	cfg := core.DefaultConfig()
-	cfg.TM.Predictor = predictor
-	cfg.FM.Devices = boot.Devices()
-	cfg.MaxInstructions = maxInst
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	sim, err := core.New(cfg)
-	if err != nil {
-		return core.Result{}, err
-	}
-	*out = sim
-	sim.LoadProgram(boot.Kernel)
-	return sim.Run()
 }

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/fm"
+	"repro/internal/isa"
+	"repro/internal/tm"
+	"repro/internal/workload"
+)
+
+// The five simulator families of the paper's comparison, as registry
+// entries. "fast" and "fast-parallel" are the same coupled simulator in its
+// deterministic serial and goroutine-parallel forms; "monolithic" and
+// "gems" are the same integrated software simulator under two calibrated
+// cost models (Table 3's sim-outorder and GEMS rows); "lockstep" is the
+// round-trip-per-cycle partitioning (§5); "fsbcache" is the Intel
+// FPGA-L1-on-the-front-side-bus experiment [30].
+func init() {
+	Register("fast", func() Engine { return &fastEngine{} })
+	Register("fast-parallel", func() Engine { return &fastEngine{parallel: true} })
+	Register("monolithic", func() Engine {
+		return &monoEngine{name: "monolithic", cost: baseline.SimOutorderCost(),
+			label: "monolithic (sim-outorder-class)",
+			desc:  "integrated software simulator, sim-outorder-class cost model (Table 3)"}
+	})
+	Register("gems", func() Engine {
+		return &monoEngine{name: "gems", cost: baseline.GEMSCost(),
+			label: "monolithic (GEMS-class)",
+			desc:  "integrated full-system software simulator, GEMS-class cost model (Table 3)"}
+	})
+	Register("lockstep", func() Engine { return &lockstepEngine{} })
+	Register("fsbcache", func() Engine { return &fsbEngine{} })
+}
+
+// prepare resolves the shared parts of Params: the program image and the
+// boot environment (nil for raw bare-metal programs).
+func prepare(p Params) (*isa.Program, *workload.Boot, fm.Config, error) {
+	if p.Program != nil {
+		// Bare metal: no toyOS underneath, so nothing can service
+		// interrupts.
+		return p.Program, nil, fm.Config{DisableInterrupts: true}, nil
+	}
+	spec, err := p.workloadSpec()
+	if err != nil {
+		return nil, nil, fm.Config{}, err
+	}
+	boot, err := spec.Build()
+	if err != nil {
+		return nil, nil, fm.Config{}, err
+	}
+	return boot.Kernel, boot, fm.Config{Devices: boot.Devices()}, nil
+}
+
+// fastEngine runs the FAST simulator proper in either coupling mode.
+type fastEngine struct {
+	parallel bool
+	params   Params
+	boot     *workload.Boot
+	serial   *core.Sim
+	par      *core.ParallelSim
+}
+
+func (e *fastEngine) Describe() string {
+	if e.parallel {
+		return "FAST, FM ∥ TM in goroutines coupled by the trace buffer (§3)"
+	}
+	return "FAST, deterministic rate-matched serial coupling (§3)"
+}
+
+func (e *fastEngine) Configure(p Params) error {
+	prog, boot, fmCfg, err := prepare(p)
+	if err != nil {
+		return err
+	}
+	link, err := p.link()
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.TM = p.tmConfig()
+	cfg.FM = fmCfg
+	cfg.Link = link
+	cfg.BPP = p.BPP
+	cfg.MaxInstructions = p.MaxInstructions
+	switch {
+	case p.PollEveryBBs > 0:
+		cfg.PollEveryBBs = p.PollEveryBBs
+	case p.PollEveryBBs == PollOnResteer:
+		cfg.PollEveryBBs = 0
+	}
+	if p.Mutate != nil {
+		p.Mutate(&cfg)
+	}
+	e.params, e.boot = p, boot
+	if e.parallel {
+		s, err := core.NewParallel(cfg)
+		if err != nil {
+			return err
+		}
+		s.LoadProgram(prog)
+		e.par = s
+		return nil
+	}
+	s, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	s.LoadProgram(prog)
+	e.serial = s
+	return nil
+}
+
+func (e *fastEngine) Run() (Result, error) {
+	var (
+		r   core.Result
+		err error
+	)
+	name := "fast"
+	if e.parallel {
+		name = "fast-parallel"
+		r, err = e.par.Run()
+	} else {
+		r, err = e.serial.Run()
+	}
+	return fromCore(name, e.params, r), err
+}
+
+func (e *fastEngine) TimingModel() *tm.TM {
+	if e.parallel {
+		return e.par.TM
+	}
+	return e.serial.TM
+}
+
+func (e *fastEngine) FunctionalModel() *fm.Model {
+	if e.parallel {
+		return e.par.FM
+	}
+	return e.serial.FM
+}
+
+func (e *fastEngine) Boot() *workload.Boot { return e.boot }
+
+// fromCore lifts a core.Result into the canonical shape.
+func fromCore(engine string, p Params, r core.Result) Result {
+	return Result{
+		Engine:         engine,
+		Workload:       workloadName(p),
+		Instructions:   r.Instructions,
+		BasicBlocks:    r.TM.BasicBlocks,
+		TargetCycles:   r.TargetCycles,
+		IPC:            r.IPC,
+		FMNanos:        r.FMNanos,
+		TMNanos:        r.TMNanos,
+		SimNanos:       r.SimNanos,
+		TargetMIPS:     r.TargetMIPS,
+		KIPS:           r.TargetMIPS * 1000,
+		BPAccuracy:     r.BPAccuracy,
+		Mispredicts:    r.Mispredicts,
+		WrongPath:      r.WrongPath,
+		Rollbacks:      r.Rollbacks,
+		TraceWords:     r.TraceWords,
+		LinkStats:      r.LinkStats,
+		TM:             r.TM,
+		TBMaxOccupancy: r.TBMaxOccupancy,
+	}
+}
+
+// fromBaseline lifts a baseline.Result into the canonical shape.
+func fromBaseline(engine string, p Params, r baseline.Result) Result {
+	return Result{
+		Engine:       engine,
+		Workload:     workloadName(p),
+		Instructions: r.Instructions,
+		BasicBlocks:  r.TM.BasicBlocks,
+		TargetCycles: r.TargetCycles,
+		IPC:          r.IPC,
+		SimNanos:     r.SimNanos,
+		TargetMIPS:   r.KIPS / 1000,
+		KIPS:         r.KIPS,
+		BPAccuracy:   r.BPAccuracy,
+		Mispredicts:  r.TM.Mispredicts,
+		TM:           r.TM,
+	}
+}
+
+func workloadName(p Params) string {
+	if p.Program != nil {
+		return "(raw program)"
+	}
+	if p.Workload == "" {
+		return "Linux-2.4"
+	}
+	return p.Workload
+}
+
+// monoEngine is the integrated software simulator under a calibrated cost
+// model (Table 3's sim-outorder and GEMS rows).
+type monoEngine struct {
+	name, label, desc string
+	cost              baseline.SoftwareCost
+	params            Params
+	boot              *workload.Boot
+	run               func() (baseline.Result, error)
+}
+
+func (e *monoEngine) Describe() string { return e.desc }
+
+func (e *monoEngine) Configure(p Params) error {
+	prog, boot, fmCfg, err := prepare(p)
+	if err != nil {
+		return err
+	}
+	if _, err := p.link(); err != nil {
+		return err // validated for uniformity; the cost model has no link
+	}
+	b := baseline.Monolithic{
+		TM: p.tmConfig(), FM: fmCfg, Cost: e.cost,
+		Label: e.label, MaxInstructions: p.MaxInstructions,
+	}
+	e.params, e.boot = p, boot
+	e.run = func() (baseline.Result, error) { return b.Run(prog) }
+	return nil
+}
+
+func (e *monoEngine) Run() (Result, error) {
+	r, err := e.run()
+	return fromBaseline(e.name, e.params, r), err
+}
+
+func (e *monoEngine) Boot() *workload.Boot { return e.boot }
+
+// lockstepEngine is the timing-directed partitioning that round-trips the
+// host link every target cycle (Asim/Timing-First/HASim class, §5).
+type lockstepEngine struct {
+	params Params
+	boot   *workload.Boot
+	run    func() (baseline.Result, error)
+}
+
+func (e *lockstepEngine) Describe() string {
+	return "lockstep timing-directed partitioning, one link round trip per target cycle (§5)"
+}
+
+func (e *lockstepEngine) Configure(p Params) error {
+	prog, boot, fmCfg, err := prepare(p)
+	if err != nil {
+		return err
+	}
+	link, err := p.link()
+	if err != nil {
+		return err
+	}
+	b := baseline.Lockstep{
+		TM: p.tmConfig(), FM: fmCfg, Link: link,
+		FunctionalNanosPerCycle: 50, FPGANanosPerCycle: 300,
+		MaxInstructions: p.MaxInstructions,
+	}
+	e.params, e.boot = p, boot
+	e.run = func() (baseline.Result, error) { return b.Run(prog) }
+	return nil
+}
+
+func (e *lockstepEngine) Run() (Result, error) {
+	r, err := e.run()
+	return fromBaseline("lockstep", e.params, r), err
+}
+
+func (e *lockstepEngine) Boot() *workload.Boot { return e.boot }
+
+// fsbEngine is the Intel FPGA-L1-cache-on-the-front-side-bus experiment:
+// the result is the FPGA-assisted simulator; the pure-software simulator it
+// must be compared against is kept for Software().
+type fsbEngine struct {
+	params   Params
+	boot     *workload.Boot
+	run      func() (baseline.Result, baseline.Result, error)
+	software Result
+}
+
+func (e *fsbEngine) Describe() string {
+	return "software simulator with its L1 data cache offloaded to an FPGA on the FSB [30]"
+}
+
+func (e *fsbEngine) Configure(p Params) error {
+	prog, boot, fmCfg, err := prepare(p)
+	if err != nil {
+		return err
+	}
+	link, err := p.link()
+	if err != nil {
+		return err
+	}
+	b := baseline.FSBCache{
+		TM: p.tmConfig(), FM: fmCfg, Cost: baseline.SimOutorderCost(),
+		Link: link, MaxInstructions: p.MaxInstructions,
+	}
+	e.params, e.boot = p, boot
+	e.run = func() (baseline.Result, baseline.Result, error) { return b.Run(prog) }
+	return nil
+}
+
+func (e *fsbEngine) Run() (Result, error) {
+	withFPGA, software, err := e.run()
+	if err != nil {
+		return Result{}, err
+	}
+	e.software = fromBaseline("fsbcache", e.params, software)
+	e.software.Engine = "fsbcache(software)"
+	return fromBaseline("fsbcache", e.params, withFPGA), nil
+}
+
+// Software returns the unmodified pure-software result of the same run —
+// the comparison point that shows the FSB cache makes things *slower*.
+func (e *fsbEngine) Software() Result { return e.software }
+
+// SoftwareComparison re-exposes the fsbcache engine's second result via the
+// Engine interface: fastsim prints both sides of the experiment.
+type SoftwareComparison interface{ Software() Result }

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Point is one simulation to run: an engine name plus its parameters.
+type Point struct {
+	Engine string
+	Params Params
+}
+
+func (pt Point) String() string {
+	w := workloadName(pt.Params)
+	if pt.Params.Predictor != "" {
+		return fmt.Sprintf("%s/%s/%s", pt.Engine, w, pt.Params.Predictor)
+	}
+	return fmt.Sprintf("%s/%s", pt.Engine, w)
+}
+
+// Sweep declares a cross product {Workloads × Engines × Variants} of
+// simulation points over a base parameter set. Experiments are sweep
+// literals: Figure 4 is {16 workloads × fast × 3 predictors}, Table 3 is
+// {Linux-2.4 × 4 engines}, a design-space exploration is {1 workload ×
+// fast × width·predictor variants}.
+type Sweep struct {
+	// Engines are registry names; empty means {"fast"}.
+	Engines []string
+	// Workloads are workload names; empty means {Base.Workload}.
+	Workloads []string
+	// Variants are parameter overlays merged over Base (zero fields keep
+	// the base value); empty means one point per workload × engine.
+	Variants []Params
+	// Base supplies the fields every point shares.
+	Base Params
+}
+
+// Points expands the sweep in deterministic spec order: workloads
+// outermost, then engines, then variants — the order the paper's tables
+// print in.
+func (s Sweep) Points() []Point {
+	engines := s.Engines
+	if len(engines) == 0 {
+		engines = []string{"fast"}
+	}
+	workloads := s.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{s.Base.Workload}
+	}
+	variants := s.Variants
+	if len(variants) == 0 {
+		variants = []Params{{}}
+	}
+	points := make([]Point, 0, len(workloads)*len(engines)*len(variants))
+	for _, w := range workloads {
+		for _, e := range engines {
+			for _, v := range variants {
+				p := Merge(s.Base, v)
+				if w != "" {
+					p.Workload = w
+				}
+				points = append(points, Point{Engine: e, Params: p})
+			}
+		}
+	}
+	return points
+}
+
+// Merge overlays v on base: non-zero fields of v win, zero fields inherit.
+// Mutate hooks chain (base first, then the variant's).
+func Merge(base, v Params) Params {
+	p := base
+	if v.Workload != "" {
+		p.Workload = v.Workload
+	}
+	if v.Program != nil {
+		p.Program = v.Program
+	}
+	if v.Predictor != "" {
+		p.Predictor = v.Predictor
+	}
+	if v.IssueWidth != 0 {
+		p.IssueWidth = v.IssueWidth
+	}
+	if v.Link != "" {
+		p.Link = v.Link
+	}
+	if v.PollEveryBBs != 0 {
+		p.PollEveryBBs = v.PollEveryBBs
+	}
+	if v.BPP {
+		p.BPP = true
+	}
+	if v.MaxInstructions != 0 {
+		p.MaxInstructions = v.MaxInstructions
+	}
+	if v.Mutate != nil {
+		if base.Mutate != nil {
+			baseMut, varMut := base.Mutate, v.Mutate
+			p.Mutate = func(c *core.Config) { baseMut(c); varMut(c) }
+		} else {
+			p.Mutate = v.Mutate
+		}
+	}
+	return p
+}
+
+// PointResult is one executed sweep point. Err captures a per-point
+// failure (bad engine name, unknown workload, run error, or a recovered
+// panic) without aborting the rest of the fleet.
+type PointResult struct {
+	Index  int // position in the expanded spec order
+	Point  Point
+	Result Result
+	Err    error
+}
+
+// Fleet fans sweep points out over a bounded worker pool. Every engine
+// instance is private to its point and the registry is read-only, so
+// points are embarrassingly parallel; results come back in spec order
+// regardless of completion order.
+type Fleet struct {
+	// Workers bounds concurrency; <=0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes every point and returns results indexed and ordered exactly
+// like points. It never aborts early: a failing point is captured in its
+// slot and the rest of the fleet keeps going.
+func (f Fleet) Run(points []Point) []PointResult {
+	results := make([]PointResult, len(points))
+	workers := f.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		for i, pt := range points {
+			results[i] = runPoint(i, pt)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				results[i] = runPoint(i, points[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// RunSweep expands and executes a sweep.
+func (f Fleet) RunSweep(s Sweep) []PointResult { return f.Run(s.Points()) }
+
+// runPoint executes one point, converting panics into per-point errors so
+// a corrupt configuration cannot take the whole fleet down.
+func runPoint(i int, pt Point) (pr PointResult) {
+	pr = PointResult{Index: i, Point: pt}
+	defer func() {
+		if rec := recover(); rec != nil {
+			pr.Err = fmt.Errorf("sim: point %d (%s) panicked: %v", i, pt, rec)
+		}
+	}()
+	pr.Result, pr.Err = Run(pt.Engine, pt.Params)
+	return pr
+}
+
+// FirstErr returns the first captured error in spec order, or nil. Sweeps
+// that must be all-or-nothing (figure regeneration) gate on it; partial
+// consumers iterate instead.
+func FirstErr(results []PointResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Point, r.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSweepPoints checks the deterministic expansion order: workloads
+// outermost, then engines, then variants — and the base/variant merge.
+func TestSweepPoints(t *testing.T) {
+	s := Sweep{
+		Workloads: []string{"w1", "w2"},
+		Engines:   []string{"e1", "e2"},
+		Variants:  []Params{{Predictor: "gshare"}, {Predictor: "perfect", IssueWidth: 4}},
+		Base:      Params{MaxInstructions: 123, IssueWidth: 2},
+	}
+	pts := s.Points()
+	if len(pts) != 8 {
+		t.Fatalf("got %d points, want 8", len(pts))
+	}
+	want := []struct {
+		engine, workload, pred string
+		width                  int
+	}{
+		{"e1", "w1", "gshare", 2}, {"e1", "w1", "perfect", 4},
+		{"e2", "w1", "gshare", 2}, {"e2", "w1", "perfect", 4},
+		{"e1", "w2", "gshare", 2}, {"e1", "w2", "perfect", 4},
+		{"e2", "w2", "gshare", 2}, {"e2", "w2", "perfect", 4},
+	}
+	for i, w := range want {
+		pt := pts[i]
+		if pt.Engine != w.engine || pt.Params.Workload != w.workload ||
+			pt.Params.Predictor != w.pred || pt.Params.IssueWidth != w.width {
+			t.Errorf("point %d = %s/%s/%s width %d, want %s/%s/%s width %d",
+				i, pt.Engine, pt.Params.Workload, pt.Params.Predictor, pt.Params.IssueWidth,
+				w.engine, w.workload, w.pred, w.width)
+		}
+		if pt.Params.MaxInstructions != 123 {
+			t.Errorf("point %d lost base MaxInstructions", i)
+		}
+	}
+}
+
+// TestSweepDefaults checks the empty-field defaults: fast engine, one
+// workload slot, one variant.
+func TestSweepDefaults(t *testing.T) {
+	pts := Sweep{Base: Params{Workload: "w"}}.Points()
+	if len(pts) != 1 || pts[0].Engine != "fast" || pts[0].Params.Workload != "w" {
+		t.Fatalf("unexpected default expansion: %+v", pts)
+	}
+}
+
+// TestMergeMutateChains checks that variant Mutate hooks compose with the
+// base hook instead of replacing it.
+func TestMergeMutateChains(t *testing.T) {
+	var order []string
+	base := Params{Mutate: func(*core.Config) { order = append(order, "base") }}
+	v := Params{Mutate: func(*core.Config) { order = append(order, "variant") }}
+	merged := Merge(base, v)
+	merged.Mutate(&core.Config{})
+	if len(order) != 2 || order[0] != "base" || order[1] != "variant" {
+		t.Fatalf("mutate chain order = %v", order)
+	}
+}
+
+// TestFleetErrorCapture injects failing points into a sweep and checks the
+// fleet's contract: every other point still runs, spec order is preserved,
+// and failures are captured in place instead of aborting the run.
+func TestFleetErrorCapture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coupled runs")
+	}
+	ok := Params{Workload: "164.gzip", MaxInstructions: 2000}
+	points := []Point{
+		{Engine: "fast", Params: ok},
+		{Engine: "fast", Params: Params{Workload: "does-not-exist"}}, // bad workload
+		{Engine: "lockstep", Params: ok},
+		{Engine: "hasim", Params: ok}, // unregistered engine
+		{Engine: "monolithic", Params: ok},
+	}
+	results := Fleet{Workers: 4}.Run(points)
+	if len(results) != len(points) {
+		t.Fatalf("got %d results for %d points", len(results), len(points))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has Index %d", i, r.Index)
+		}
+		if r.Point.Engine != points[i].Engine {
+			t.Errorf("result %d is for engine %s, want %s", i, r.Point.Engine, points[i].Engine)
+		}
+	}
+	for _, i := range []int{0, 2, 4} {
+		if results[i].Err != nil {
+			t.Errorf("point %d should have succeeded: %v", i, results[i].Err)
+		}
+		if results[i].Result.Instructions == 0 {
+			t.Errorf("point %d has empty result", i)
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if results[i].Err == nil {
+			t.Errorf("point %d should have failed", i)
+		}
+	}
+	if FirstErr(results) == nil {
+		t.Error("FirstErr should surface the first failure")
+	}
+	if FirstErr(results[:1]) != nil {
+		t.Error("FirstErr on clean results should be nil")
+	}
+}
+
+// TestFleetDeterministicAcrossWorkers runs the same sweep sequentially and
+// fanned out and requires bit-identical results — the property that makes
+// fleet-regenerated tables byte-identical at any worker count.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coupled runs")
+	}
+	sweep := Sweep{
+		Workloads: []string{"164.gzip", "181.mcf"},
+		Engines:   []string{"fast", "lockstep"},
+		Variants:  []Params{{Predictor: "gshare"}, {Predictor: "perfect"}},
+		Base:      Params{MaxInstructions: 4000},
+	}
+	seq := Fleet{Workers: 1}.RunSweep(sweep)
+	par := Fleet{Workers: 8}.RunSweep(sweep)
+	if len(seq) != len(par) {
+		t.Fatalf("length mismatch: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("point %d errored: %v / %v", i, seq[i].Err, par[i].Err)
+		}
+		// sim.Result contains only comparable fields, so bit-identity is
+		// a single comparison.
+		if seq[i].Result != par[i].Result {
+			t.Errorf("point %d (%s) differs between 1 and 8 workers:\nseq: %+v\npar: %+v",
+				i, seq[i].Point, seq[i].Result, par[i].Result)
+		}
+	}
+}
+
+// TestFleetPanicCapture turns an engine panic into a per-point error.
+func TestFleetPanicCapture(t *testing.T) {
+	points := []Point{{
+		Engine: "fast",
+		Params: Params{
+			Workload: "164.gzip", MaxInstructions: 500,
+			Mutate: func(*core.Config) { panic("injected") },
+		},
+	}}
+	results := Fleet{Workers: 2}.Run(points)
+	if results[0].Err == nil {
+		t.Fatal("panicking point should surface an error")
+	}
+}

@@ -1,0 +1,232 @@
+// Package sim is the unified simulator-engine layer. The paper's headline
+// results (Figure 4, Table 3) are *comparisons* of simulators — FAST in its
+// serial and goroutine-parallel couplings against the monolithic, lockstep
+// and FPGA-cache-on-FSB baselines — so every engine lives behind one
+// interface (Engine), is configured by one parameter struct (Params),
+// populates one canonical result shape (Result), and is constructed by name
+// through one registry. Sweeps over {workloads × engines × parameter
+// variants} are declared as a Sweep and executed — sequentially or fanned
+// out over a bounded worker pool — by a Fleet (fleet.go).
+//
+// Adding a simulator is one Register call; adding an experiment is one
+// Sweep literal.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fm"
+	"repro/internal/hostlink"
+	"repro/internal/isa"
+	"repro/internal/tm"
+	"repro/internal/workload"
+)
+
+// PollOnResteer selects the architected polling behaviour for
+// Params.PollEveryBBs: the functional model polls the FPGA queue only on
+// re-steers instead of every N basic blocks (ablation A2/A6).
+const PollOnResteer = -1
+
+// Params configures any engine. The zero value means "engine defaults":
+// the Linux-boot workload, gshare prediction, the prototype issue width,
+// the DRC link, per-2-basic-block polling and no instruction cap.
+type Params struct {
+	// Workload names a workload from internal/workload ("Linux-2.4",
+	// "164.gzip", ...). Empty selects Linux-2.4 unless Program is set.
+	Workload string
+	// Program, when non-nil, is a raw assembled image run bare-metal
+	// (no toyOS boot, interrupts disabled) instead of a named workload.
+	Program *isa.Program
+
+	// Predictor is the branch predictor ("gshare", "2bit", "97%", "95%",
+	// "perfect"); empty = the timing model's default (gshare).
+	Predictor string
+	// IssueWidth is the target issue width; 0 = the prototype's default.
+	IssueWidth int
+	// Link names the host CPU↔FPGA channel: "drc" (default), "pins",
+	// "coherent".
+	Link string
+	// PollEveryBBs is the FM polling policy: 0 = engine default (every
+	// 2 basic blocks, the §4 prototype), N>0 = every N basic blocks,
+	// PollOnResteer = only on re-steers.
+	PollEveryBBs int
+	// BPP enables the FM-side branch-predictor-predictor (§2.1).
+	BPP bool
+	// MaxInstructions bounds committed instructions (0 = run to
+	// completion).
+	MaxInstructions uint64
+
+	// Mutate, when non-nil, is applied to the assembled core.Config just
+	// before construction — the escape hatch for ablation knobs (rollback
+	// engine, trace encoding, future microarchitecture, ...) that are not
+	// sweep axes. Only the FAST engines honour it; baselines ignore it.
+	Mutate func(*core.Config)
+}
+
+// workloadSpec resolves the named workload.
+func (p Params) workloadSpec() (workload.Spec, error) {
+	name := p.Workload
+	if name == "" {
+		name = "Linux-2.4"
+	}
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return workload.Spec{}, fmt.Errorf("sim: unknown workload %q", p.Workload)
+	}
+	return spec, nil
+}
+
+// link resolves the named host link.
+func (p Params) link() (hostlink.Config, error) {
+	switch p.Link {
+	case "", "drc":
+		return hostlink.DRC(), nil
+	case "pins":
+		return hostlink.DRCPinRegisters(), nil
+	case "coherent":
+		return hostlink.CoherentHT(), nil
+	}
+	return hostlink.Config{}, fmt.Errorf("sim: unknown link %q (want drc, pins, coherent)", p.Link)
+}
+
+// tmConfig assembles the timing-model configuration shared by every engine.
+func (p Params) tmConfig() tm.Config {
+	cfg := tm.DefaultConfig()
+	if p.IssueWidth > 0 {
+		cfg = cfg.WithIssueWidth(p.IssueWidth)
+	}
+	if p.Predictor != "" {
+		cfg.Predictor = p.Predictor
+	}
+	return cfg
+}
+
+// Result is the canonical run summary every engine populates. Engines that
+// have no host-partitioned cost model (the baselines) leave the FM/TM
+// breakdown and link statistics zero; everything architectural is always
+// filled in, which is what makes cross-engine conformance checkable.
+type Result struct {
+	Engine   string // registry name of the engine that produced this
+	Workload string
+
+	// Architectural counters — identical across engines by construction
+	// (every simulator executes the same target).
+	Instructions uint64 // committed (right-path) instructions
+	BasicBlocks  uint64 // committed control transfers
+	TargetCycles uint64
+	IPC          float64
+
+	// Host-time accounting.
+	FMNanos    float64 // functional-model side (FAST engines only)
+	TMNanos    float64 // timing-model side (FAST engines only)
+	SimNanos   float64 // end-to-end simulated wall time
+	TargetMIPS float64 // the paper's Figure 4 metric
+	KIPS       float64 // the paper's Table 3 metric
+
+	// Speculation and predictor statistics.
+	BPAccuracy  float64
+	Mispredicts uint64
+	WrongPath   uint64 // wrong-path instructions produced (FAST engines)
+	Rollbacks   uint64
+	TraceWords  uint64
+
+	LinkStats      hostlink.Stats
+	TM             tm.Stats
+	TBMaxOccupancy int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: inst=%d cycles=%d IPC=%.3f bp=%.2f%% %.2f MIPS (%.0f KIPS)",
+		r.Engine, r.Workload, r.Instructions, r.TargetCycles, r.IPC,
+		100*r.BPAccuracy, r.TargetMIPS, r.KIPS)
+}
+
+// Engine is one simulator behind the registry. Configure validates the
+// parameters and builds the underlying simulator (so instrumentation — a
+// stats sampler, a power model — can be attached before execution); Run
+// executes it. An Engine runs once: build a fresh one per run.
+type Engine interface {
+	// Describe returns a short human-readable description of the engine
+	// and its cost model.
+	Describe() string
+	// Configure validates p and assembles the simulator.
+	Configure(p Params) error
+	// Run executes the configured simulation to completion (or its
+	// instruction cap) and returns the canonical result.
+	Run() (Result, error)
+}
+
+// Coupled is implemented by engines that expose a live coupled simulator
+// for instrumentation: the FAST engines' timing model accepts probes,
+// power models and connector reports, and the functional model exposes
+// rollback/re-execution counters.
+type Coupled interface {
+	TimingModel() *tm.TM
+	FunctionalModel() *fm.Model
+}
+
+// Booted is implemented by engines that boot a full-system workload and
+// can hand back its device set (console output, disk, NIC) after the run.
+type Booted interface {
+	Boot() *workload.Boot
+}
+
+// registry maps engine names to constructors. It is populated at init time
+// and read-only afterwards, so concurrent Fleet workers need no locking.
+var registry = map[string]func() Engine{}
+
+// Register adds an engine constructor under name. Registering a duplicate
+// name panics: names are the public contract of the layer.
+func Register(name string, ctor func() Engine) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sim: duplicate engine %q", name))
+	}
+	registry[name] = ctor
+}
+
+// Names returns the registered engine names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registered reports whether name is a registered engine.
+func Registered(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
+// New constructs and configures the named engine.
+func New(name string, p Params) (Engine, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown engine %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	e := ctor()
+	if err := e.Configure(p); err != nil {
+		return nil, fmt.Errorf("engine %s: %w", name, err)
+	}
+	return e, nil
+}
+
+// Run constructs, configures and runs the named engine in one call — the
+// path every sweep point takes.
+func Run(name string, p Params) (Result, error) {
+	e, err := New(name, p)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := e.Run()
+	if err != nil {
+		return r, fmt.Errorf("engine %s: %w", name, err)
+	}
+	return r, nil
+}
