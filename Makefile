@@ -25,7 +25,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/sim/...
 
 # The same harness the paper tables come from: one pass over every
 # table/figure benchmark.

@@ -7,20 +7,39 @@
 //	fastbench                 # everything
 //	fastbench -only table1    # table1, table2, table3, fig4 (includes fig5),
 //	                          # fig6, analytic, bottleneck, ablations
+//	fastbench -quiet          # suppress the stderr fleet progress line
+//
+// ctrl-C cancels the in-flight sweep cooperatively and exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (table1|table2|table3|fig4|fig6|analytic|bottleneck|ablations)")
 	workers := flag.Int("workers", 0, "sim.Fleet workers for swept experiments (0 = GOMAXPROCS, 1 = sequential)")
+	quiet := flag.Bool("quiet", false, "suppress the stderr fleet progress line")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runner := experiments.Runner{
+		Ctx:   ctx,
+		Fleet: sim.Fleet{Workers: *workers},
+	}
+	if !*quiet {
+		runner.Fleet.Progress = progressLine
+	}
 
 	want := func(name string) bool { return *only == "" || *only == name }
 	bar := func() {
@@ -38,14 +57,14 @@ func main() {
 		bar()
 	}
 	if want("fig4") {
-		rows, out, err := experiments.Figure4Workers(*workers)
+		rows, out, err := runner.Figure4()
 		check(err)
 		fmt.Println(out)
 		fmt.Println(experiments.Figure5(rows))
 		bar()
 	}
 	if want("fig6") {
-		_, out, err := experiments.Figure6(2000, 400_000)
+		_, out, err := runner.Figure6(2000, 400_000)
 		check(err)
 		fmt.Println(out)
 		bar()
@@ -55,21 +74,34 @@ func main() {
 		bar()
 	}
 	if want("table3") {
-		out, err := experiments.Table3()
+		out, err := runner.Table3()
 		check(err)
 		fmt.Println(out)
 		bar()
 	}
 	if want("bottleneck") {
-		out, err := experiments.Bottleneck()
+		out, err := runner.Bottleneck()
 		check(err)
 		fmt.Println(out)
 		bar()
 	}
 	if want("ablations") {
-		out, err := experiments.Ablations()
+		out, err := runner.Ablations()
 		check(err)
 		fmt.Println(out)
+	}
+}
+
+// progressLine rewrites one stderr status line per completed fleet point;
+// results on stdout stay clean for redirection.
+func progressLine(done, total int, pr sim.PointResult) {
+	status := ""
+	if pr.Err != nil {
+		status = "  !err"
+	}
+	fmt.Fprintf(os.Stderr, "\r\x1b[2K[fleet %d/%d] %s%s", done, total, pr.Point, status)
+	if done == total {
+		fmt.Fprint(os.Stderr, "\n")
 	}
 }
 

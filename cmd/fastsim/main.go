@@ -9,19 +9,26 @@
 //	fastsim -workload 164.gzip [-predictor gshare] [-max 250000]
 //	fastsim -workload Linux-2.4 -parallel
 //	fastsim -workload 176.gcc -simulator monolithic
+//	fastsim -workload Linux-2.4 -metrics - -tracefile boot.trace.json
+//	fastsim -workload 164.gzip -json
 //	fastsim -print-config
 //	fastsim -print-kernel
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/fm"
 	"repro/internal/fpga"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tm"
 	"repro/internal/workload"
@@ -45,6 +52,9 @@ func main() {
 		power       = flag.Bool("power", false, "print the relative power estimate (§6 extension; serial fast engine only)")
 		traceN      = flag.Int("trace", 0, "dump the first N committed trace entries")
 		connectors  = flag.Bool("connectors", false, "print Connector statistics (serial fast engine only)")
+		metricsPath = flag.String("metrics", "", "write Prometheus-style metrics to this file after the run (\"-\" = stdout)")
+		tracePath   = flag.String("tracefile", "", "write a Chrome trace_event JSON timeline to this file (open in chrome://tracing or ui.perfetto.dev)")
+		jsonOut     = flag.Bool("json", false, "print the run result as one JSON object instead of text")
 	)
 	flag.Parse()
 
@@ -140,12 +150,23 @@ func main() {
 		}
 	}
 
+	// Telemetry is built only when a flag asks for it, so the default run
+	// keeps the nil-telemetry (near-free) instrumentation paths.
+	var tel *obs.Telemetry
+	switch {
+	case *tracePath != "":
+		tel = obs.NewWithTrace()
+	case *metricsPath != "":
+		tel = obs.New()
+	}
+
 	eng, err := sim.New(engine, sim.Params{
 		Workload:        *name,
 		Predictor:       *predictor,
 		IssueWidth:      *issueWidth,
 		Link:            *link,
 		MaxInstructions: *maxInst,
+		Telemetry:       tel,
 	})
 	if err != nil {
 		fatal(err)
@@ -155,9 +176,21 @@ func main() {
 	if *power {
 		powerModel = eng.(sim.Coupled).TimingModel().AttachPower(tm.DefaultPowerWeights())
 	}
-	result, err := eng.Run()
+
+	// ctrl-C cancels the run cooperatively; the partial result and any
+	// requested metric/trace files still come out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	result, err := eng.RunContext(ctx)
+	writeTelemetry(tel, *metricsPath, *tracePath)
 	if err != nil {
 		fatal(err)
+	}
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(result); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	fmt.Println(result)
 	if c, ok := eng.(sim.Coupled); ok {
@@ -178,6 +211,40 @@ func main() {
 	if *console {
 		if booted, ok := eng.(sim.Booted); ok && booted.Boot() != nil {
 			fmt.Printf("console: %q\n", booted.Boot().Console.Output())
+		}
+	}
+}
+
+// writeTelemetry flushes the run's metrics and timeline to the requested
+// destinations ("-" = stdout for metrics; trace JSON always goes to a file).
+func writeTelemetry(tel *obs.Telemetry, metricsPath, tracePath string) {
+	if tel == nil {
+		return
+	}
+	if metricsPath != "" {
+		if metricsPath == "-" {
+			tel.Metrics.WritePrometheus(os.Stdout)
+		} else {
+			f, err := os.Create(metricsPath)
+			if err != nil {
+				fatal(err)
+			}
+			tel.Metrics.WritePrometheus(f)
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tel.Trace.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
 		}
 	}
 }

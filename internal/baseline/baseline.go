@@ -11,6 +11,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fm"
@@ -65,17 +66,28 @@ func GEMSCost() SoftwareCost {
 	return SoftwareCost{BaseNanosPerCycle: 8000, NanosPerUop: 2200, FunctionalNanosPerInst: 800}
 }
 
+// ctxCheckInterval bounds cancellation latency: the execution loops test
+// ctx.Err() once per this many iterations, keeping the per-step cost of an
+// uncancelled run to one counter increment.
+const ctxCheckInterval = 1024
+
 // runTarget executes prog to completion on a fresh FM and returns the
 // trace. Baselines are trace-equivalent to FAST by construction.
-func runTarget(prog *isa.Program, fmCfg fm.Config, maxInst uint64) ([]trace.Entry, *fm.Model, error) {
+func runTarget(ctx context.Context, prog *isa.Program, fmCfg fm.Config, maxInst uint64) ([]trace.Entry, *fm.Model, error) {
 	const idleLimit = 10_000_000 // hung-target guard
 	m := fm.New(fmCfg)
 	m.LoadProgram(prog)
 	var out []trace.Entry
+	var ticks uint64
 	idle := 0
 	for {
 		if maxInst > 0 && uint64(len(out)) >= maxInst {
 			break
+		}
+		if ticks++; ticks%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 		}
 		e, ok := m.Step()
 		if !ok {
@@ -111,7 +123,12 @@ type Monolithic struct {
 
 // Run executes prog and returns the cost-modeled result.
 func (b Monolithic) Run(prog *isa.Program) (Result, error) {
-	entries, _, err := runTarget(prog, b.FM, b.MaxInstructions)
+	return b.RunContext(context.Background(), prog)
+}
+
+// RunContext is Run with cooperative cancellation.
+func (b Monolithic) RunContext(ctx context.Context, prog *isa.Program) (Result, error) {
+	entries, _, err := runTarget(ctx, prog, b.FM, b.MaxInstructions)
 	if err != nil {
 		return Result{}, err
 	}
@@ -119,7 +136,9 @@ func (b Monolithic) Run(prog *isa.Program) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	model.Run(1 << 62)
+	if err := runTiming(ctx, model); err != nil {
+		return Result{}, err
+	}
 	st := model.Stats
 	nanos := float64(st.Cycles)*b.Cost.BaseNanosPerCycle +
 		float64(st.UOps)*b.Cost.NanosPerUop +
@@ -149,7 +168,12 @@ type Lockstep struct {
 
 // Run executes prog under the lockstep cost model.
 func (b Lockstep) Run(prog *isa.Program) (Result, error) {
-	entries, _, err := runTarget(prog, b.FM, b.MaxInstructions)
+	return b.RunContext(context.Background(), prog)
+}
+
+// RunContext is Run with cooperative cancellation.
+func (b Lockstep) RunContext(ctx context.Context, prog *isa.Program) (Result, error) {
+	entries, _, err := runTarget(ctx, prog, b.FM, b.MaxInstructions)
 	if err != nil {
 		return Result{}, err
 	}
@@ -157,7 +181,9 @@ func (b Lockstep) Run(prog *isa.Program) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	model.Run(1 << 62)
+	if err := runTiming(ctx, model); err != nil {
+		return Result{}, err
+	}
 	st := model.Stats
 	// Every cycle: round trip + both sides' work, fully serialized.
 	perCycle := b.Link.ReadNanos + b.Link.WriteNanos +
@@ -181,7 +207,12 @@ type FSBCache struct {
 // Run executes prog under the FSB-cache cost model and also returns the
 // pure-software result it should be compared against.
 func (b FSBCache) Run(prog *isa.Program) (withFPGA, pureSoftware Result, err error) {
-	entries, _, err := runTarget(prog, b.FM, b.MaxInstructions)
+	return b.RunContext(context.Background(), prog)
+}
+
+// RunContext is Run with cooperative cancellation.
+func (b FSBCache) RunContext(ctx context.Context, prog *isa.Program) (withFPGA, pureSoftware Result, err error) {
+	entries, _, err := runTarget(ctx, prog, b.FM, b.MaxInstructions)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
@@ -189,7 +220,9 @@ func (b FSBCache) Run(prog *isa.Program) (withFPGA, pureSoftware Result, err err
 	if err != nil {
 		return Result{}, Result{}, err
 	}
-	model.Run(1 << 62)
+	if err := runTiming(ctx, model); err != nil {
+		return Result{}, Result{}, err
+	}
 	st := model.Stats
 
 	memAccesses := st.IssuedByClass[isa.ClassLoad] + st.IssuedByClass[isa.ClassStore]
@@ -204,6 +237,19 @@ func (b FSBCache) Run(prog *isa.Program) (withFPGA, pureSoftware Result, err err
 	fpgaNanos := offloaded + float64(memAccesses)*(b.Link.ReadNanos+b.Link.WriteNanos)
 	withFPGA = finish("software + FPGA L1 on FSB", model, fpgaNanos)
 	return withFPGA, pureSoftware, nil
+}
+
+// runTiming drains the timing model in bounded slices so cancellation is
+// honoured between slices rather than only at end of trace.
+func runTiming(ctx context.Context, model *tm.TM) error {
+	const slice = 1 << 16
+	for !model.Done() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		model.Run(slice)
+	}
+	return nil
 }
 
 func finish(name string, model *tm.TM, nanos float64) Result {

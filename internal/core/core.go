@@ -29,12 +29,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fm"
 	"repro/internal/fpga"
 	"repro/internal/hostlink"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/tm"
 	"repro/internal/trace"
 )
@@ -75,6 +77,13 @@ type Config struct {
 	MaxInstructions uint64
 	// MaxCycles bounds target cycles as a safety net.
 	MaxCycles uint64
+
+	// Telemetry, when non-nil, receives the run's metrics (fm_*, tm_*,
+	// hostlink_*, core_* series) and — when it carries a TraceLog — a
+	// Chrome trace_event timeline of the FM/TM/link phases: re-steer
+	// instants, trace-buffer occupancy samples and per-side host-time
+	// spans. Nil telemetry costs a nil check per instrumented event.
+	Telemetry *obs.Telemetry
 }
 
 // DefaultConfig returns the prototype configuration of §4.
@@ -129,6 +138,11 @@ type Sim struct {
 
 	link *hostlink.Link
 
+	// Observability: tlog is non-nil only when the run captures a
+	// timeline; pid is its trace track.
+	tlog *obs.TraceLog
+	pid  int
+
 	// FM-side accounting.
 	fmNanos       float64
 	budget        float64 // host nanoseconds available to the FM (serial mode)
@@ -140,6 +154,21 @@ type Sim struct {
 	lastHost      uint64
 
 	err error
+}
+
+// Trace track ids within a run's process: one per simulator phase.
+const (
+	tidTM   = 1 // FPGA-hosted timing model
+	tidFM   = 2 // speculative functional model
+	tidLink = 3 // host CPU↔FPGA channel
+)
+
+// openTraceTracks labels a run's process and phase tracks in the timeline.
+func openTraceTracks(tlog *obs.TraceLog, pid int, coupling string) {
+	tlog.ProcessName(pid, "FAST "+coupling+" run")
+	tlog.ThreadName(pid, tidTM, "TM (timing model)")
+	tlog.ThreadName(pid, tidFM, "FM (functional model)")
+	tlog.ThreadName(pid, tidLink, "host link")
 }
 
 // New builds a simulator; load a program into s.FM before Run.
@@ -156,11 +185,17 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 2_000_000_000
 	}
+	cfg.FM.Telemetry = cfg.Telemetry
 	s := &Sim{
 		cfg:  cfg,
 		FM:   fm.New(cfg.FM),
 		TB:   trace.NewBuffer(cfg.TBCapacity),
 		link: hostlink.New(cfg.Link),
+	}
+	s.link.Attach(cfg.Telemetry)
+	if tlog := cfg.Telemetry.TraceLog(); tlog != nil {
+		s.tlog, s.pid = tlog, obs.NextPID()
+		openTraceTracks(tlog, s.pid, "serial")
 	}
 	t, err := tm.New(cfg.TM, (*serialSource)(s), (*serialControl)(s))
 	if err != nil {
@@ -238,15 +273,40 @@ func (s *Sim) encWords(e trace.Entry) int {
 
 // Run executes the coupled simulation to completion (or the configured
 // limits) and returns the result.
-func (s *Sim) Run() (Result, error) {
-	tmDone := func() bool { return s.TM.Done() }
-	for !tmDone() {
+func (s *Sim) Run() (Result, error) { return s.RunContext(context.Background()) }
+
+// ctxCheckInterval is how many iterations of a run loop pass between
+// context-cancellation checks: frequent enough that SIGINT lands within
+// microseconds of simulated work, rare enough to cost nothing.
+const ctxCheckInterval = 1024
+
+// tbSampleInterval is how many target cycles pass between trace-buffer
+// occupancy samples on the timeline (trace capture only).
+const tbSampleInterval = 1024
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// the loop stops at the next cycle boundary and returns the partial result
+// alongside ctx.Err().
+func (s *Sim) RunContext(ctx context.Context) (Result, error) {
+	var ticks uint64
+	for !s.TM.Done() {
 		if s.cfg.MaxInstructions > 0 && s.committed >= s.cfg.MaxInstructions {
 			break
 		}
 		if s.TM.Cycle() >= s.cfg.MaxCycles {
 			s.err = fmt.Errorf("core: exceeded max cycles %d", s.cfg.MaxCycles)
 			break
+		}
+		if ticks++; ticks%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				s.err = err
+				break
+			}
+		}
+		if s.tlog != nil && ticks%tbSampleInterval == 0 {
+			s.tlog.CounterSample("tb_occupancy", s.pid,
+				s.cfg.Clock.Nanos(s.TM.HostCycles()),
+				map[string]any{"entries": s.TB.Occupancy()})
 		}
 		// Grant the FM the host time the TM consumed last cycle.
 		h := s.TM.HostCycles()
@@ -264,14 +324,15 @@ func (s *Sim) Run() (Result, error) {
 }
 
 func (s *Sim) result() Result {
-	return buildResult(s.cfg, s.TM, s.FM, s.TB, s.link, s.fmNanos, s.wrongProduced)
+	return buildResult(s.cfg, s.TM, s.FM, s.TB, s.link, s.fmNanos, s.wrongProduced, s.tlog, s.pid)
 }
 
 // buildResult assembles the canonical run summary from a finished coupled
 // simulation — shared by the serial and goroutine-parallel engines, which
 // account host time identically.
 func buildResult(cfg Config, t *tm.TM, f *fm.Model, tb *trace.Buffer,
-	link *hostlink.Link, fmNanos float64, wrongProduced uint64) Result {
+	link *hostlink.Link, fmNanos float64, wrongProduced uint64,
+	tlog *obs.TraceLog, pid int) Result {
 	st := t.Stats
 	tmNanos := cfg.Clock.Nanos(t.HostCycles())
 	r := Result{
@@ -298,7 +359,37 @@ func buildResult(cfg Config, t *tm.TM, f *fm.Model, tb *trace.Buffer,
 	if r.SimNanos > 0 {
 		r.TargetMIPS = float64(r.Instructions+r.WrongPath) / r.SimNanos * 1e3
 	}
+	publishRun(cfg, t, f, r, tlog, pid)
 	return r
+}
+
+// publishRun flushes the finished run into the configured telemetry: the
+// per-layer metric series and the FM/TM/link phase spans of the timeline.
+func publishRun(cfg Config, t *tm.TM, f *fm.Model, r Result, tlog *obs.TraceLog, pid int) {
+	tel := cfg.Telemetry
+	if tel == nil {
+		return
+	}
+	t.PublishTelemetry(tel)
+	f.PublishTelemetry(tel)
+	tel.Counter("core_runs_total").Inc()
+	tel.Counter("core_wrong_path_instructions_total").Add(r.WrongPath)
+	tel.Counter("core_fm_nanos_total").Add(uint64(r.FMNanos))
+	tel.Counter("core_tm_nanos_total").Add(uint64(r.TMNanos))
+	tel.Counter("core_link_nanos_total").Add(uint64(r.LinkStats.Nanos))
+	tel.Gauge("core_tb_max_occupancy").SetMax(int64(r.TBMaxOccupancy))
+	if tlog != nil {
+		// Phase spans: the modeled host time each side consumed, starting
+		// at t=0 of the run's process — the §3.1 FM ∥ TM picture rendered
+		// literally.
+		tlog.Complete("phase", "TM: target execution", pid, tidTM, 0, r.TMNanos,
+			map[string]any{"cycles": r.TargetCycles, "instructions": r.Instructions})
+		tlog.Complete("phase", "FM: trace production", pid, tidFM, 0, r.FMNanos,
+			map[string]any{"rollbacks": r.Rollbacks, "wrong_path": r.WrongPath})
+		tlog.Complete("phase", "link: trace stream + polls", pid, tidLink, 0, r.LinkStats.Nanos,
+			map[string]any{"reads": r.LinkStats.Reads, "writes": r.LinkStats.Writes,
+				"burst_words": r.LinkStats.BurstWords})
+	}
 }
 
 // serialSource adapts the Sim to the TM's Source interface.
@@ -347,6 +438,10 @@ func (c *serialControl) Mispredict(in uint64, wrongPC isa.Word) {
 	}
 	sim.wrongPath = true
 	sim.wrongIN = in
+	if sim.tlog != nil {
+		sim.tlog.Instant("resteer", "mispredict", sim.pid, tidFM, sim.fmNanos,
+			map[string]any{"in": in, "rolled_back": sim.FM.RolledBack - rolledBefore})
+	}
 	if !sim.cfg.BPP {
 		sim.fmNanos += sim.link.Poll(1) // the extra mispredict read (§4.5)
 		sim.fmNanos += float64(sim.FM.RolledBack-rolledBefore) * sim.cfg.FMRollbackNanosPerInst
@@ -368,6 +463,10 @@ func (c *serialControl) Resolve(in uint64, rightPC isa.Word) {
 		panic(fmt.Sprintf("core: resolve re-steer failed: %v", err))
 	}
 	sim.wrongPath = false
+	if sim.tlog != nil {
+		sim.tlog.Instant("resteer", "resolve", sim.pid, tidFM, sim.fmNanos,
+			map[string]any{"in": in, "rolled_back": sim.FM.RolledBack - rolledBefore})
+	}
 	sim.fmNanos += sim.link.Poll(1)
 	sim.fmNanos += float64(sim.FM.RolledBack-rolledBefore) * sim.cfg.FMRollbackNanosPerInst
 	sim.fmNanos += float64(sim.FM.ReExecuted()-reExecBefore) * sim.cfg.FMNanosPerInst

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/fpga"
 	"repro/internal/hostlink"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/tm"
 	"repro/internal/trace"
 )
@@ -30,6 +32,10 @@ type ParallelSim struct {
 	TB  *trace.Buffer
 
 	link *hostlink.Link
+
+	// Observability (tlog nil unless the run captures a timeline).
+	tlog *obs.TraceLog
+	pid  int
 
 	cmds   chan command
 	done   chan struct{}
@@ -84,6 +90,7 @@ func NewParallel(cfg Config) (*ParallelSim, error) {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 2_000_000_000
 	}
+	cfg.FM.Telemetry = cfg.Telemetry
 	p := &ParallelSim{
 		cfg:    cfg,
 		FM:     fm.New(cfg.FM),
@@ -92,6 +99,11 @@ func NewParallel(cfg Config) (*ParallelSim, error) {
 		cmds:   make(chan command, 4096),
 		done:   make(chan struct{}),
 		notify: make(chan struct{}, 1),
+	}
+	p.link.Attach(cfg.Telemetry)
+	if tlog := cfg.Telemetry.TraceLog(); tlog != nil {
+		p.tlog, p.pid = tlog, obs.NextPID()
+		openTraceTracks(tlog, p.pid, "parallel")
 	}
 	t, err := tm.New(cfg.TM, (*parSource)(p), (*parControl)(p))
 	if err != nil {
@@ -113,7 +125,13 @@ func (p *ParallelSim) terminal() bool {
 
 // Run executes the coupled simulation with the FM as a producer goroutine
 // and the TM on the calling goroutine.
-func (p *ParallelSim) Run() (Result, error) {
+func (p *ParallelSim) Run() (Result, error) { return p.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: on ctx cancellation the
+// TM loop stops at a cycle boundary, the producer goroutine is shut down
+// through the done channel (no goroutine is abandoned), and the partial
+// result returns alongside ctx.Err().
+func (p *ParallelSim) RunContext(ctx context.Context) (Result, error) {
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -121,6 +139,7 @@ func (p *ParallelSim) Run() (Result, error) {
 		p.producer()
 	}()
 
+	var ticks uint64
 	for !p.TM.Done() {
 		if p.cfg.MaxInstructions > 0 && p.TM.Stats.Instructions >= p.cfg.MaxInstructions {
 			break
@@ -129,6 +148,17 @@ func (p *ParallelSim) Run() (Result, error) {
 			p.err = fmt.Errorf("core: exceeded max cycles %d", p.cfg.MaxCycles)
 			break
 		}
+		if ticks++; ticks%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				p.err = err
+				break
+			}
+		}
+		if p.tlog != nil && ticks%tbSampleInterval == 0 {
+			p.tlog.CounterSample("tb_occupancy", p.pid,
+				p.cfg.Clock.Nanos(p.TM.HostCycles()),
+				map[string]any{"entries": p.TB.Occupancy()})
+		}
 		p.TM.Step()
 	}
 	close(p.done)
@@ -136,7 +166,7 @@ func (p *ParallelSim) Run() (Result, error) {
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return buildResult(p.cfg, p.TM, p.FM, p.TB, p.link, p.fmNanos, p.wrongProduced), p.err
+	return buildResult(p.cfg, p.TM, p.FM, p.TB, p.link, p.fmNanos, p.wrongProduced, p.tlog, p.pid), p.err
 }
 
 // producer is the FM goroutine: it speculatively runs ahead, pushing trace

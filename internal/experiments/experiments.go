@@ -11,12 +11,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/analytic"
 	"repro/internal/baseline"
-	"repro/internal/core"
 	"repro/internal/fm"
 	"repro/internal/fpga"
 	"repro/internal/hostlink"
@@ -27,6 +27,37 @@ import (
 	"repro/internal/tm"
 	"repro/internal/workload"
 )
+
+// Runner carries the cross-cutting execution state of an experiment pass: a
+// cancellation context (ctrl-C in cmd/fastbench lands here) and the fleet —
+// worker width, telemetry, progress callback — every sweep fans out over.
+// The zero value runs to completion on GOMAXPROCS workers with no
+// telemetry; the package-level experiment functions are thin wrappers over
+// it.
+type Runner struct {
+	Ctx   context.Context
+	Fleet sim.Fleet
+}
+
+func (r Runner) ctx() context.Context {
+	if r.Ctx == nil {
+		return context.Background()
+	}
+	return r.Ctx
+}
+
+// run executes one engine point under the runner's context and telemetry.
+func (r Runner) run(engine string, p sim.Params) (sim.Result, error) {
+	if p.Telemetry == nil {
+		p.Telemetry = r.Fleet.Telemetry
+	}
+	return sim.RunContext(r.ctx(), engine, p)
+}
+
+// sweep executes a sweep through the runner's fleet.
+func (r Runner) sweep(s sim.Sweep) []sim.PointResult {
+	return r.Fleet.RunContext(r.ctx(), s.Points())
+}
 
 // InstCap bounds committed instructions per coupled run so a full harness
 // pass stays interactive. The shapes (who wins, by what factor) are stable
@@ -66,13 +97,14 @@ func runFM(spec workload.Spec, maxInst uint64) (*fm.Model, *workload.Boot, error
 	return m, boot, nil
 }
 
-// fastParams is the shared parameter shape of a capped FAST run.
-func fastParams(workloadName, predictor string, mutate func(*core.Config)) sim.Params {
+// fastParams is the shared parameter shape of a capped FAST run. Ablation
+// knobs overlay named Params fields via sim.Merge — Params.Mutate is
+// deprecated for sweep axes and no experiment uses it anymore.
+func fastParams(workloadName, predictor string) sim.Params {
 	return sim.Params{
 		Workload:        workloadName,
 		Predictor:       predictor,
 		MaxInstructions: InstCap,
-		Mutate:          mutate,
 	}
 }
 
@@ -142,8 +174,13 @@ func Figure4() ([]Figure4Row, string, error) { return Figure4Workers(0) }
 // Figure4Workers is Figure4 with an explicit fleet width (1 = the
 // sequential path; output is byte-identical at any width).
 func Figure4Workers(workers int) ([]Figure4Row, string, error) {
+	return Runner{Fleet: sim.Fleet{Workers: workers}}.Figure4()
+}
+
+// Figure4 runs the figure's sweep through the runner's fleet.
+func (r Runner) Figure4() ([]Figure4Row, string, error) {
 	sweep := Figure4Sweep()
-	results := sim.Fleet{Workers: workers}.RunSweep(sweep)
+	results := r.sweep(sweep)
 	if err := sim.FirstErr(results); err != nil {
 		return nil, "", err
 	}
@@ -203,9 +240,15 @@ func Figure5(rows []Figure4Row) string {
 // blocks. The sampler attaches between Configure and Run — the reason the
 // engine interface splits them.
 func Figure6(interval uint64, maxInst uint64) (*stats.Sampler, string, error) {
+	return Runner{}.Figure6(interval, maxInst)
+}
+
+// Figure6 runs the statistics trace under the runner's context.
+func (r Runner) Figure6(interval uint64, maxInst uint64) (*stats.Sampler, string, error) {
 	eng, err := sim.New("fast", sim.Params{
 		Workload:        "Linux-2.4",
 		MaxInstructions: maxInst,
+		Telemetry:       r.Fleet.Telemetry,
 	})
 	if err != nil {
 		return nil, "", err
@@ -213,7 +256,7 @@ func Figure6(interval uint64, maxInst uint64) (*stats.Sampler, string, error) {
 	t := eng.(sim.Coupled).TimingModel()
 	sampler := stats.NewSampler(t, interval)
 	t.Probe = func(uint64, int) { sampler.Poll() }
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.RunContext(r.ctx()); err != nil {
 		return nil, "", err
 	}
 	out := "Figure 6 — statistics trace, Linux boot (per-window metrics)\n" + sampler.Render()
@@ -248,7 +291,10 @@ var table3Engines = []struct{ engine, label, note string }{
 
 // Table3 reproduces the simulator comparison: published rows, then every
 // runnable engine on the Linux boot — one sweep across the registry.
-func Table3() (string, error) {
+func Table3() (string, error) { return Runner{}.Table3() }
+
+// Table3 runs the comparison through the runner's fleet.
+func (r Runner) Table3() (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 3 — software simulator performance (Linux boot class workload)\n")
 	fmt.Fprintf(&b, "%-28s %10s %6s\n", "Simulator", "speed", "OS")
@@ -263,7 +309,7 @@ func Table3() (string, error) {
 	for i, row := range table3Engines {
 		engines[i] = row.engine
 	}
-	results := sim.Fleet{}.RunSweep(sim.Sweep{
+	results := r.sweep(sim.Sweep{
 		Workloads: []string{"Linux-2.4"},
 		Engines:   engines,
 		Base:      sim.Params{MaxInstructions: InstCap},
@@ -291,7 +337,10 @@ func Analytical() string {
 // Bottleneck reproduces the §4.5 analysis: the functional-model config
 // ladder, the measured DRC latencies, the 2-basic-block streaming
 // arithmetic and the coherent-HT projection.
-func Bottleneck() (string, error) {
+func Bottleneck() (string, error) { return Runner{}.Bottleneck() }
+
+// Bottleneck runs the analysis through the runner's fleet.
+func (r Runner) Bottleneck() (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "§4.5 — bottleneck analysis\n\n")
 	fmt.Fprintf(&b, "Functional model configuration ladder (Linux boot class):\n")
@@ -336,7 +385,7 @@ func Bottleneck() (string, error) {
 		per2BB/10, 1e3/(per2BB/10))
 
 	// Coherent-HT projection: run the same workload under both links.
-	linkSweep := sim.Fleet{}.RunSweep(sim.Sweep{
+	linkSweep := r.sweep(sim.Sweep{
 		Workloads: []string{"Linux-2.4"},
 		Variants:  []sim.Params{{Link: "drc"}, {Link: "coherent"}},
 		Base:      sim.Params{Predictor: "95%", MaxInstructions: InstCap},
@@ -354,17 +403,20 @@ func Bottleneck() (string, error) {
 }
 
 // Ablations runs A1-A8 of DESIGN.md on a fixed workload.
-func Ablations() (string, error) {
+func Ablations() (string, error) { return Runner{}.Ablations() }
+
+// Ablations runs A1-A8 under the runner's context.
+func (r Runner) Ablations() (string, error) {
 	var b strings.Builder
 	const app = "176.gcc"
 	fmt.Fprintf(&b, "Ablations (%s, gshare)\n", app)
 
 	// A1: parallel (latency-tolerant) vs lockstep coupling.
-	fastRes, err := sim.Run("fast", fastParams(app, "gshare", nil))
+	fastRes, err := r.run("fast", fastParams(app, "gshare"))
 	if err != nil {
 		return "", err
 	}
-	lock, err := sim.Run("lockstep", sim.Params{Workload: app, MaxInstructions: InstCap})
+	lock, err := r.run("lockstep", sim.Params{Workload: app, MaxInstructions: InstCap})
 	if err != nil {
 		return "", err
 	}
@@ -372,12 +424,12 @@ func Ablations() (string, error) {
 		fastRes.TargetMIPS, lock.TargetMIPS, fastRes.TargetMIPS/lock.TargetMIPS)
 
 	// A2: polling frequency.
-	perBB, err := sim.Run("fast", sim.Merge(fastParams(app, "gshare", nil),
+	perBB, err := r.run("fast", sim.Merge(fastParams(app, "gshare"),
 		sim.Params{PollEveryBBs: 1}))
 	if err != nil {
 		return "", err
 	}
-	resteer, err := sim.Run("fast", sim.Merge(fastParams(app, "gshare", nil),
+	resteer, err := r.run("fast", sim.Merge(fastParams(app, "gshare"),
 		sim.Params{PollEveryBBs: sim.PollOnResteer}))
 	if err != nil {
 		return "", err
@@ -391,7 +443,7 @@ func Ablations() (string, error) {
 		linkPer(perBB), linkPer(fastRes), linkPer(resteer))
 
 	// A3: branch-predictor-predictor.
-	bpp, err := sim.Run("fast", sim.Merge(fastParams(app, "gshare", nil),
+	bpp, err := r.run("fast", sim.Merge(fastParams(app, "gshare"),
 		sim.Params{BPP: true}))
 	if err != nil {
 		return "", err
@@ -406,9 +458,8 @@ func Ablations() (string, error) {
 
 	// A5: trace compression.
 	comp := fastRes
-	uncomp, err := sim.Run("fast", fastParams(app, "gshare", func(c *core.Config) {
-		c.FM.Encoding.Uncompressed = true
-	}))
+	uncomp, err := r.run("fast", sim.Merge(fastParams(app, "gshare"),
+		sim.Params{UncompressedTrace: true}))
 	if err != nil {
 		return "", err
 	}
@@ -417,7 +468,7 @@ func Ablations() (string, error) {
 		float64(uncomp.TraceWords)/float64(uncomp.Instructions+uncomp.WrongPath))
 
 	// A6: blocking vs coherent polling reads.
-	coh, err := sim.Run("fast", sim.Merge(fastParams(app, "gshare", nil),
+	coh, err := r.run("fast", sim.Merge(fastParams(app, "gshare"),
 		sim.Params{Link: "coherent"}))
 	if err != nil {
 		return "", err
@@ -429,14 +480,12 @@ func Ablations() (string, error) {
 	// leapfrog checkpoints + replay (§3.2), whose re-execution is the αBA
 	// of §3.1. Needs the live functional model, so it uses the two-phase
 	// engine API instead of sim.Run.
-	cpEng, err := sim.New("fast", fastParams(app, "gshare", func(c *core.Config) {
-		c.FM.Rollback = fm.RollbackCheckpoint
-		c.FM.CheckpointInterval = 64
-	}))
+	cpEng, err := sim.New("fast", sim.Merge(fastParams(app, "gshare"),
+		sim.Params{Rollback: "checkpoint", CheckpointInterval: 64}))
 	if err != nil {
 		return "", err
 	}
-	cp, err := cpEng.Run()
+	cp, err := cpEng.RunContext(r.ctx())
 	if err != nil {
 		return "", err
 	}
@@ -448,9 +497,8 @@ func Ablations() (string, error) {
 	// A8: the §4.1 target limitations fixed — non-blocking caches +
 	// resolve-time recovery ("Improving performance requires both improving
 	// the target microarchitecture ... and going over each module", §4.5).
-	future, err := sim.Run("fast", fastParams(app, "gshare", func(c *core.Config) {
-		c.TM = c.TM.WithFutureMicroarch()
-	}))
+	future, err := r.run("fast", sim.Merge(fastParams(app, "gshare"),
+		sim.Params{FutureMicroarch: true}))
 	if err != nil {
 		return "", err
 	}

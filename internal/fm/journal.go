@@ -359,14 +359,21 @@ func (m *Model) SetPC(in uint64, pc uint32) error {
 		return fmt.Errorf("fm: set_pc(%d) beyond produced instructions (next %d)", in, m.in)
 	}
 	m.Rollbacks++
+	m.obs.rollbacks.Inc()
+	m.obs.journalDepth.Observe(float64(m.engine.window()))
 	if in == m.in {
 		// Pure redirect: the TM re-steers the next instruction before the
 		// FM ran ahead. Still a set_pc round trip, zero work undone.
 		m.PC = pc
 		return nil
 	}
-	m.RolledBack += m.in - in
-	return m.engine.setPC(m, in, pc)
+	undone := m.in - in
+	m.RolledBack += undone
+	m.obs.rolledBack.Add(undone)
+	reBefore := m.ReExecuted()
+	err := m.engine.setPC(m, in, pc)
+	m.obs.reExecuted.Add(m.ReExecuted() - reBefore)
+	return err
 }
 
 // Compatibility wrappers used by the executor.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fullsys"
 	"repro/internal/isa"
 	"repro/internal/microcode"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -58,6 +59,10 @@ type Config struct {
 	// CheckpointInterval is the instruction distance between leapfrog
 	// checkpoints (RollbackCheckpoint only; default 64).
 	CheckpointInterval int
+	// Telemetry, when non-nil, receives rollback/re-execution counters and
+	// the journal-depth distribution (fm_* series). Nil telemetry costs one
+	// nil check per rollback event.
+	Telemetry *obs.Telemetry
 }
 
 // Model is the speculative functional model.
@@ -77,6 +82,7 @@ type Model struct {
 	replay bool   // inside a checkpoint-engine replay: skip statistics
 
 	engine rollbackEngine
+	obs    fmInstruments
 
 	// Statistics.
 	Coverage   microcode.CoverageStats
@@ -113,7 +119,39 @@ func New(cfg Config) *Model {
 	} else {
 		m.engine = &journalEngine{}
 	}
+	m.obs.attach(cfg.Telemetry)
 	return m
+}
+
+// fmInstruments are the functional model's observability handles. Fields
+// are nil when telemetry is disabled; every obs method is nil-safe.
+type fmInstruments struct {
+	rollbacks    *obs.Counter
+	rolledBack   *obs.Counter
+	reExecuted   *obs.Counter
+	journalDepth *obs.Histogram
+}
+
+func (i *fmInstruments) attach(tel *obs.Telemetry) {
+	if tel == nil {
+		return
+	}
+	i.rollbacks = tel.Counter("fm_rollbacks_total")
+	i.rolledBack = tel.Counter("fm_rolled_back_instructions_total")
+	i.reExecuted = tel.Counter("fm_reexecuted_instructions_total")
+	i.journalDepth = tel.Histogram("fm_journal_depth", obs.DepthBuckets)
+}
+
+// PublishTelemetry flushes the run-total FM statistics that are not worth
+// counting incrementally (interrupts, exceptions, trace words) into tel.
+// The coupled simulator calls it once when a run finishes.
+func (m *Model) PublishTelemetry(tel *obs.Telemetry) {
+	if tel == nil {
+		return
+	}
+	tel.Counter("fm_interrupts_total").Add(m.Interrupts)
+	tel.Counter("fm_exceptions_total").Add(m.Exceptions)
+	tel.Counter("fm_trace_words_total").Add(m.TraceWords)
 }
 
 // Table exposes the microcode table (shared with the timing model).

@@ -18,6 +18,8 @@
 //     branch").
 package hostlink
 
+import "repro/internal/obs"
+
 // Config holds link latencies in nanoseconds.
 type Config struct {
 	Name string
@@ -76,22 +78,41 @@ func CoherentHT() Config {
 	}
 }
 
-// Stats counts link traffic.
+// Stats counts link traffic. The JSON tags are a stable serialization
+// schema shared by `fastsim -json` and the obs exporters.
 type Stats struct {
-	Reads      uint64
-	Writes     uint64
-	BurstWords uint64
-	Nanos      float64
+	Reads      uint64  `json:"reads"`
+	Writes     uint64  `json:"writes"`
+	BurstWords uint64  `json:"burst_words"`
+	Nanos      float64 `json:"nanos"`
 }
 
 // Link accumulates the host-side time spent on the CPU↔FPGA channel.
 type Link struct {
 	cfg   Config
 	stats Stats
+
+	// Per-operation latency histograms (hostlink_transfer_nanos{op=...}).
+	// Nil when telemetry is disabled; obs methods are nil-safe, so the
+	// disabled hot-path cost is one nil check per transfer.
+	readH  *obs.Histogram
+	writeH *obs.Histogram
+	burstH *obs.Histogram
 }
 
 // New builds a link with the given configuration.
 func New(cfg Config) *Link { return &Link{cfg: cfg} }
+
+// Attach wires the link's transfer-latency histograms into tel. Call before
+// traffic flows; a nil tel leaves the link uninstrumented.
+func (l *Link) Attach(tel *obs.Telemetry) {
+	if tel == nil {
+		return
+	}
+	l.readH = tel.Histogram(obs.L("hostlink_transfer_nanos", "op", "read"), obs.NanosBuckets)
+	l.writeH = tel.Histogram(obs.L("hostlink_transfer_nanos", "op", "write"), obs.NanosBuckets)
+	l.burstH = tel.Histogram(obs.L("hostlink_transfer_nanos", "op", "burst_write"), obs.NanosBuckets)
+}
 
 // Config returns the link configuration.
 func (l *Link) Config() Config { return l.cfg }
@@ -103,6 +124,7 @@ func (l *Link) Stats() Stats { return l.stats }
 func (l *Link) Read() float64 {
 	l.stats.Reads++
 	l.stats.Nanos += l.cfg.ReadNanos
+	l.readH.Observe(l.cfg.ReadNanos)
 	return l.cfg.ReadNanos
 }
 
@@ -110,6 +132,7 @@ func (l *Link) Read() float64 {
 func (l *Link) Write() float64 {
 	l.stats.Writes++
 	l.stats.Nanos += l.cfg.WriteNanos
+	l.writeH.Observe(l.cfg.WriteNanos)
 	return l.cfg.WriteNanos
 }
 
@@ -119,6 +142,7 @@ func (l *Link) BurstWrite(words int) float64 {
 	l.stats.BurstWords += uint64(words)
 	ns := float64(words) * l.cfg.BurstWriteNanosPerWord
 	l.stats.Nanos += ns
+	l.burstH.Observe(ns)
 	return ns
 }
 
@@ -135,6 +159,7 @@ func (l *Link) Poll(reads int) float64 {
 			// which callers charge via Read().
 			l.stats.Reads++
 			l.stats.Nanos++
+			l.readH.Observe(1)
 			ns++
 		}
 	}

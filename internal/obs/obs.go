@@ -1,0 +1,378 @@
+// Package obs is the observability layer: a zero-dependency metrics
+// registry (counters, gauges, histograms with atomic hot paths), a per-run
+// Telemetry object that engines attach at Configure time, and two exporters
+// — a Prometheus-style text dump (WritePrometheus) and a Chrome trace_event
+// JSON timeline (TraceLog.WriteJSON) of FM/TM/link phases.
+//
+// The paper's argument rests on measuring where simulator time goes (§3.1's
+// Amdahl model, Table 3's FM/TM breakdown); this package makes those
+// measurements first-class so every layer — internal/fm (rollbacks,
+// re-execution, journal depth), internal/tm (per-class issue, stall
+// reasons, predictor outcomes), internal/hostlink (transfer latency
+// histograms) and sim.Fleet (queue wait, per-point wall time) — reports
+// into one registry instead of ad-hoc struct fields.
+//
+// Two properties make it safe to wire into hot paths:
+//
+//   - Every metric method is nil-receiver safe. Instrumented code holds
+//     plain *Counter / *Histogram fields that are nil when telemetry is
+//     disabled; the disabled cost is one nil check per event, with no
+//     branches at the call sites.
+//
+//   - Every mutation is a single atomic operation (histograms add one CAS
+//     loop for the running sum), so concurrent sim.Fleet workers write the
+//     same registry without locks on the hot path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (occupancy, depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger (a high-water mark).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.v.Load()
+		if v <= old || g.v.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative on
+// export (Prometheus convention); Observe is one atomic add per bucket plus
+// a CAS loop for the sum.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one sample. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of samples (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// NanosBuckets is the default latency bucket ladder for host-link and
+// host-time histograms, in nanoseconds: it straddles the paper's measured
+// latencies (20 ns/word bursts, 307 ns writes, 469 ns blocking reads).
+var NanosBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+
+// DepthBuckets is the default ladder for queue/journal depth histograms.
+var DepthBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// SecondsBuckets is the default ladder for wall-clock histograms (fleet
+// queue wait and per-point run time).
+var SecondsBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+
+// metricKind discriminates registry entries for export.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a named metric store. Get-or-create accessors make wiring
+// idempotent: two subsystems asking for the same series share the metric.
+// The registry lock covers registration only; metric mutation is lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]metric{}}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindCounter {
+			panic(fmt.Sprintf("obs: %q already registered with a different type", name))
+		}
+		return m.c
+	}
+	c := &Counter{}
+	r.metrics[name] = metric{kind: kindCounter, c: c}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindGauge {
+			panic(fmt.Sprintf("obs: %q already registered with a different type", name))
+		}
+		return m.g
+	}
+	g := &Gauge{}
+	r.metrics[name] = metric{kind: kindGauge, g: g}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (bounds are ignored on later calls). A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindHistogram {
+			panic(fmt.Sprintf("obs: %q already registered with a different type", name))
+		}
+		return m.h
+	}
+	if len(bounds) == 0 {
+		bounds = NanosBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: %q histogram bounds not ascending", name))
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.metrics[name] = metric{kind: kindHistogram, h: h}
+	return h
+}
+
+// Names returns the registered series names, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// L renders a labeled series name in the Prometheus idiom:
+// L("tm_stalls_total", "reason", "rob_full") → `tm_stalls_total{reason="rob_full"}`.
+// Pairs are emitted in argument order; callers keep it stable so the same
+// series is hit every time.
+func L(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: L needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitName separates a series name into its base and label block:
+// `a{b="c"}` → ("a", `b="c"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// WritePrometheus dumps every metric in the Prometheus text exposition
+// format, sorted by name, with one # TYPE comment per metric family.
+// Histograms expand into cumulative _bucket{le=...} series plus _sum and
+// _count, merging any existing labels with the le label.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	snapshot := make(map[string]metric, len(r.metrics))
+	for n, m := range r.metrics {
+		snapshot[n] = m
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(snapshot))
+	for n := range snapshot {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	typed := map[string]bool{} // base names that already got a # TYPE line
+	for _, name := range names {
+		m := snapshot[name]
+		base, labels := splitName(name)
+		kind := "counter"
+		if m.kind == kindGauge {
+			kind = "gauge"
+		} else if m.kind == kindHistogram {
+			kind = "histogram"
+		}
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind); err != nil {
+				return err
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, m.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, m.g.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if err := writeHistogram(w, base, labels, m.h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, base, labels string, h *Histogram) error {
+	withLE := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("%s_bucket{le=%q}", base, le)
+		}
+		return fmt.Sprintf("%s_bucket{%s,le=%q}", base, labels, le)
+	}
+	suffixed := func(suffix string) string {
+		if labels == "" {
+			return base + suffix
+		}
+		return fmt.Sprintf("%s%s{%s}", base, suffix, labels)
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLE(formatBound(b)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLE("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %g\n", suffixed("_sum"), h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", suffixed("_count"), h.Count())
+	return err
+}
+
+// formatBound renders a bucket bound without trailing zeros (0.5, 20, 469).
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety exercises every metric method on nil receivers — the
+// property that lets disabled telemetry flow through instrumented code as
+// plain nil fields.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter value != 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Error("nil gauge value != 0")
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram not empty")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Error("nil registry should hand out nil metrics")
+	}
+	if r.Names() != nil {
+		t.Error("nil registry Names != nil")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+	var tel *Telemetry
+	if tel.Counter("x") != nil || tel.Gauge("x") != nil ||
+		tel.Histogram("x", nil) != nil || tel.TraceLog() != nil {
+		t.Error("nil telemetry should hand out nil handles")
+	}
+}
+
+// TestRegistryGetOrCreate checks that the accessors are idempotent (same
+// pointer both times) and that a name cannot change type.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("c") != r.Counter("c") {
+		t.Error("Counter not idempotent")
+	}
+	if r.Histogram("h", DepthBuckets) != r.Histogram("h", nil) {
+		t.Error("Histogram not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type mismatch should panic")
+		}
+	}()
+	r.Gauge("c")
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines — both
+// registration (locked) and mutation (atomic) — and checks the totals.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			h := r.Histogram("shared_nanos", NanosBuckets)
+			g := r.Gauge("shared_peak")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i % 7))
+				g.SetMax(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared_nanos", nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("shared_peak").Value(); got != perWorker-1 {
+		t.Errorf("gauge high-water = %d, want %d", got, perWorker-1)
+	}
+}
+
+// TestHistogramBuckets checks sample→bucket placement against the
+// cumulative counts the exporter prints.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 11, 99, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5+10+11+99+100+101+5000 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// le is inclusive: 10 lands in le="10", 100 in le="100".
+	for _, want := range []string{
+		`lat_bucket{le="10"} 2`,
+		`lat_bucket{le="100"} 5`,
+		`lat_bucket{le="1000"} 6`,
+		`lat_bucket{le="+Inf"} 7`,
+		"lat_sum 5326",
+		"lat_count 7",
+		"# TYPE lat histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusFormat checks the text exposition shape: one # TYPE per
+// family, sorted series, label merging on histogram buckets.
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Gauge("a_depth").Set(7)
+	r.Histogram(L("h_nanos", "op", "read"), []float64{1}).Observe(0.5)
+	r.Histogram(L("h_nanos", "op", "write"), []float64{1}).Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "# TYPE a_depth gauge") {
+		t.Errorf("series not sorted, first line %q", lines[0])
+	}
+	if n := strings.Count(out, "# TYPE h_nanos histogram"); n != 1 {
+		t.Errorf("labeled histogram family should get one TYPE line, got %d", n)
+	}
+	for _, want := range []string{
+		"a_depth 7",
+		"b_total 2",
+		`h_nanos_bucket{op="read",le="1"} 1`,
+		`h_nanos_bucket{op="write",le="+Inf"} 1`,
+		`h_nanos_sum{op="write"} 2`,
+		`h_nanos_count{op="read"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLabelHelper checks the L() rendering and its argument contract.
+func TestLabelHelper(t *testing.T) {
+	if got := L("x_total"); got != "x_total" {
+		t.Errorf("L no-labels = %q", got)
+	}
+	if got := L("x_total", "a", "1", "b", "2"); got != `x_total{a="1",b="2"}` {
+		t.Errorf("L = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd kv count should panic")
+		}
+	}()
+	L("x", "orphan")
+}

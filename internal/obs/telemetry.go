@@ -1,0 +1,61 @@
+package obs
+
+// Telemetry is the per-run observability handle. Engines accept one through
+// sim.Params and attach it at Configure time; every instrumented layer (fm,
+// tm, hostlink, core, sim.Fleet) resolves its metric handles from Metrics
+// and, when Trace is non-nil, appends timeline events to it.
+//
+// A single Telemetry may be shared across concurrent fleet points: metric
+// mutation is atomic and the trace log is mutex-protected, so aggregate
+// counters simply sum across runs. All methods are nil-receiver safe, so a
+// disabled run passes nil all the way down.
+type Telemetry struct {
+	// Metrics is the metric registry (always non-nil on a constructed
+	// Telemetry).
+	Metrics *Registry
+	// Trace is the Chrome trace_event timeline, nil unless the caller asked
+	// for one (it allocates per event, unlike the metrics hot path).
+	Trace *TraceLog
+}
+
+// New builds a Telemetry with a fresh registry and no timeline.
+func New() *Telemetry {
+	return &Telemetry{Metrics: NewRegistry()}
+}
+
+// NewWithTrace builds a Telemetry that also captures the event timeline.
+func NewWithTrace() *Telemetry {
+	return &Telemetry{Metrics: NewRegistry(), Trace: NewTraceLog()}
+}
+
+// Counter resolves a counter, or nil when t is nil.
+func (t *Telemetry) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics.Counter(name)
+}
+
+// Gauge resolves a gauge, or nil when t is nil.
+func (t *Telemetry) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics.Gauge(name)
+}
+
+// Histogram resolves a histogram, or nil when t is nil.
+func (t *Telemetry) Histogram(name string, bounds []float64) *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics.Histogram(name, bounds)
+}
+
+// TraceLog returns the timeline, or nil when t is nil or tracing is off.
+func (t *Telemetry) TraceLog() *TraceLog {
+	if t == nil {
+		return nil
+	}
+	return t.Trace
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceEvent is one Chrome trace_event record. Timestamps and durations are
+// microseconds (the trace_event convention); helpers below convert from the
+// nanoseconds the simulator accounts in. Load the written file in
+// chrome://tracing or https://ui.perfetto.dev.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceLog accumulates trace events. Appends are mutex-protected so the
+// FM/TM goroutines of a parallel coupling and concurrent fleet workers can
+// share one log; the trace path is opt-in precisely because each event
+// allocates.
+type TraceLog struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTraceLog builds an empty log.
+func NewTraceLog() *TraceLog { return &TraceLog{} }
+
+// pidCounter hands out distinct trace process ids so concurrent runs
+// sharing one log (a fleet) land on separate tracks. pid 0 is reserved for
+// the fleet itself.
+var pidCounter atomic.Int64
+
+// NextPID returns a fresh trace process id (1, 2, 3, ...).
+func NextPID() int { return int(pidCounter.Add(1)) }
+
+// Emit appends one raw event. Safe on a nil receiver (no-op).
+func (l *TraceLog) Emit(ev TraceEvent) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+// Complete appends a complete ("X") span covering [tsNanos, tsNanos+durNanos).
+func (l *TraceLog) Complete(cat, name string, pid, tid int, tsNanos, durNanos float64, args map[string]any) {
+	l.Emit(TraceEvent{Name: name, Cat: cat, Ph: "X", TS: tsNanos / 1e3, Dur: durNanos / 1e3,
+		PID: pid, TID: tid, Args: args})
+}
+
+// Instant appends an instant ("i") event at tsNanos.
+func (l *TraceLog) Instant(cat, name string, pid, tid int, tsNanos float64, args map[string]any) {
+	l.Emit(TraceEvent{Name: name, Cat: cat, Ph: "i", TS: tsNanos / 1e3, PID: pid, TID: tid, Args: args})
+}
+
+// CounterSample appends a counter ("C") sample; values render as a stacked
+// area series in the trace viewer.
+func (l *TraceLog) CounterSample(name string, pid int, tsNanos float64, values map[string]any) {
+	l.Emit(TraceEvent{Name: name, Ph: "C", TS: tsNanos / 1e3, PID: pid, Args: values})
+}
+
+// ThreadName appends a metadata ("M") event labeling (pid, tid) in the
+// viewer's track list.
+func (l *TraceLog) ThreadName(pid, tid int, name string) {
+	l.Emit(TraceEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// ProcessName appends a metadata ("M") event labeling pid.
+func (l *TraceLog) ProcessName(pid int, name string) {
+	l.Emit(TraceEvent{Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name}})
+}
+
+// Len returns the number of recorded events (0 on a nil receiver).
+func (l *TraceLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the recorded events.
+func (l *TraceLog) Events() []TraceEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TraceEvent, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// traceFile is the JSON object format of the trace_event specification.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the log in the Chrome trace_event JSON object format.
+func (l *TraceLog) WriteJSON(w io.Writer) error {
+	events := l.Events()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTraceLogEvents checks event capture, nanos→micros conversion and
+// nil-receiver safety.
+func TestTraceLogEvents(t *testing.T) {
+	var nilLog *TraceLog
+	nilLog.Complete("c", "n", 1, 1, 0, 0, nil)
+	nilLog.Instant("c", "n", 1, 1, 0, nil)
+	nilLog.CounterSample("n", 1, 0, nil)
+	if nilLog.Len() != 0 || nilLog.Events() != nil {
+		t.Error("nil trace log should be inert")
+	}
+
+	l := NewTraceLog()
+	l.ProcessName(1, "run")
+	l.ThreadName(1, 2, "FM")
+	l.Complete("phase", "fm", 1, 2, 2000, 4000, map[string]any{"k": 3})
+	l.Instant("resteer", "mispredict", 1, 2, 2500, nil)
+	l.CounterSample("tb_occupancy", 1, 3000, map[string]any{"entries": 17})
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	evs := l.Events()
+	if evs[2].TS != 2 || evs[2].Dur != 4 {
+		t.Errorf("complete span not converted to micros: ts=%v dur=%v", evs[2].TS, evs[2].Dur)
+	}
+	if evs[0].Ph != "M" || evs[2].Ph != "X" || evs[3].Ph != "i" || evs[4].Ph != "C" {
+		t.Errorf("phase letters wrong: %+v", evs)
+	}
+}
+
+// TestWriteJSONValid round-trips the exported file through encoding/json
+// and checks the Chrome trace_event object format.
+func TestWriteJSONValid(t *testing.T) {
+	l := NewTraceLog()
+	l.Complete("phase", "tm", 1, 1, 0, 1e6, nil)
+	var b strings.Builder
+	if err := l.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &f); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" || len(f.TraceEvents) != 1 {
+		t.Errorf("unexpected file shape: %+v", f)
+	}
+
+	// An empty log must still be a valid (loadable) trace file.
+	b.Reset()
+	if err := NewTraceLog().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b.String()), &f); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+	if f.TraceEvents == nil {
+		t.Error("traceEvents should serialize as [], not null")
+	}
+}
+
+// TestTraceLogConcurrent appends from many goroutines — the parallel
+// coupling's FM/TM and fleet workers share one log.
+func TestTraceLogConcurrent(t *testing.T) {
+	l := NewTraceLog()
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Instant("cat", "ev", pid, 1, float64(i), nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != workers*per {
+		t.Errorf("Len = %d, want %d", l.Len(), workers*per)
+	}
+}
+
+// TestNextPID checks ids are distinct and increasing.
+func TestNextPID(t *testing.T) {
+	a, b := NextPID(), NextPID()
+	if a <= 0 || b <= a {
+		t.Errorf("NextPID not increasing: %d, %d", a, b)
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/fm"
@@ -69,6 +71,9 @@ func (e *fastEngine) Describe() string {
 }
 
 func (e *fastEngine) Configure(p Params) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
 	prog, boot, fmCfg, err := prepare(p)
 	if err != nil {
 		return err
@@ -83,11 +88,22 @@ func (e *fastEngine) Configure(p Params) error {
 	cfg.Link = link
 	cfg.BPP = p.BPP
 	cfg.MaxInstructions = p.MaxInstructions
+	cfg.Telemetry = p.Telemetry
 	switch {
 	case p.PollEveryBBs > 0:
 		cfg.PollEveryBBs = p.PollEveryBBs
 	case p.PollEveryBBs == PollOnResteer:
 		cfg.PollEveryBBs = 0
+	}
+	if p.Rollback == "checkpoint" {
+		cfg.FM.Rollback = fm.RollbackCheckpoint
+		cfg.FM.CheckpointInterval = p.CheckpointInterval
+	}
+	if p.UncompressedTrace {
+		cfg.FM.Encoding.Uncompressed = true
+	}
+	if p.FutureMicroarch {
+		cfg.TM = cfg.TM.WithFutureMicroarch()
 	}
 	if p.Mutate != nil {
 		p.Mutate(&cfg)
@@ -111,7 +127,9 @@ func (e *fastEngine) Configure(p Params) error {
 	return nil
 }
 
-func (e *fastEngine) Run() (Result, error) {
+func (e *fastEngine) Run() (Result, error) { return e.RunContext(context.Background()) }
+
+func (e *fastEngine) RunContext(ctx context.Context) (Result, error) {
 	var (
 		r   core.Result
 		err error
@@ -119,9 +137,9 @@ func (e *fastEngine) Run() (Result, error) {
 	name := "fast"
 	if e.parallel {
 		name = "fast-parallel"
-		r, err = e.par.Run()
+		r, err = e.par.RunContext(ctx)
 	} else {
-		r, err = e.serial.Run()
+		r, err = e.serial.RunContext(ctx)
 	}
 	return fromCore(name, e.params, r), err
 }
@@ -202,12 +220,15 @@ type monoEngine struct {
 	cost              baseline.SoftwareCost
 	params            Params
 	boot              *workload.Boot
-	run               func() (baseline.Result, error)
+	run               func(context.Context) (baseline.Result, error)
 }
 
 func (e *monoEngine) Describe() string { return e.desc }
 
 func (e *monoEngine) Configure(p Params) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
 	prog, boot, fmCfg, err := prepare(p)
 	if err != nil {
 		return err
@@ -220,12 +241,14 @@ func (e *monoEngine) Configure(p Params) error {
 		Label: e.label, MaxInstructions: p.MaxInstructions,
 	}
 	e.params, e.boot = p, boot
-	e.run = func() (baseline.Result, error) { return b.Run(prog) }
+	e.run = func(ctx context.Context) (baseline.Result, error) { return b.RunContext(ctx, prog) }
 	return nil
 }
 
-func (e *monoEngine) Run() (Result, error) {
-	r, err := e.run()
+func (e *monoEngine) Run() (Result, error) { return e.RunContext(context.Background()) }
+
+func (e *monoEngine) RunContext(ctx context.Context) (Result, error) {
+	r, err := e.run(ctx)
 	return fromBaseline(e.name, e.params, r), err
 }
 
@@ -236,7 +259,7 @@ func (e *monoEngine) Boot() *workload.Boot { return e.boot }
 type lockstepEngine struct {
 	params Params
 	boot   *workload.Boot
-	run    func() (baseline.Result, error)
+	run    func(context.Context) (baseline.Result, error)
 }
 
 func (e *lockstepEngine) Describe() string {
@@ -244,6 +267,9 @@ func (e *lockstepEngine) Describe() string {
 }
 
 func (e *lockstepEngine) Configure(p Params) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
 	prog, boot, fmCfg, err := prepare(p)
 	if err != nil {
 		return err
@@ -258,12 +284,14 @@ func (e *lockstepEngine) Configure(p Params) error {
 		MaxInstructions: p.MaxInstructions,
 	}
 	e.params, e.boot = p, boot
-	e.run = func() (baseline.Result, error) { return b.Run(prog) }
+	e.run = func(ctx context.Context) (baseline.Result, error) { return b.RunContext(ctx, prog) }
 	return nil
 }
 
-func (e *lockstepEngine) Run() (Result, error) {
-	r, err := e.run()
+func (e *lockstepEngine) Run() (Result, error) { return e.RunContext(context.Background()) }
+
+func (e *lockstepEngine) RunContext(ctx context.Context) (Result, error) {
+	r, err := e.run(ctx)
 	return fromBaseline("lockstep", e.params, r), err
 }
 
@@ -275,7 +303,7 @@ func (e *lockstepEngine) Boot() *workload.Boot { return e.boot }
 type fsbEngine struct {
 	params   Params
 	boot     *workload.Boot
-	run      func() (baseline.Result, baseline.Result, error)
+	run      func(context.Context) (baseline.Result, baseline.Result, error)
 	software Result
 }
 
@@ -284,6 +312,9 @@ func (e *fsbEngine) Describe() string {
 }
 
 func (e *fsbEngine) Configure(p Params) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
 	prog, boot, fmCfg, err := prepare(p)
 	if err != nil {
 		return err
@@ -297,12 +328,16 @@ func (e *fsbEngine) Configure(p Params) error {
 		Link: link, MaxInstructions: p.MaxInstructions,
 	}
 	e.params, e.boot = p, boot
-	e.run = func() (baseline.Result, baseline.Result, error) { return b.Run(prog) }
+	e.run = func(ctx context.Context) (baseline.Result, baseline.Result, error) {
+		return b.RunContext(ctx, prog)
+	}
 	return nil
 }
 
-func (e *fsbEngine) Run() (Result, error) {
-	withFPGA, software, err := e.run()
+func (e *fsbEngine) Run() (Result, error) { return e.RunContext(context.Background()) }
+
+func (e *fsbEngine) RunContext(ctx context.Context) (Result, error) {
+	withFPGA, software, err := e.run(ctx)
 	if err != nil {
 		return Result{}, err
 	}
@@ -310,6 +345,8 @@ func (e *fsbEngine) Run() (Result, error) {
 	e.software.Engine = "fsbcache(software)"
 	return fromBaseline("fsbcache", e.params, withFPGA), nil
 }
+
+func (e *fsbEngine) Boot() *workload.Boot { return e.boot }
 
 // Software returns the unmodified pure-software result of the same run —
 // the comparison point that shows the FSB cache makes things *slower*.

@@ -1,12 +1,15 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Point is one simulation to run: an engine name plus its parameters.
@@ -99,6 +102,21 @@ func Merge(base, v Params) Params {
 	if v.MaxInstructions != 0 {
 		p.MaxInstructions = v.MaxInstructions
 	}
+	if v.Rollback != "" {
+		p.Rollback = v.Rollback
+	}
+	if v.CheckpointInterval != 0 {
+		p.CheckpointInterval = v.CheckpointInterval
+	}
+	if v.UncompressedTrace {
+		p.UncompressedTrace = true
+	}
+	if v.FutureMicroarch {
+		p.FutureMicroarch = true
+	}
+	if v.Telemetry != nil {
+		p.Telemetry = v.Telemetry
+	}
 	if v.Mutate != nil {
 		if base.Mutate != nil {
 			baseMut, varMut := base.Mutate, v.Mutate
@@ -127,12 +145,56 @@ type PointResult struct {
 type Fleet struct {
 	// Workers bounds concurrency; <=0 means GOMAXPROCS.
 	Workers int
+
+	// Telemetry, when non-nil, receives fleet-level metrics (points run,
+	// errors, queue wait, per-point wall time) and — if it carries a
+	// TraceLog — one span per executed point on the fleet track (trace
+	// pid 0, one tid per worker). Point runs additionally inherit it
+	// through Params.Telemetry when that is unset.
+	Telemetry *obs.Telemetry
+
+	// Progress, when non-nil, is called after every completed point with
+	// the count finished so far and the fleet total. Calls are serialized;
+	// keep it cheap (a status line, not I/O-heavy work).
+	Progress func(done, total int, pr PointResult)
+}
+
+// fleetInstruments resolves the fleet's metric handles once per Run; all
+// fields are nil (and every method a no-op) when telemetry is off.
+type fleetInstruments struct {
+	points    *obs.Counter
+	errors    *obs.Counter
+	queueWait *obs.Histogram
+	pointSecs *obs.Histogram
+	tlog      *obs.TraceLog
+}
+
+func (f Fleet) instruments() fleetInstruments {
+	var ins fleetInstruments
+	if f.Telemetry == nil {
+		return ins
+	}
+	ins.points = f.Telemetry.Counter("fleet_points_total")
+	ins.errors = f.Telemetry.Counter("fleet_point_errors_total")
+	ins.queueWait = f.Telemetry.Histogram("fleet_queue_wait_seconds", obs.SecondsBuckets)
+	ins.pointSecs = f.Telemetry.Histogram("fleet_point_seconds", obs.SecondsBuckets)
+	if ins.tlog = f.Telemetry.TraceLog(); ins.tlog != nil {
+		ins.tlog.ProcessName(0, "fleet")
+	}
+	return ins
 }
 
 // Run executes every point and returns results indexed and ordered exactly
 // like points. It never aborts early: a failing point is captured in its
 // slot and the rest of the fleet keeps going.
 func (f Fleet) Run(points []Point) []PointResult {
+	return f.RunContext(context.Background(), points)
+}
+
+// RunContext is Run with cooperative cancellation: in-flight points stop at
+// their next cycle boundary, unclaimed points are marked with ctx.Err()
+// without running, and the full spec-order slice still comes back.
+func (f Fleet) RunContext(ctx context.Context, points []Point) []PointResult {
 	results := make([]PointResult, len(points))
 	workers := f.Workers
 	if workers <= 0 {
@@ -141,9 +203,44 @@ func (f Fleet) Run(points []Point) []PointResult {
 	if workers > len(points) {
 		workers = len(points)
 	}
+	ins := f.instruments()
+	start := time.Now()
+	var mu sync.Mutex // serializes Progress calls
+	done := 0
+	finish := func(i, worker int, claimed time.Time, pr PointResult) {
+		wall := time.Since(claimed)
+		ins.points.Inc()
+		if pr.Err != nil {
+			ins.errors.Inc()
+		}
+		ins.queueWait.Observe(claimed.Sub(start).Seconds())
+		ins.pointSecs.Observe(wall.Seconds())
+		if ins.tlog != nil {
+			ins.tlog.Complete("fleet", pr.Point.String(), 0, worker+1,
+				float64(claimed.Sub(start).Nanoseconds()), float64(wall.Nanoseconds()),
+				map[string]any{"index": i, "err": pr.Err != nil})
+		}
+		results[i] = pr
+		if f.Progress != nil {
+			mu.Lock()
+			done++
+			f.Progress(done, len(points), pr)
+			mu.Unlock()
+		}
+	}
+	run := func(worker int, i int) {
+		if err := ctx.Err(); err != nil {
+			// Cancelled before the point started: record the reason, skip
+			// the run.
+			results[i] = PointResult{Index: i, Point: points[i], Err: err}
+			return
+		}
+		claimed := time.Now()
+		finish(i, worker, claimed, runPoint(ctx, i, points[i], f.Telemetry))
+	}
 	if workers <= 1 {
-		for i, pt := range points {
-			results[i] = runPoint(i, pt)
+		for i := range points {
+			run(0, i)
 		}
 		return results
 	}
@@ -151,16 +248,16 @@ func (f Fleet) Run(points []Point) []PointResult {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
 					return
 				}
-				results[i] = runPoint(i, points[i])
+				run(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return results
@@ -170,15 +267,19 @@ func (f Fleet) Run(points []Point) []PointResult {
 func (f Fleet) RunSweep(s Sweep) []PointResult { return f.Run(s.Points()) }
 
 // runPoint executes one point, converting panics into per-point errors so
-// a corrupt configuration cannot take the whole fleet down.
-func runPoint(i int, pt Point) (pr PointResult) {
+// a corrupt configuration cannot take the whole fleet down. The fleet's
+// telemetry flows into the point unless the point carries its own.
+func runPoint(ctx context.Context, i int, pt Point, tel *obs.Telemetry) (pr PointResult) {
 	pr = PointResult{Index: i, Point: pt}
 	defer func() {
 		if rec := recover(); rec != nil {
 			pr.Err = fmt.Errorf("sim: point %d (%s) panicked: %v", i, pt, rec)
 		}
 	}()
-	pr.Result, pr.Err = Run(pt.Engine, pt.Params)
+	if pt.Params.Telemetry == nil {
+		pt.Params.Telemetry = tel
+	}
+	pr.Result, pr.Err = RunContext(ctx, pt.Engine, pt.Params)
 	return pr
 }
 

@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/fm"
 	"repro/internal/hostlink"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/tm"
 	"repro/internal/workload"
 )
@@ -59,11 +61,52 @@ type Params struct {
 	// completion).
 	MaxInstructions uint64
 
+	// Rollback selects the FM recovery mechanism: "" or "journal" (the
+	// per-instruction undo journal), "checkpoint" (periodic register-file
+	// checkpoints, ablation A7). FAST engines only.
+	Rollback string
+	// CheckpointInterval is the instructions-per-checkpoint spacing when
+	// Rollback is "checkpoint"; 0 = the FM default.
+	CheckpointInterval int
+	// UncompressedTrace disables the trace-word compression of §2.2, so
+	// every entry ships full-width over the link (ablation A5). FAST
+	// engines only.
+	UncompressedTrace bool
+	// FutureMicroarch swaps in the scaled-up future target
+	// microarchitecture (ablation A8). FAST engines only.
+	FutureMicroarch bool
+
+	// Telemetry, when non-nil, receives the run's metrics and (if it
+	// carries a TraceLog) its timeline. Safe to share across concurrent
+	// fleet points: metric hot paths are atomic and trace appends are
+	// locked.
+	Telemetry *obs.Telemetry
+
 	// Mutate, when non-nil, is applied to the assembled core.Config just
-	// before construction — the escape hatch for ablation knobs (rollback
-	// engine, trace encoding, future microarchitecture, ...) that are not
-	// sweep axes. Only the FAST engines honour it; baselines ignore it.
+	// before construction.
+	//
+	// Deprecated for sweep axes: anything a sweep varies should be a named
+	// Params field (as Rollback, UncompressedTrace, FutureMicroarch now
+	// are) so points stay comparable, serializable and printable. Mutate
+	// remains only as the escape hatch for one-off instrumentation hooks
+	// that have no business in the schema. Only the FAST engines honour
+	// it; baselines ignore it.
 	Mutate func(*core.Config)
+}
+
+// validate rejects parameter values no engine can honour. Engines call it
+// from Configure; the named-field checks live here so every engine rejects
+// the same bad inputs with the same messages.
+func (p Params) validate() error {
+	switch p.Rollback {
+	case "", "journal", "checkpoint":
+	default:
+		return fmt.Errorf("sim: unknown rollback %q (want journal, checkpoint)", p.Rollback)
+	}
+	if p.CheckpointInterval < 0 {
+		return fmt.Errorf("sim: negative checkpoint interval %d", p.CheckpointInterval)
+	}
+	return nil
 }
 
 // workloadSpec resolves the named workload.
@@ -108,34 +151,38 @@ func (p Params) tmConfig() tm.Config {
 // have no host-partitioned cost model (the baselines) leave the FM/TM
 // breakdown and link statistics zero; everything architectural is always
 // filled in, which is what makes cross-engine conformance checkable.
+//
+// The JSON tags are a stable serialization schema: `fastsim -json` emits
+// one Result object per run, and downstream tooling may rely on the field
+// names. Add fields freely; never rename or repurpose a tag.
 type Result struct {
-	Engine   string // registry name of the engine that produced this
-	Workload string
+	Engine   string `json:"engine"` // registry name of the engine that produced this
+	Workload string `json:"workload"`
 
 	// Architectural counters — identical across engines by construction
 	// (every simulator executes the same target).
-	Instructions uint64 // committed (right-path) instructions
-	BasicBlocks  uint64 // committed control transfers
-	TargetCycles uint64
-	IPC          float64
+	Instructions uint64  `json:"instructions"` // committed (right-path) instructions
+	BasicBlocks  uint64  `json:"basic_blocks"` // committed control transfers
+	TargetCycles uint64  `json:"target_cycles"`
+	IPC          float64 `json:"ipc"`
 
 	// Host-time accounting.
-	FMNanos    float64 // functional-model side (FAST engines only)
-	TMNanos    float64 // timing-model side (FAST engines only)
-	SimNanos   float64 // end-to-end simulated wall time
-	TargetMIPS float64 // the paper's Figure 4 metric
-	KIPS       float64 // the paper's Table 3 metric
+	FMNanos    float64 `json:"fm_nanos"`    // functional-model side (FAST engines only)
+	TMNanos    float64 `json:"tm_nanos"`    // timing-model side (FAST engines only)
+	SimNanos   float64 `json:"sim_nanos"`   // end-to-end simulated wall time
+	TargetMIPS float64 `json:"target_mips"` // the paper's Figure 4 metric
+	KIPS       float64 `json:"kips"`        // the paper's Table 3 metric
 
 	// Speculation and predictor statistics.
-	BPAccuracy  float64
-	Mispredicts uint64
-	WrongPath   uint64 // wrong-path instructions produced (FAST engines)
-	Rollbacks   uint64
-	TraceWords  uint64
+	BPAccuracy  float64 `json:"bp_accuracy"`
+	Mispredicts uint64  `json:"mispredicts"`
+	WrongPath   uint64  `json:"wrong_path"` // wrong-path instructions produced (FAST engines)
+	Rollbacks   uint64  `json:"rollbacks"`
+	TraceWords  uint64  `json:"trace_words"`
 
-	LinkStats      hostlink.Stats
-	TM             tm.Stats
-	TBMaxOccupancy int
+	LinkStats      hostlink.Stats `json:"link"`
+	TM             tm.Stats       `json:"tm"`
+	TBMaxOccupancy int            `json:"tb_max_occupancy"`
 }
 
 func (r Result) String() string {
@@ -146,8 +193,8 @@ func (r Result) String() string {
 
 // Engine is one simulator behind the registry. Configure validates the
 // parameters and builds the underlying simulator (so instrumentation — a
-// stats sampler, a power model — can be attached before execution); Run
-// executes it. An Engine runs once: build a fresh one per run.
+// stats sampler, a power model — can be attached before execution);
+// RunContext executes it. An Engine runs once: build a fresh one per run.
 type Engine interface {
 	// Describe returns a short human-readable description of the engine
 	// and its cost model.
@@ -155,8 +202,13 @@ type Engine interface {
 	// Configure validates p and assembles the simulator.
 	Configure(p Params) error
 	// Run executes the configured simulation to completion (or its
-	// instruction cap) and returns the canonical result.
+	// instruction cap) and returns the canonical result. Equivalent to
+	// RunContext(context.Background()).
 	Run() (Result, error)
+	// RunContext is Run with cooperative cancellation: when ctx is
+	// cancelled the simulation stops at the next cycle boundary and the
+	// partial result returns alongside ctx.Err().
+	RunContext(ctx context.Context) (Result, error)
 }
 
 // Coupled is implemented by engines that expose a live coupled simulator
@@ -220,11 +272,16 @@ func New(name string, p Params) (Engine, error) {
 // Run constructs, configures and runs the named engine in one call — the
 // path every sweep point takes.
 func Run(name string, p Params) (Result, error) {
+	return RunContext(context.Background(), name, p)
+}
+
+// RunContext is Run with cooperative cancellation.
+func RunContext(ctx context.Context, name string, p Params) (Result, error) {
 	e, err := New(name, p)
 	if err != nil {
 		return Result{}, err
 	}
-	r, err := e.Run()
+	r, err := e.RunContext(ctx)
 	if err != nil {
 		return r, fmt.Errorf("engine %s: %w", name, err)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fullsys"
 	"repro/internal/isa"
 	"repro/internal/microcode"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -85,24 +86,25 @@ type uop struct {
 	resolved   bool // branch µop: resolution handled
 }
 
-// Stats aggregates the timing model's counters.
+// Stats aggregates the timing model's counters. The JSON tags are a stable
+// serialization schema shared by `fastsim -json` and the obs exporters.
 type Stats struct {
-	Cycles        uint64
-	Instructions  uint64
-	UOps          uint64
-	BasicBlocks   uint64 // committed control transfers
-	DrainCycles   uint64 // fetch stalled by mispredict recovery (Fig. 6)
-	FetchBubbles  uint64 // fetch stalled because the FM had nothing for us
-	ICacheStalls  uint64
-	Mispredicts   uint64
-	Exceptions    uint64
-	Serializes    uint64
-	RSFullStalls  uint64
-	ROBFullStalls uint64
-	LSQFullStalls uint64
+	Cycles        uint64 `json:"cycles"`
+	Instructions  uint64 `json:"instructions"`
+	UOps          uint64 `json:"uops"`
+	BasicBlocks   uint64 `json:"basic_blocks"`  // committed control transfers
+	DrainCycles   uint64 `json:"drain_cycles"`  // fetch stalled by mispredict recovery (Fig. 6)
+	FetchBubbles  uint64 `json:"fetch_bubbles"` // fetch stalled because the FM had nothing for us
+	ICacheStalls  uint64 `json:"icache_stalls"`
+	Mispredicts   uint64 `json:"mispredicts"`
+	Exceptions    uint64 `json:"exceptions"`
+	Serializes    uint64 `json:"serializes"`
+	RSFullStalls  uint64 `json:"rs_full_stalls"`
+	ROBFullStalls uint64 `json:"rob_full_stalls"`
+	LSQFullStalls uint64 `json:"lsq_full_stalls"`
 
 	// Per-class issue counts (the "active functional units" query of §3).
-	IssuedByClass [isa.NumClasses]uint64
+	IssuedByClass [isa.NumClasses]uint64 `json:"issued_by_class"`
 }
 
 // IPC returns committed instructions per cycle.
@@ -701,6 +703,50 @@ func (t *TM) fetch(w *workCounts) {
 			return // miss latency applies to the following fetch group
 		}
 	}
+}
+
+// PublishTelemetry flushes the timing model's statistics into tel as tm_*
+// series: cycle/instruction/µop totals, per-class issue counts, stall
+// reasons (pipeline-back-pressure events and front-end stall cycles) and
+// predictor outcomes. It models the paper's dedicated statistics hardware
+// (§3, §4.6): the counters accumulate beside the pipeline for free and are
+// read out once, when the run finishes — the hot cycle loop is untouched.
+// The coupled simulator calls it from its result builder; replay users can
+// call it directly after Run.
+func (t *TM) PublishTelemetry(tel *obs.Telemetry) {
+	if tel == nil {
+		return
+	}
+	s := t.Stats
+	tel.Counter("tm_cycles_total").Add(s.Cycles)
+	tel.Counter("tm_instructions_total").Add(s.Instructions)
+	tel.Counter("tm_uops_total").Add(s.UOps)
+	tel.Counter("tm_basic_blocks_total").Add(s.BasicBlocks)
+	tel.Counter("tm_exceptions_total").Add(s.Exceptions)
+	tel.Counter("tm_serializes_total").Add(s.Serializes)
+
+	// Front-end stall cycles by reason (cycles lost) and back-pressure
+	// stall events by structure (dispatch attempts refused).
+	tel.Counter(obs.L("tm_stall_cycles_total", "reason", "recovery_drain")).Add(s.DrainCycles)
+	tel.Counter(obs.L("tm_stall_cycles_total", "reason", "fetch_bubble")).Add(s.FetchBubbles)
+	tel.Counter(obs.L("tm_stall_cycles_total", "reason", "icache_miss")).Add(s.ICacheStalls)
+	tel.Counter(obs.L("tm_stalls_total", "structure", "rob_full")).Add(s.ROBFullStalls)
+	tel.Counter(obs.L("tm_stalls_total", "structure", "rs_full")).Add(s.RSFullStalls)
+	tel.Counter(obs.L("tm_stalls_total", "structure", "lsq_full")).Add(s.LSQFullStalls)
+
+	// Per-class issue counts — §3's "active functional units" query.
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if n := s.IssuedByClass[c]; n > 0 {
+			tel.Counter(obs.L("tm_issued_uops_total", "class", c.String())).Add(n)
+		}
+	}
+
+	// Predictor outcomes (Figure 5's accuracy decomposed).
+	bp := t.BPStats
+	tel.Counter(obs.L("tm_bp_outcomes_total", "outcome", "correct")).Add(bp.Correct)
+	tel.Counter(obs.L("tm_bp_outcomes_total", "outcome", "direction_wrong")).Add(bp.DirWrong)
+	tel.Counter(obs.L("tm_bp_outcomes_total", "outcome", "target_wrong")).Add(bp.TargetWrong)
+	tel.Counter("tm_mispredicts_total").Add(s.Mispredicts)
 }
 
 // ConnectorReport renders the §4 Connector statistics (throughput stalls,
