@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-json bench-gate
 
 check: fmt vet build test
 
@@ -25,9 +25,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/sim/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/sim/... \
+		./internal/trace/... ./internal/fm ./internal/tm
 
 # The same harness the paper tables come from: one pass over every
 # table/figure benchmark.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# bench-json reruns the bench suite through test2json and distils the
+# results into bench.json (see cmd/benchgate). bench-gate then compares
+# that file against the committed BENCH_baseline.json with a ±15%
+# wall-time threshold — the CI regression gate.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=1x -json \
+		| $(GO) run ./cmd/benchgate -emit bench.json
+
+bench-gate: bench-json
+	$(GO) run ./cmd/benchgate -compare -baseline BENCH_baseline.json -current bench.json

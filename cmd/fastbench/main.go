@@ -27,6 +27,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment (table1|table2|table3|fig4|fig6|analytic|bottleneck|ablations)")
 	workers := flag.Int("workers", 0, "sim.Fleet workers for swept experiments (0 = GOMAXPROCS, 1 = sequential)")
+	traceChunk := flag.Int("tracechunk", 0, "FM→TM trace-buffer publish granularity for every run (0 = default; printed numbers are identical for any value ≥ 1)")
 	quiet := flag.Bool("quiet", false, "suppress the stderr fleet progress line")
 	flag.Parse()
 
@@ -34,8 +35,9 @@ func main() {
 	defer stop()
 
 	runner := experiments.Runner{
-		Ctx:   ctx,
-		Fleet: sim.Fleet{Workers: *workers},
+		Ctx:     ctx,
+		Fleet:   sim.Fleet{Workers: *workers},
+		Overlay: sim.Params{TraceChunk: *traceChunk},
 	}
 	if !*quiet {
 		runner.Fleet.Progress = progressLine

@@ -45,6 +45,7 @@ func main() {
 		simulator   = flag.String("simulator", "fast", "simulator engine (see -engines)")
 		issueWidth  = flag.Int("issue", 2, "target issue width")
 		link        = flag.String("link", "drc", "host link: drc, pins, coherent")
+		traceChunk  = flag.Int("tracechunk", 0, "FM→TM trace-buffer publish granularity in entries (0 = default, 1 = per-entry; architectural results are identical for any value)")
 		printConfig = flag.Bool("print-config", false, "print the Figure 3 target configuration and exit")
 		printKernel = flag.Bool("print-kernel", false, "print the generated toyOS kernel assembly and exit")
 		disasm      = flag.Bool("disasm", false, "print the workload's kernel and user program disassembly and exit")
@@ -166,6 +167,7 @@ func main() {
 		IssueWidth:      *issueWidth,
 		Link:            *link,
 		MaxInstructions: *maxInst,
+		TraceChunk:      *traceChunk,
 		Telemetry:       tel,
 	})
 	if err != nil {

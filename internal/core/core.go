@@ -49,6 +49,15 @@ type Config struct {
 	// TBCapacity bounds functional-model run-ahead (trace buffer entries).
 	TBCapacity int
 
+	// TraceChunk is how many trace entries the FM accumulates locally
+	// before publishing them to the TB with one synchronized operation
+	// (and one modeled link burst — the packed records stream a chunk at
+	// a time). 0 selects trace.DefaultChunk; 1 degenerates to per-entry
+	// coupling. Architectural results are identical for every value ≥ 1;
+	// only host-side synchronization cost and the modeled transfer count
+	// change.
+	TraceChunk int
+
 	// Link is the host CPU↔FPGA channel.
 	Link hostlink.Config
 	// Clock is the FPGA host clock (default 100 MHz).
@@ -136,7 +145,21 @@ type Sim struct {
 	TM  *tm.TM
 	TB  *trace.Buffer
 
+	// app is the producer-side chunking façade over TB: the FM appends
+	// into a locally-owned chunk and publishes per chunk. pump flushes it
+	// before every TM.Step, so entry visibility at cycle boundaries — and
+	// therefore every architectural result — is independent of the chunk
+	// size.
+	app     *trace.Appender
+	viewBuf []trace.Entry // serialSource.FetchChunk scratch
+
 	link *hostlink.Link
+	// pendingWords accumulates the trace words of the open chunk; the
+	// flush records them as one link burst (each entry's cost still enters
+	// the FM budget per entry, keeping the serial host-time arithmetic
+	// identical to per-entry coupling).
+	pendingWords int
+	chunkH       *obs.Histogram
 
 	// Observability: tlog is non-nil only when the run captures a
 	// timeline; pid is its trace track.
@@ -193,6 +216,11 @@ func New(cfg Config) (*Sim, error) {
 		link: hostlink.New(cfg.Link),
 	}
 	s.link.Attach(cfg.Telemetry)
+	s.app = s.TB.NewAppender(cfg.TraceChunk)
+	s.app.OnFlush = s.onFlush
+	s.viewBuf = make([]trace.Entry, s.app.ChunkSize())
+	s.chunkH = cfg.Telemetry.Histogram(
+		obs.L("core_trace_chunk_entries", "coupling", "serial"), obs.ChunkBuckets)
 	if tlog := cfg.Telemetry.TraceLog(); tlog != nil {
 		s.tlog, s.pid = tlog, obs.NextPID()
 		openTraceTracks(tlog, s.pid, "serial")
@@ -219,26 +247,29 @@ func (s *Sim) terminal() bool {
 }
 
 // pump lets the functional model spend its accumulated host-time budget
-// producing trace entries (running ahead speculatively, §3).
+// producing trace entries (running ahead speculatively, §3). Entries land
+// in the appender's local chunk; the trailing Flush publishes the partial
+// chunk so the TM.Step that follows sees exactly what per-entry coupling
+// would have shown it.
 func (s *Sim) pump() {
 	for {
 		if s.terminal() {
-			return
+			break
 		}
 		if s.FM.Halted() {
 			// Idle time passes at the TM's rate; nothing to produce.
-			return
+			break
 		}
-		if s.TB.Occupancy() >= s.TB.Cap() {
-			return
+		if s.app.Live() >= s.TB.Cap() {
+			break
 		}
 		// Peek at the cost of one more instruction.
 		if s.budget < s.cfg.FMNanosPerInst {
-			return
+			break
 		}
 		e, ok := s.FM.Step()
 		if !ok {
-			return
+			break
 		}
 		cost := s.entryCost(e)
 		s.budget -= cost
@@ -246,17 +277,38 @@ func (s *Sim) pump() {
 		if s.wrongPath {
 			s.wrongProduced++
 		}
-		if !s.TB.TryPush(e) {
+		if !s.app.TryAppend(e) {
 			panic("core: trace buffer overflow despite occupancy check")
 		}
 	}
+	s.app.Flush()
 }
 
-// entryCost is the FM host time to produce and ship one entry.
+// onFlush observes every published chunk: the accumulated words of its
+// entries ship as one link burst, and telemetry sees the chunk size and
+// post-publish TB occupancy.
+func (s *Sim) onFlush(entries, occupancy int) {
+	if s.pendingWords > 0 {
+		s.link.BurstWrite(s.pendingWords)
+		s.pendingWords = 0
+	}
+	s.chunkH.Observe(float64(entries))
+	if s.tlog != nil {
+		s.tlog.CounterSample("tb_occupancy", s.pid,
+			s.cfg.Clock.Nanos(s.TM.HostCycles()),
+			map[string]any{"entries": occupancy})
+	}
+}
+
+// entryCost is the FM host time to produce and ship one entry. The burst
+// cost enters the budget here, per entry (keeping the serial host-time
+// arithmetic chunk-size-independent); the words accumulate and are
+// recorded against the link when the chunk publishes.
 func (s *Sim) entryCost(e trace.Entry) float64 {
 	cost := s.cfg.FMNanosPerInst
 	words := s.encWords(e)
-	cost += s.link.BurstWrite(words)
+	cost += s.link.BurstNanos(words)
+	s.pendingWords += words
 	if e.Branch {
 		s.bbSincePoll++
 		if s.cfg.PollEveryBBs > 0 && s.bbSincePoll >= s.cfg.PollEveryBBs {
@@ -280,10 +332,6 @@ func (s *Sim) Run() (Result, error) { return s.RunContext(context.Background()) 
 // microseconds of simulated work, rare enough to cost nothing.
 const ctxCheckInterval = 1024
 
-// tbSampleInterval is how many target cycles pass between trace-buffer
-// occupancy samples on the timeline (trace capture only).
-const tbSampleInterval = 1024
-
 // RunContext is Run with cooperative cancellation: when ctx is cancelled
 // the loop stops at the next cycle boundary and returns the partial result
 // alongside ctx.Err().
@@ -303,11 +351,6 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 				break
 			}
 		}
-		if s.tlog != nil && ticks%tbSampleInterval == 0 {
-			s.tlog.CounterSample("tb_occupancy", s.pid,
-				s.cfg.Clock.Nanos(s.TM.HostCycles()),
-				map[string]any{"entries": s.TB.Occupancy()})
-		}
 		// Grant the FM the host time the TM consumed last cycle.
 		h := s.TM.HostCycles()
 		s.budget += s.cfg.Clock.Nanos(h - s.lastHost)
@@ -324,6 +367,13 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 }
 
 func (s *Sim) result() Result {
+	// Drain trace words whose chunk was discarded by a re-steer before it
+	// ever published: their burst cost entered the FM budget at production
+	// time (as in per-entry coupling) and must reach the link totals.
+	if s.pendingWords > 0 {
+		s.link.BurstWrite(s.pendingWords)
+		s.pendingWords = 0
+	}
 	return buildResult(s.cfg, s.TM, s.FM, s.TB, s.link, s.fmNanos, s.wrongProduced, s.tlog, s.pid)
 }
 
@@ -404,10 +454,25 @@ func (s *serialSource) Fetch(in uint64) (trace.Entry, tm.FetchStatus) {
 	// End of stream only when the FM is halted forever on the RIGHT path:
 	// a wrong-path HALT is speculative and the pending resolution will
 	// roll it back.
-	if in >= sim.TB.Produced() && sim.terminal() && !sim.wrongPath {
+	if in >= sim.app.NextIN() && sim.terminal() && !sim.wrongPath {
 		return trace.Entry{}, tm.FetchEnd
 	}
 	return trace.Entry{}, tm.FetchWait
+}
+
+// FetchChunk implements tm.ChunkSource: the TM pulls a run of live entries
+// with one buffer lock instead of one per fetch slot. pump flushes before
+// every TM.Step, so the live set the view captures is exactly the set
+// per-entry fetches would have seen.
+func (s *serialSource) FetchChunk(in uint64) ([]trace.Entry, tm.FetchStatus) {
+	sim := (*Sim)(s)
+	if n := sim.TB.TryFetchChunk(in, sim.viewBuf); n > 0 {
+		return sim.viewBuf[:n], tm.FetchOK
+	}
+	if in >= sim.app.NextIN() && sim.terminal() && !sim.wrongPath {
+		return nil, tm.FetchEnd
+	}
+	return nil, tm.FetchWait
 }
 
 // serialControl adapts the Sim to the TM's Control interface.
@@ -427,9 +492,7 @@ func (c *serialControl) Mispredict(in uint64, wrongPC isa.Word) {
 	sim := (*Sim)(c)
 	rolledBefore := sim.FM.RolledBack
 	reExecBefore := sim.FM.ReExecuted()
-	if in < sim.TB.Produced() {
-		sim.TB.Rewind(in)
-	}
+	sim.app.Rewind(in)
 	if err := sim.FM.SetPC(in, wrongPC); err != nil {
 		// The FM had not yet produced in (it is behind): it will fetch
 		// from wrongPC when it gets there only if redirected; a pure
@@ -456,9 +519,7 @@ func (c *serialControl) Resolve(in uint64, rightPC isa.Word) {
 	sim := (*Sim)(c)
 	rolledBefore := sim.FM.RolledBack
 	reExecBefore := sim.FM.ReExecuted()
-	if in < sim.TB.Produced() {
-		sim.TB.Rewind(in)
-	}
+	sim.app.Rewind(in)
 	if err := sim.FM.SetPC(in, rightPC); err != nil {
 		panic(fmt.Sprintf("core: resolve re-steer failed: %v", err))
 	}

@@ -21,6 +21,14 @@ import (
 // functional/timing boundary. The FM runs ahead speculatively; round trips
 // occur only on mispredicts, resolutions and the commit stream.
 //
+// Cross-goroutine synchronization is chunked (§3.1's Amdahl argument made
+// concrete): the producer publishes trace entries a chunk at a time through
+// a trace.Appender, the TM consumes chunk views, and the commit stream is
+// batched at the chunk stride — one channel send per chunk instead of one
+// per instruction. The producer's accounting fields are goroutine-local
+// (the command loop runs on the producer), so the steady-state entry path
+// acquires no locks at all.
+//
 // Architectural results (instructions, branch outcomes, basic blocks) are
 // identical to the serial mode; cycle counts can differ slightly because
 // fetch-bubble timing depends on real goroutine scheduling rather than the
@@ -30,6 +38,11 @@ type ParallelSim struct {
 	FM  *fm.Model
 	TM  *tm.TM
 	TB  *trace.Buffer
+
+	// Producer-side chunking over TB, plus the TM-side view scratch.
+	app     *trace.Appender
+	viewBuf []trace.Entry // parSource.FetchChunk scratch (TM goroutine)
+	chunkH  *obs.Histogram
 
 	link *hostlink.Link
 
@@ -41,11 +54,21 @@ type ParallelSim struct {
 	done   chan struct{}
 	notify chan struct{} // producer progress ticks for blocking fetches
 
-	mu            sync.Mutex
+	// Producer-goroutine-owned accounting (the command loop runs on the
+	// producer, so no lock is needed; RunContext reads them only after the
+	// producer's WaitGroup establishes the happens-before edge).
 	fmNanos       float64
 	bbSincePoll   int
+	pendingWords  int
 	wrongPath     bool
 	wrongProduced uint64
+
+	// TM-goroutine-owned commit batching: retirements accumulate and one
+	// cmdCommit carrying the latest IN covers the whole batch (the commit
+	// pointer is monotone).
+	commitStride int
+	commitPend   int
+	lastCommit   uint64
 
 	// terminalFlag is set by the producer when the FM is halted forever
 	// *on the right path*: only then may the TM treat the stream as ended.
@@ -101,6 +124,12 @@ func NewParallel(cfg Config) (*ParallelSim, error) {
 		notify: make(chan struct{}, 1),
 	}
 	p.link.Attach(cfg.Telemetry)
+	p.app = p.TB.NewAppender(cfg.TraceChunk)
+	p.app.OnFlush = p.onFlush
+	p.viewBuf = make([]trace.Entry, p.app.ChunkSize())
+	p.commitStride = p.app.ChunkSize()
+	p.chunkH = cfg.Telemetry.Histogram(
+		obs.L("core_trace_chunk_entries", "coupling", "parallel"), obs.ChunkBuckets)
 	if tlog := cfg.Telemetry.TraceLog(); tlog != nil {
 		p.tlog, p.pid = tlog, obs.NextPID()
 		openTraceTracks(tlog, p.pid, "parallel")
@@ -154,23 +183,23 @@ func (p *ParallelSim) RunContext(ctx context.Context) (Result, error) {
 				break
 			}
 		}
-		if p.tlog != nil && ticks%tbSampleInterval == 0 {
-			p.tlog.CounterSample("tb_occupancy", p.pid,
-				p.cfg.Clock.Nanos(p.TM.HostCycles()),
-				map[string]any{"entries": p.TB.Occupancy()})
-		}
 		p.TM.Step()
 	}
 	close(p.done)
 	wg.Wait()
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	// The producer has exited: its accounting fields are safe to read, and
+	// trace words from a chunk a re-steer discarded before publish still
+	// owe their link burst.
+	if p.pendingWords > 0 {
+		p.link.BurstWrite(p.pendingWords)
+		p.pendingWords = 0
+	}
 	return buildResult(p.cfg, p.TM, p.FM, p.TB, p.link, p.fmNanos, p.wrongProduced, p.tlog, p.pid), p.err
 }
 
-// producer is the FM goroutine: it speculatively runs ahead, pushing trace
-// entries, and services TM commands.
+// producer is the FM goroutine: it speculatively runs ahead, appending
+// trace entries into the chunk, and services TM commands.
 func (p *ParallelSim) producer() {
 	var pending *trace.Entry
 	// idleLimit guards against a hung target (HALT with interrupts enabled
@@ -195,12 +224,14 @@ func (p *ParallelSim) producer() {
 		if pending != nil {
 			if pending.IN >= p.FM.IN() {
 				pending = nil // rolled back underneath us
-			} else if p.TB.TryPush(*pending) {
+			} else if p.app.TryAppend(*pending) {
 				pending = nil
 			} else {
-				// Buffer full: we have run as far ahead as allowed. Block
-				// on the next command (a commit frees space, a re-steer
-				// rewinds).
+				// Buffer full: we have run as far ahead as allowed. Publish
+				// the partial chunk (the capacity gate guarantees it fits)
+				// so the TM can drain it, then block on the next command (a
+				// commit frees space, a re-steer rewinds).
+				p.app.Flush()
 				select {
 				case c := <-p.cmds:
 					p.apply(c, &pending)
@@ -215,9 +246,13 @@ func (p *ParallelSim) producer() {
 			// necessarily the end of the run: the TM may still re-steer
 			// us into a wrong path (a mispredicted branch it has not
 			// reached yet), or a resolve may roll a speculative
-			// wrong-path HALT back. Publish the state and service
+			// wrong-path HALT back. Publish the partial chunk and the
+			// terminal state — in that order, so the TM never sees
+			// end-of-stream with entries still unpublished — and service
 			// commands.
-			p.terminalFlag.Store(true)
+			if p.app.Flush() {
+				p.terminalFlag.Store(true)
+			}
 			p.tick()
 			select {
 			case c := <-p.cmds:
@@ -231,6 +266,9 @@ func (p *ParallelSim) producer() {
 			continue
 		}
 		if p.FM.Halted() {
+			// Waiting for a timer wake: publish what the TM can already
+			// consume, then let idle time pass.
+			p.app.Flush()
 			p.FM.AdvanceIdle(1)
 			idleTicks++
 			continue
@@ -240,17 +278,29 @@ func (p *ParallelSim) producer() {
 		if !ok {
 			continue
 		}
-		p.mu.Lock()
-		p.fmNanos += p.entryCostLocked(e)
+		p.fmNanos += p.entryCost(e)
 		if p.wrongPath {
 			p.wrongProduced++
 		}
-		p.mu.Unlock()
-		if !p.TB.TryPush(e) {
+		if !p.app.TryAppend(e) {
 			pending = &e
 		}
-		p.tick()
 	}
+}
+
+// onFlush observes every published chunk on the producer goroutine: one
+// link burst for the accumulated words, a consumer wake-up, and telemetry.
+func (p *ParallelSim) onFlush(entries, occupancy int) {
+	if p.pendingWords > 0 {
+		p.link.BurstWrite(p.pendingWords)
+		p.pendingWords = 0
+	}
+	p.chunkH.Observe(float64(entries))
+	if p.tlog != nil {
+		p.tlog.CounterSample("tb_occupancy", p.pid, p.fmNanos,
+			map[string]any{"entries": occupancy})
+	}
+	p.tick()
 }
 
 // tick wakes a TM goroutine blocked waiting for producer progress.
@@ -261,9 +311,14 @@ func (p *ParallelSim) tick() {
 	}
 }
 
-func (p *ParallelSim) entryCostLocked(e trace.Entry) float64 {
+// entryCost prices one entry into the FM's host time: execution, its share
+// of the chunk's burst write, and the periodic poll. Producer-owned — no
+// lock.
+func (p *ParallelSim) entryCost(e trace.Entry) float64 {
 	cost := p.cfg.FMNanosPerInst
-	cost += p.link.BurstWrite(trace.DefaultEncoding.Words(e))
+	words := trace.DefaultEncoding.Words(e)
+	cost += p.link.BurstNanos(words)
+	p.pendingWords += words
 	if e.Branch {
 		p.bbSincePoll++
 		if p.cfg.PollEveryBBs > 0 && p.bbSincePoll >= p.cfg.PollEveryBBs {
@@ -280,9 +335,7 @@ func (p *ParallelSim) apply(c command, pending **trace.Entry) {
 		p.TB.Commit(c.in)
 		p.FM.Commit(c.in)
 	case cmdMispredict, cmdResolve:
-		if c.in < p.TB.Produced() {
-			p.TB.Rewind(c.in)
-		}
+		p.app.Rewind(c.in)
 		// The re-steer revives the FM; clear the end-of-stream hint before
 		// the TM resumes (the ack provides the happens-before edge).
 		p.terminalFlag.Store(false)
@@ -292,7 +345,6 @@ func (p *ParallelSim) apply(c command, pending **trace.Entry) {
 			panic(fmt.Sprintf("core: parallel re-steer failed: %v", err))
 		}
 		*pending = nil
-		p.mu.Lock()
 		if c.kind == cmdMispredict {
 			p.wrongPath = true
 			if !p.cfg.BPP {
@@ -304,13 +356,24 @@ func (p *ParallelSim) apply(c command, pending **trace.Entry) {
 			p.fmNanos += p.link.Poll(1)
 			p.fmNanos += float64(p.FM.RolledBack-rolledBefore) * p.cfg.FMRollbackNanosPerInst
 		}
-		p.mu.Unlock()
 	}
 }
 
 // parSource adapts the parallel sim to tm.Source (runs on the TM
 // goroutine).
 type parSource ParallelSim
+
+// flushCommits sends the batched commit pointer to the producer. Called
+// before the TM blocks on producer progress: withholding retirements while
+// the producer waits for buffer space would deadlock, so any pending batch
+// is released at the block boundary.
+func (ps *ParallelSim) flushCommits() {
+	if ps.commitPend == 0 {
+		return
+	}
+	ps.commitPend = 0
+	ps.cmds <- command{kind: cmdCommit, in: ps.lastCommit}
+}
 
 // Fetch implements tm.Source. It blocks until the producer delivers the
 // entry or the stream genuinely ends: in the parallel coupling the trace
@@ -328,6 +391,7 @@ func (p *parSource) Fetch(in uint64) (trace.Entry, tm.FetchStatus) {
 		if ps.terminalFlag.Load() && in >= ps.TB.Produced() {
 			return trace.Entry{}, tm.FetchEnd
 		}
+		ps.flushCommits()
 		select {
 		case <-ps.notify:
 		case <-ps.done:
@@ -336,26 +400,59 @@ func (p *parSource) Fetch(in uint64) (trace.Entry, tm.FetchStatus) {
 	}
 }
 
+// FetchChunk implements tm.ChunkSource: one buffer lock hands the TM a run
+// of entries it then consumes lock-free until the view drains or a re-steer
+// drops it.
+func (p *parSource) FetchChunk(in uint64) ([]trace.Entry, tm.FetchStatus) {
+	ps := (*ParallelSim)(p)
+	for {
+		if n := ps.TB.TryFetchChunk(in, ps.viewBuf); n > 0 {
+			return ps.viewBuf[:n], tm.FetchOK
+		}
+		if ps.terminalFlag.Load() && in >= ps.TB.Produced() {
+			return nil, tm.FetchEnd
+		}
+		ps.flushCommits()
+		select {
+		case <-ps.notify:
+		case <-ps.done:
+			return nil, tm.FetchEnd
+		}
+	}
+}
+
 // parControl adapts the parallel sim to tm.Control (runs on the TM
 // goroutine); commands travel to the producer over the channel.
 type parControl ParallelSim
 
-// Commit implements tm.Control.
+// Commit implements tm.Control. Retirements batch at the chunk stride: the
+// commit pointer is monotone, so one command carrying the newest IN
+// releases the whole batch — one channel send per chunk of instructions.
 func (p *parControl) Commit(in uint64) {
-	(*ParallelSim)(p).cmds <- command{kind: cmdCommit, in: in}
+	ps := (*ParallelSim)(p)
+	ps.lastCommit = in
+	if ps.commitPend++; ps.commitPend >= ps.commitStride {
+		ps.commitPend = 0
+		ps.cmds <- command{kind: cmdCommit, in: in}
+	}
 }
 
 // Mispredict implements tm.Control. Re-steers are round trips: the call
-// returns only after the producer has rewound the FM.
+// returns only after the producer has rewound the FM. The batched commits
+// flush first so the producer observes them before the rewind.
 func (p *parControl) Mispredict(in uint64, wrongPC isa.Word) {
+	ps := (*ParallelSim)(p)
+	ps.flushCommits()
 	ack := make(chan struct{})
-	(*ParallelSim)(p).cmds <- command{kind: cmdMispredict, in: in, pc: wrongPC, ack: ack}
+	ps.cmds <- command{kind: cmdMispredict, in: in, pc: wrongPC, ack: ack}
 	<-ack
 }
 
 // Resolve implements tm.Control (round trip, like Mispredict).
 func (p *parControl) Resolve(in uint64, rightPC isa.Word) {
+	ps := (*ParallelSim)(p)
+	ps.flushCommits()
 	ack := make(chan struct{})
-	(*ParallelSim)(p).cmds <- command{kind: cmdResolve, in: in, pc: rightPC, ack: ack}
+	ps.cmds <- command{kind: cmdResolve, in: in, pc: rightPC, ack: ack}
 	<-ack
 }

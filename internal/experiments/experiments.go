@@ -37,6 +37,14 @@ import (
 type Runner struct {
 	Ctx   context.Context
 	Fleet sim.Fleet
+
+	// Overlay is merged (sim.Merge, non-zero fields win) into every point
+	// an experiment runs — single runs and sweeps alike. It carries
+	// host-side knobs that must not change any printed number, like
+	// Params.TraceChunk; the experiment's own fields always take
+	// precedence over the zero-value semantics of Merge, so an overlay
+	// cannot silently alter an experiment's axes.
+	Overlay sim.Params
 }
 
 func (r Runner) ctx() context.Context {
@@ -48,6 +56,7 @@ func (r Runner) ctx() context.Context {
 
 // run executes one engine point under the runner's context and telemetry.
 func (r Runner) run(engine string, p sim.Params) (sim.Result, error) {
+	p = sim.Merge(r.Overlay, p)
 	if p.Telemetry == nil {
 		p.Telemetry = r.Fleet.Telemetry
 	}
@@ -56,6 +65,7 @@ func (r Runner) run(engine string, p sim.Params) (sim.Result, error) {
 
 // sweep executes a sweep through the runner's fleet.
 func (r Runner) sweep(s sim.Sweep) []sim.PointResult {
+	s.Base = sim.Merge(r.Overlay, s.Base)
 	return r.Fleet.RunContext(r.ctx(), s.Points())
 }
 

@@ -361,6 +361,7 @@ func (m *Model) SetPC(in uint64, pc uint32) error {
 	m.Rollbacks++
 	m.obs.rollbacks.Inc()
 	m.obs.journalDepth.Observe(float64(m.engine.window()))
+	m.obs.rollbackDist.Observe(float64(m.in - in))
 	if in == m.in {
 		// Pure redirect: the TM re-steers the next instruction before the
 		// FM ran ahead. Still a set_pc round trip, zero work undone.

@@ -130,6 +130,7 @@ type fmInstruments struct {
 	rolledBack   *obs.Counter
 	reExecuted   *obs.Counter
 	journalDepth *obs.Histogram
+	rollbackDist *obs.Histogram
 }
 
 func (i *fmInstruments) attach(tel *obs.Telemetry) {
@@ -140,6 +141,11 @@ func (i *fmInstruments) attach(tel *obs.Telemetry) {
 	i.rolledBack = tel.Counter("fm_rolled_back_instructions_total")
 	i.reExecuted = tel.Counter("fm_reexecuted_instructions_total")
 	i.journalDepth = tel.Histogram("fm_journal_depth", obs.DepthBuckets)
+	// Distance distribution of set_pc re-steers, in instructions undone:
+	// how far the speculative run-ahead had gone when the TM pulled it
+	// back (0 = pure redirect). The chunked trace coupling discards the
+	// same entries from the TB, so this is also the rewind-depth profile.
+	i.rollbackDist = tel.Histogram("fm_rollback_distance", obs.ChunkBuckets)
 }
 
 // PublishTelemetry flushes the run-total FM statistics that are not worth

@@ -136,6 +136,16 @@ func (l *Link) Write() float64 {
 	return l.cfg.WriteNanos
 }
 
+// BurstNanos returns the cost of an n-word burst write without recording
+// it. The couplings price each trace entry with BurstNanos as it is
+// produced but record one BurstWrite per published chunk: the packed
+// trace records stream to the FPGA a chunk at a time, and because the
+// burst cost is linear in words, total Nanos is identical to per-entry
+// recording — only the transfer count reflects the batching.
+func (l *Link) BurstNanos(words int) float64 {
+	return float64(words) * l.cfg.BurstWriteNanosPerWord
+}
+
 // BurstWrite models an n-word burst write (the trace stream).
 func (l *Link) BurstWrite(words int) float64 {
 	l.stats.Writes++

@@ -141,6 +141,11 @@ var NanosBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 500
 // DepthBuckets is the default ladder for queue/journal depth histograms.
 var DepthBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
+// ChunkBuckets is the default ladder for trace-chunk size histograms
+// (entries per published chunk, entries discarded per re-steer): chunk
+// sizes are powers of two up to the TB capacity.
+var ChunkBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
 // SecondsBuckets is the default ladder for wall-clock histograms (fleet
 // queue wait and per-point run time).
 var SecondsBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}

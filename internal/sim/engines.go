@@ -88,6 +88,7 @@ func (e *fastEngine) Configure(p Params) error {
 	cfg.Link = link
 	cfg.BPP = p.BPP
 	cfg.MaxInstructions = p.MaxInstructions
+	cfg.TraceChunk = p.TraceChunk
 	cfg.Telemetry = p.Telemetry
 	switch {
 	case p.PollEveryBBs > 0:

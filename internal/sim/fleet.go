@@ -102,6 +102,9 @@ func Merge(base, v Params) Params {
 	if v.MaxInstructions != 0 {
 		p.MaxInstructions = v.MaxInstructions
 	}
+	if v.TraceChunk != 0 {
+		p.TraceChunk = v.TraceChunk
+	}
 	if v.Rollback != "" {
 		p.Rollback = v.Rollback
 	}

@@ -1,0 +1,151 @@
+package sim_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testdata/goldens_seed.json holds the fast engine's Result for three
+// workloads at 50k instructions, captured from the per-entry-coupling seed
+// tree. The chunked FM→TM coupling must reproduce every field except
+// link.writes: a chunk of entries ships as ONE modeled burst transfer, so
+// the write *count* is chunking's one architected visible effect (total
+// burst words and link nanos are linear in words and stay bit-identical).
+
+// scrubWrites removes the chunking-dependent field from a Result decoded
+// into a generic map.
+func scrubWrites(m map[string]any) {
+	if link, ok := m["link"].(map[string]any); ok {
+		delete(link, "writes")
+	}
+}
+
+func loadGoldens(t *testing.T) []map[string]any {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "goldens_seed.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []map[string]any
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		scrubWrites(m)
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no goldens in testdata/goldens_seed.json")
+	}
+	return out
+}
+
+// resultMap round-trips a Result through its JSON encoding so golden and
+// live values compare in the same domain (float64s, generic maps).
+func resultMap(t *testing.T, r sim.Result) map[string]any {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	scrubWrites(m)
+	return m
+}
+
+func runFast(t *testing.T, p sim.Params) map[string]any {
+	t.Helper()
+	eng, err := sim.New("fast", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eng.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resultMap(t, r)
+}
+
+// diffMaps reports the keys (recursively) whose values differ.
+func diffMaps(prefix string, want, got map[string]any) []string {
+	keys := map[string]bool{}
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	var diffs []string
+	for k := range keys {
+		w, g := want[k], got[k]
+		if wm, ok := w.(map[string]any); ok {
+			if gm, ok := g.(map[string]any); ok {
+				diffs = append(diffs, diffMaps(prefix+k+".", wm, gm)...)
+				continue
+			}
+		}
+		if !reflect.DeepEqual(w, g) {
+			diffs = append(diffs, fmt.Sprintf("%s%s: golden %v, got %v", prefix, k, w, g))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}
+
+// TestFastEngineMatchesSeedGoldens pins the serial fast engine to the
+// seed-tree results: the chunked coupling is a host-side optimization and
+// must not move a single architectural or modeled-time number.
+func TestFastEngineMatchesSeedGoldens(t *testing.T) {
+	for _, golden := range loadGoldens(t) {
+		w := golden["workload"].(string)
+		t.Run(w, func(t *testing.T) {
+			got := runFast(t, sim.Params{Workload: w, MaxInstructions: 50_000})
+			if diffs := diffMaps("", golden, got); len(diffs) != 0 {
+				for _, d := range diffs {
+					t.Error(d)
+				}
+			}
+		})
+	}
+}
+
+// TestFastEngineTraceChunkInvariance checks the ISSUE acceptance bar
+// directly: every TraceChunk ≥ 1 — per-entry, odd, default, bigger than
+// the trace buffer — yields the identical Result (modulo link.writes).
+func TestFastEngineTraceChunkInvariance(t *testing.T) {
+	base := runFast(t, sim.Params{Workload: "164.gzip", MaxInstructions: 50_000})
+	for _, chunk := range []int{1, 3, 64, 512} {
+		chunk := chunk
+		t.Run(fmt.Sprintf("chunk%d", chunk), func(t *testing.T) {
+			got := runFast(t, sim.Params{
+				Workload:        "164.gzip",
+				MaxInstructions: 50_000,
+				TraceChunk:      chunk,
+			})
+			if diffs := diffMaps("", base, got); len(diffs) != 0 {
+				for _, d := range diffs {
+					t.Error(d)
+				}
+			}
+		})
+	}
+}

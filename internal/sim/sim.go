@@ -61,6 +61,14 @@ type Params struct {
 	// completion).
 	MaxInstructions uint64
 
+	// TraceChunk is the FM→TM trace-buffer publish granularity in entries:
+	// the FM accumulates a chunk locally and publishes it (one buffer
+	// synchronization, one modeled link transfer) when it fills. 0 = the
+	// engine default (trace.DefaultChunk); 1 = per-entry coupling.
+	// Architectural results are identical for every value ≥ 1 — the knob
+	// sweeps host-side synchronization cost only. FAST engines only.
+	TraceChunk int
+
 	// Rollback selects the FM recovery mechanism: "" or "journal" (the
 	// per-instruction undo journal), "checkpoint" (periodic register-file
 	// checkpoints, ablation A7). FAST engines only.
@@ -105,6 +113,9 @@ func (p Params) validate() error {
 	}
 	if p.CheckpointInterval < 0 {
 		return fmt.Errorf("sim: negative checkpoint interval %d", p.CheckpointInterval)
+	}
+	if p.TraceChunk < 0 {
+		return fmt.Errorf("sim: negative trace chunk %d", p.TraceChunk)
 	}
 	return nil
 }

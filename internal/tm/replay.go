@@ -17,3 +17,12 @@ func (s *SliceSource) Fetch(in uint64) (trace.Entry, FetchStatus) {
 	}
 	return s.Entries[in], FetchOK
 }
+
+// FetchChunk implements ChunkSource: the whole remaining trace is one view,
+// so replay pays a single bounds check per run instead of one per entry.
+func (s *SliceSource) FetchChunk(in uint64) ([]trace.Entry, FetchStatus) {
+	if in >= uint64(len(s.Entries)) {
+		return nil, FetchEnd
+	}
+	return s.Entries[in:], FetchOK
+}

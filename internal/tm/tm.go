@@ -31,6 +31,17 @@ type Source interface {
 	Fetch(in uint64) (trace.Entry, FetchStatus)
 }
 
+// ChunkSource is an optional Source extension that hands the TM a run of
+// consecutive entries starting at in with one call — the consumer half of
+// the chunked coupling. The returned slice is a view the TM may read until
+// it issues a re-steer (Mispredict/Resolve), which invalidates it; the
+// source must not mutate a returned view before the next FetchChunk call.
+// A source that returns (nil, FetchOK) forces a per-entry fetch instead.
+type ChunkSource interface {
+	Source
+	FetchChunk(in uint64) ([]trace.Entry, FetchStatus)
+}
+
 // Control is the TM→FM command channel: commits release rollback resources;
 // Mispredict/Resolve implement §2.1's path re-steering.
 type Control interface {
@@ -120,6 +131,15 @@ type TM struct {
 	cfg Config
 	src Source
 	ctl Control
+
+	// Chunked consumption: when src implements ChunkSource, fetch reads
+	// from view (a run of entries starting at IN viewBase) and refills it
+	// with one FetchChunk per chunk instead of one Source.Fetch per
+	// instruction. A re-steer invalidates the view: the entries past the
+	// re-steered IN are wrong-path and will be overwritten (Figure 2).
+	chunkSrc ChunkSource
+	view     []trace.Entry
+	viewBase uint64
 
 	BP      bpred.Predictor
 	BPStats bpred.Stats
@@ -220,9 +240,39 @@ func New(cfg Config, src Source, ctl Control) (*TM, error) {
 			MaxTransactions:  4 * cfg.IssueWidth,
 		}),
 	}
+	if cs, ok := src.(ChunkSource); ok {
+		t.chunkSrc = cs
+	}
 	t.host.init(cfg)
 	return t, nil
 }
+
+// fetchEntry returns the entry for in, serving from the chunk view when the
+// source supports chunked fetches. On a view miss it pulls the next run of
+// live entries with one synchronized call; consecutive fetch-group slots
+// then hit the view for free.
+func (t *TM) fetchEntry(in uint64) (trace.Entry, FetchStatus) {
+	if t.chunkSrc == nil {
+		return t.src.Fetch(in)
+	}
+	if off := in - t.viewBase; in >= t.viewBase && off < uint64(len(t.view)) {
+		return t.view[off], FetchOK
+	}
+	es, st := t.chunkSrc.FetchChunk(in)
+	if st != FetchOK || len(es) == 0 {
+		if st == FetchOK {
+			return t.src.Fetch(in)
+		}
+		return trace.Entry{}, st
+	}
+	t.view, t.viewBase = es, in
+	return es[0], FetchOK
+}
+
+// dropView discards the chunk view. Called when the TM re-steers the FM:
+// entries past the re-steered IN are about to be overwritten, so any cached
+// copies are stale.
+func (t *TM) dropView() { t.view = nil }
 
 // Config returns the target configuration.
 func (t *TM) Config() Config { return t.cfg }
@@ -318,6 +368,7 @@ func (t *TM) resolveBranches() {
 		t.unresolved--
 		u.resolved = true
 		if u.ins.mispredicted {
+			t.dropView()
 			t.ctl.Resolve(e.IN+1, e.NextPC)
 			if t.cfg.FastRecovery && t.recovering && t.recoverIN == e.IN {
 				// §4.1 fix: resume fetch at resolution instead of waiting
@@ -604,7 +655,7 @@ func (t *TM) fetch(w *workCounts) {
 		if !t.fetchQ.CanPut(t.cycle) {
 			return
 		}
-		e, st := t.src.Fetch(t.fetchIN)
+		e, st := t.fetchEntry(t.fetchIN)
 		switch st {
 		case FetchWait:
 			if n == 0 {
@@ -679,6 +730,7 @@ func (t *TM) fetch(w *workCounts) {
 				if pred.Taken && pred.BTBHit {
 					wrongPC = pred.Target
 				}
+				t.dropView()
 				t.ctl.Mispredict(e.IN+1, wrongPC)
 			}
 		}

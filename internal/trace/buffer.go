@@ -19,6 +19,13 @@ import (
 //
 // The buffer is safe for one producer and one consumer goroutine; it also
 // supports non-blocking Try variants for deterministic serial coupling.
+//
+// Synchronization granularity: the per-entry Push/Fetch calls take the lock
+// once per instruction — exactly the fine-grained cross-partition overhead
+// §3.1's Amdahl model warns about. The chunked API (TryPushChunk /
+// TryFetchChunk, and the Appender built on top) amortizes one lock acquire
+// and one condvar broadcast over a whole chunk of entries, the software
+// analogue of the paper's packed trace records streaming in bursts.
 type Buffer struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -117,6 +124,107 @@ func (b *Buffer) TryFetch(in uint64) (Entry, bool) {
 		return Entry{}, false
 	}
 	return *b.slot(in), true
+}
+
+// TryPushChunk publishes a contiguous run of entries — es[0] must carry the
+// next unproduced IN — with one lock acquire and one broadcast. It is
+// all-or-nothing: if the buffer lacks space for every entry, or is closed,
+// nothing is stored and ok is false. On success it returns the occupancy
+// after the publish (live entries, for producer-side flow control and
+// telemetry sampling).
+func (b *Buffer) TryPushChunk(es []Entry) (occupancy int, ok bool) {
+	if len(es) == 0 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return int(b.next - b.commit), !b.closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.next-b.commit+uint64(len(es)) > uint64(len(b.ring)) {
+		return int(b.next - b.commit), false
+	}
+	b.pushChunkLocked(es)
+	return int(b.next - b.commit), true
+}
+
+// PushChunk is TryPushChunk with blocking: it waits until the buffer has
+// room for the whole chunk. It returns false if the buffer was closed.
+func (b *Buffer) PushChunk(es []Entry) bool {
+	if len(es) == 0 {
+		return !b.Closed()
+	}
+	if len(es) > len(b.ring) {
+		panic(fmt.Sprintf("trace: chunk of %d entries exceeds buffer capacity %d", len(es), len(b.ring)))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.next-b.commit+uint64(len(es)) > uint64(len(b.ring)) && !b.closed {
+		b.cond.Wait()
+	}
+	if b.closed {
+		return false
+	}
+	b.pushChunkLocked(es)
+	return true
+}
+
+func (b *Buffer) pushChunkLocked(es []Entry) {
+	for i := range es {
+		if es[i].IN != b.next+uint64(i) {
+			panic(fmt.Sprintf("trace: chunk entry %d has IN %d, expected %d",
+				i, es[i].IN, b.next+uint64(i)))
+		}
+	}
+	// Two copies handle the ring wrap without a per-entry modulo.
+	idx := int(b.next % uint64(len(b.ring)))
+	n := copy(b.ring[idx:], es)
+	copy(b.ring, es[n:])
+	b.next += uint64(len(es))
+	if occ := int(b.next - b.commit); occ > b.maxOccupancy {
+		b.maxOccupancy = occ
+	}
+	b.cond.Broadcast()
+}
+
+// TryFetchChunk copies up to len(dst) consecutive live entries starting at
+// instruction number in into dst, under one lock acquire, and returns how
+// many were copied (0 if in is not live). The copies form a consumer-owned
+// view: a later Rewind past in invalidates the buffer's own entries but
+// never mutates dst — consumers that can observe re-steers must drop their
+// view when they issue one.
+func (b *Buffer) TryFetchChunk(in uint64, dst []Entry) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fetchChunkLocked(in, dst)
+}
+
+func (b *Buffer) fetchChunkLocked(in uint64, dst []Entry) int {
+	if in >= b.next || in < b.commit {
+		return 0
+	}
+	n := len(dst)
+	if live := int(b.next - in); live < n {
+		n = live
+	}
+	idx := int(in % uint64(len(b.ring)))
+	c := copy(dst[:n], b.ring[idx:])
+	copy(dst[c:n], b.ring)
+	return n
+}
+
+// FetchChunk is TryFetchChunk with blocking: it waits until at least one
+// entry at or past in is live. ok is false if the buffer closed first.
+func (b *Buffer) FetchChunk(in uint64, dst []Entry) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for in >= b.next && !b.closed {
+		b.cond.Wait()
+	}
+	n := b.fetchChunkLocked(in, dst)
+	return n, n > 0
 }
 
 // Commit advances the commit pointer past in: the ROB has fully committed
