@@ -239,6 +239,44 @@ func BenchmarkFMExecution(b *testing.B) {
 	b.ReportMetric(float64(b.N), "target-insts")
 }
 
+// BenchmarkFMDecodeLoop isolates the fetch/decode/crack path the predecode
+// cache targets: the same instruction mix as BenchmarkFMExecution, run
+// FM-only with the cache on (the CLI default) and off. The spread between
+// the two sub-benchmarks is the cache's per-instruction win with no TM in
+// the loop to dilute it.
+func BenchmarkFMDecodeLoop(b *testing.B) {
+	src := `
+		movi r0, 1000000000
+	loop:	addi r1, 3
+		mov  r2, r1
+		andi r2, 1023
+		stw  r2, [r2+0x4000]
+		ldw  r3, [r2+0x4000]
+		dec  r0
+		jnz  loop
+		halt
+	`
+	for _, bc := range []struct {
+		name    string
+		entries int
+	}{
+		{"icache", fm.DefaultICacheEntries},
+		{"nocache", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			m := fm.New(fm.Config{DisableInterrupts: true, ICacheEntries: bc.entries})
+			m.LoadProgram(isa.MustAssemble(src, 0x1000))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := m.Step(); !ok {
+					b.Fatal("halted early")
+				}
+			}
+			b.ReportMetric(float64(b.N), "target-insts")
+		})
+	}
+}
+
 // BenchmarkTMCycle measures timing-model evaluation speed (target cycles
 // per host second) replaying a recorded trace.
 func BenchmarkTMCycle(b *testing.B) {

@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/fm"
 	"repro/internal/sim"
 )
 
@@ -28,6 +29,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (table1|table2|table3|fig4|fig6|analytic|bottleneck|ablations)")
 	workers := flag.Int("workers", 0, "sim.Fleet workers for swept experiments (0 = GOMAXPROCS, 1 = sequential)")
 	traceChunk := flag.Int("tracechunk", 0, "FM→TM trace-buffer publish granularity for every run (0 = default; printed numbers are identical for any value ≥ 1)")
+	icacheEnt := flag.Int("icache", fm.DefaultICacheEntries, "FM predecode-cache entries for every run (0 = disable; printed numbers are identical at any value)")
 	quiet := flag.Bool("quiet", false, "suppress the stderr fleet progress line")
 	flag.Parse()
 
@@ -37,7 +39,7 @@ func main() {
 	runner := experiments.Runner{
 		Ctx:     ctx,
 		Fleet:   sim.Fleet{Workers: *workers},
-		Overlay: sim.Params{TraceChunk: *traceChunk},
+		Overlay: sim.Params{TraceChunk: *traceChunk, ICacheEntries: *icacheEnt},
 	}
 	if !*quiet {
 		runner.Fleet.Progress = progressLine

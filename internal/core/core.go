@@ -99,7 +99,7 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		TM:                     tm.DefaultConfig(),
-		FM:                     fm.Config{},
+		FM:                     fm.Config{ICacheEntries: fm.DefaultICacheEntries},
 		TBCapacity:             512,
 		Link:                   hostlink.DRC(),
 		Clock:                  fpga.DefaultClock,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fullsys"
 	"repro/internal/isa"
+	"repro/internal/microcode"
 	"repro/internal/trace"
 )
 
@@ -44,25 +45,32 @@ func (m *Model) Step() (trace.Entry, bool) {
 
 	e := trace.Entry{IN: m.in, PC: m.PC, Kernel: m.Kernel(), Interrupt: interrupted}
 
-	inst, ppc, f := m.fetchDecode(m.PC)
+	inst, ce, ppc, f := m.fetchDecode(m.PC)
 	if f != nil {
-		return m.faultEntry(e, isa.Inst{}, f)
+		return m.faultEntry(e, isa.Inst{}, nil, f)
 	}
 	e.PPC = ppc
 	e.Op = inst.Op
 	e.Size = uint8(inst.Size)
-	fillRegs(inst, &e)
+	var pre *microcode.Precracked
+	if ce != nil {
+		pre = &ce.pre
+		e.SrcA, e.SrcB, e.Dst = ce.srcA, ce.srcB, ce.dst
+		e.ReadsCC, e.WritesCC = ce.readsCC, ce.writesCC
+	} else {
+		fillRegs(inst, &e)
+	}
 
 	nextPC := m.PC + isa.Word(inst.Size)
 	f = m.execute(inst, nextPC, &e)
 	if f != nil {
-		return m.faultEntry(e, inst, f)
+		return m.faultEntry(e, inst, pre, f)
 	}
 	if m.fatal != nil {
 		m.abortInstruction()
 		return trace.Entry{}, false
 	}
-	return m.finishEntry(e, inst)
+	return m.finishEntry(e, inst, pre)
 }
 
 // Fatal returns the unrecoverable condition that stopped the model, if any
@@ -70,63 +78,102 @@ func (m *Model) Step() (trace.Entry, bool) {
 func (m *Model) Fatal() error { return m.fatal }
 
 // fetchDecode fetches and decodes the instruction at virtual address pc.
-func (m *Model) fetchDecode(pc isa.Word) (isa.Inst, isa.Word, *fault) {
-	var buf [isa.MaxInstLen]byte
+// With the predecode cache enabled (icache.go) the steady-state path is
+// translate → probe → done, with no byte copies and no isa.Decode call;
+// the slow path fills the cache on success. The returned cache entry
+// (nil when uncached) carries the memoized µop instantiation and
+// predecoded trace-entry register fields. It is only valid until the next
+// fetch — Step consumes it within the same instruction.
+func (m *Model) fetchDecode(pc isa.Word) (isa.Inst, *icEntry, isa.Word, *fault) {
 	pa, f := m.translate(pc, false)
 	if f != nil {
-		return isa.Inst{}, 0, f
+		return isa.Inst{}, nil, 0, f
 	}
 	if !m.Mem.InRange(pa, 1) {
-		return isa.Inst{}, 0, &fault{vector: isa.VecProt, faultVA: pc, retry: true}
+		return isa.Inst{}, nil, 0, &fault{vector: isa.VecProt, faultVA: pc, retry: true}
 	}
+	paged := !m.Kernel() && m.CR[isa.CRPaging] != 0
+	if e, ok := m.icache.probe(pa, paged); ok {
+		return e.inst, e, pa, nil
+	}
+	inst, crosses, page2, f := m.fetchDecodeSlow(pc, pa, paged)
+	if f != nil {
+		return isa.Inst{}, nil, 0, f
+	}
+	if c := m.icache; c != nil {
+		c.fill(pa, inst, crosses, paged, page2, m.table.Precrack(inst))
+		return inst, &c.slots[pa&c.mask], pa, nil
+	}
+	return inst, nil, pa, nil
+}
+
+// fetchDecodeSlow is the uncached fetch path: copy up to MaxInstLen bytes
+// (split at the page boundary under paging, walking the next page only if
+// the decoder needs it) and run the variable-length decoder. It also
+// reports whether the instruction's bytes span two physical pages and the
+// physical page of the last byte — the predecode cache revalidates
+// crossing entries against both pages.
+func (m *Model) fetchDecodeSlow(pc, pa isa.Word, paged bool) (isa.Inst, bool, isa.Word, *fault) {
+	var buf [isa.MaxInstLen]byte
 	n := isa.MaxInstLen
-	if m.Kernel() || m.CR[isa.CRPaging] == 0 {
+	if !paged {
+		// Kernel or paging off: virtually contiguous is physically
+		// contiguous, one copy suffices.
 		if rem := m.Mem.Size() - int(pa); rem < n {
 			n = rem
 		}
 		copy(buf[:n], m.Mem.Bytes(pa, n))
-	} else {
-		// Paged fetch: bytes up to the page end, then (only if the decoder
-		// needs them) the next page.
-		rem := int(fullsys.PageSize - pc&(fullsys.PageSize-1))
-		if rem < n {
-			n = rem
+		inst, derr := isa.Decode(buf[:n], pc)
+		if derr != nil {
+			return isa.Inst{}, false, 0, &fault{vector: isa.VecIllegal, faultVA: pc}
 		}
-		copy(buf[:n], m.Mem.Bytes(pa, n))
-		if n < isa.MaxInstLen {
-			if _, derr := isa.Decode(buf[:n], pc); derr != nil {
-				// Might be a page-crossing instruction: try the next page.
-				pa2, f2 := m.translate(pc+isa.Word(n), false)
-				if f2 == nil && m.Mem.InRange(pa2, 1) {
-					n2 := isa.MaxInstLen - n
-					if rem2 := m.Mem.Size() - int(pa2); rem2 < n2 {
-						n2 = rem2
-					}
-					copy(buf[n:n+n2], m.Mem.Bytes(pa2, n2))
-					n += n2
-				} else if f2 != nil {
-					// Decide below: if decode still fails truncated, the
-					// second-page fault is the architectural outcome.
-					inst, derr2 := isa.Decode(buf[:n], pc)
-					if derr2 != nil {
-						return isa.Inst{}, 0, f2
-					}
-					return inst, pa, nil
+		last := pa + isa.Word(inst.Size) - 1
+		return inst, last>>fullsys.PageShift != pa>>fullsys.PageShift, last >> fullsys.PageShift, nil
+	}
+	// Paged fetch: bytes up to the page end, then (only if the decoder
+	// needs them) the next page.
+	rem := int(fullsys.PageSize - pc&(fullsys.PageSize-1))
+	if rem < n {
+		n = rem
+	}
+	copy(buf[:n], m.Mem.Bytes(pa, n))
+	crosses := false
+	var page2 isa.Word
+	if n < isa.MaxInstLen {
+		if _, derr := isa.Decode(buf[:n], pc); derr != nil {
+			// Might be a page-crossing instruction: try the next page.
+			pa2, f2 := m.translate(pc+isa.Word(n), false)
+			if f2 != nil {
+				// Decode is deterministic: the truncated prefix just
+				// failed, so re-decoding it cannot succeed — the fault on
+				// the second page is the architectural outcome.
+				return isa.Inst{}, false, 0, f2
+			}
+			if m.Mem.InRange(pa2, 1) {
+				n2 := isa.MaxInstLen - n
+				if rem2 := m.Mem.Size() - int(pa2); rem2 < n2 {
+					n2 = rem2
 				}
+				copy(buf[n:n+n2], m.Mem.Bytes(pa2, n2))
+				n += n2
+				// If the full decode below succeeds it consumed bytes the
+				// truncated decode lacked, so the instruction crosses.
+				crosses = true
+				page2 = pa2 >> fullsys.PageShift
 			}
 		}
 	}
 	inst, derr := isa.Decode(buf[:n], pc)
 	if derr != nil {
-		return isa.Inst{}, 0, &fault{vector: isa.VecIllegal, faultVA: pc}
+		return isa.Inst{}, false, 0, &fault{vector: isa.VecIllegal, faultVA: pc}
 	}
-	return inst, pa, nil
+	return inst, crosses, page2, nil
 }
 
 // faultEntry finalizes the trace entry for an instruction that raised an
 // exception: the FM indicates the exception in the trace (§3.4) and steers
 // to the handler.
-func (m *Model) faultEntry(e trace.Entry, inst isa.Inst, f *fault) (trace.Entry, bool) {
+func (m *Model) faultEntry(e trace.Entry, inst isa.Inst, pre *microcode.Precracked, f *fault) (trace.Entry, bool) {
 	if !m.replay {
 		m.Exceptions++
 	}
@@ -147,18 +194,24 @@ func (m *Model) faultEntry(e trace.Entry, inst isa.Inst, f *fault) (trace.Entry,
 		e.Op = isa.OpNop // fetch fault: no opcode was decoded
 		e.Size = 0
 	}
-	return m.finishEntry(e, inst)
+	return m.finishEntry(e, inst, pre)
 }
 
-// finishEntry cracks the instruction, accounts trace bandwidth and advances
-// the instruction number.
-func (m *Model) finishEntry(e trace.Entry, inst isa.Inst) (trace.Entry, bool) {
+// finishEntry cracks the instruction (from the cached Precracked when one
+// is available), accounts trace bandwidth and advances the instruction
+// number.
+func (m *Model) finishEntry(e trace.Entry, inst isa.Inst, pre *microcode.Precracked) (trace.Entry, bool) {
 	iters := int(e.RepIterations)
 	if !inst.Rep {
 		iters = 1
 	}
 	if isa.Valid(e.Op) && e.Op == inst.Op {
-		c := m.table.Crack(inst, iters)
+		var c microcode.Crack
+		if pre != nil {
+			c = pre.Crack(iters)
+		} else {
+			c = m.table.Crack(inst, iters)
+		}
 		if !m.replay {
 			m.Coverage.Add(c)
 		}
@@ -389,7 +442,7 @@ func (m *Model) execute(inst isa.Inst, nextPC isa.Word, e *trace.Entry) *fault {
 	case isa.OpLea:
 		m.GPR[inst.Rd] = m.GPR[inst.Rs] + isa.Word(inst.Disp)
 	case isa.OpLdW, isa.OpLdH, isa.OpLdB:
-		size := map[isa.Op]int{isa.OpLdW: 4, isa.OpLdH: 2, isa.OpLdB: 1}[inst.Op]
+		size := memAccessSize(inst.Op)
 		va := m.GPR[inst.Rs] + isa.Word(inst.Disp)
 		v, pa, f := m.load(va, size)
 		if f != nil {
@@ -398,7 +451,7 @@ func (m *Model) execute(inst isa.Inst, nextPC isa.Word, e *trace.Entry) *fault {
 		m.GPR[inst.Rd] = isa.Word(v)
 		e.MemVA, e.MemPA, e.MemSize = va, pa, uint8(size)
 	case isa.OpStW, isa.OpStH, isa.OpStB:
-		size := map[isa.Op]int{isa.OpStW: 4, isa.OpStH: 2, isa.OpStB: 1}[inst.Op]
+		size := memAccessSize(inst.Op)
 		va := m.GPR[inst.Rs] + isa.Word(inst.Disp)
 		pa, f := m.store(va, uint64(m.GPR[inst.Rd]), size)
 		if f != nil {
@@ -468,6 +521,7 @@ func (m *Model) execute(inst isa.Inst, nextPC isa.Word, e *trace.Entry) *fault {
 		m.Flags |= isa.FlagI
 	case isa.OpTlbWr:
 		m.journalTLB()
+		m.icache.noteMapping()
 		vpn := m.GPR[inst.Rd]
 		val := m.GPR[inst.Rs]
 		entry := fullsys.TLBEntry{
@@ -481,9 +535,13 @@ func (m *Model) execute(inst isa.Inst, nextPC isa.Word, e *trace.Entry) *fault {
 		e.TLBWrite, e.TLBVPN, e.TLBPFN = true, vpn, val
 	case isa.OpTlbFl:
 		m.journalTLB()
+		m.icache.noteMapping()
 		m.TLB.Reset()
 	case isa.OpMovCR:
 		if int(inst.Imm) < isa.NumCR {
+			// Any CR write may change translation (CRPaging directly; a
+			// coarse rule keeps the hot path branch-free).
+			m.icache.noteMapping()
 			m.CR[inst.Imm] = m.GPR[inst.Rd]
 		}
 	case isa.OpMovRC:
@@ -573,6 +631,17 @@ func (m *Model) execute(inst isa.Inst, nextPC isa.Word, e *trace.Entry) *fault {
 	}
 	m.PC = nextPC
 	return nil
+}
+
+// memAccessSize maps a scalar load/store opcode to its access width.
+func memAccessSize(op isa.Op) int {
+	switch op {
+	case isa.OpLdW, isa.OpStW:
+		return 4
+	case isa.OpLdH, isa.OpStH:
+		return 2
+	}
+	return 1
 }
 
 // aluOperand returns the second ALU operand: the Rs register for RR forms,

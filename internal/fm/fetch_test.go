@@ -1,0 +1,129 @@
+package fm
+
+import "testing"
+
+// TestPageCrossingFetchFaultVA: when an instruction straddles a page
+// boundary and the second virtual page is unmapped, the fetch must fault
+// with the *second* page's address — the first page's bytes were readable
+// and only the tail is missing. The handler logs every fault VA to memory
+// so the test can see exactly which pages missed, then identity-maps as
+// usual so the retry proves the crossing fetch completes once both pages
+// are present.
+func TestPageCrossingFetchFaultVA(t *testing.T) {
+	m, _ := runAt(t, `
+		.org 0
+		.space 256
+		.org 0x400
+	tlbmiss:
+		movrc r11, cr2
+		stw  r11, [r10]   ; log the fault VA
+		addi r10, 4
+		shri r11, 12
+		mov  r12, r11
+		shli r12, 12
+		ori  r12, 3
+		tlbwr r11, r12
+		iret
+		.org 0x480
+	sys:	halt
+		.org 0x1000
+	entry:
+		movi r8, tlbmiss
+		movi r9, 12
+		stw  r8, [r9]
+		movi r8, sys
+		movi r9, 20
+		stw  r8, [r9]
+		movi r10, 0x7000 ; fault-VA log cursor
+		movi r8, 1
+		movcr r8, cr1
+		movi r8, 0x8000
+		movcr r8, cr5
+		movi r8, 0x20
+		movcr r8, cr6
+		iret
+		.org 0x8000
+	user:
+		jmpf nearend
+		.org 0x8FFD
+	nearend:
+		movi r7, 0x12345678  ; 6 bytes: 0x8FFD..0x9002 crosses into VPN 9
+		syscall
+	.entry entry
+	`, 0, 100_000)
+	if m.GPR[7] != 0x12345678 {
+		t.Errorf("crossing instruction after retry: R7 = %#x, want 0x12345678", m.GPR[7])
+	}
+	// Exactly two TLB misses: the first user fetch, then the crossing
+	// instruction's tail — reported as the second page, not the fetch PC.
+	if got := m.Mem.Read(0x7000, 4); got != 0x8000 {
+		t.Errorf("first fault VA = %#x, want 0x8000", got)
+	}
+	if got := m.Mem.Read(0x7004, 4); got != 0x9000 {
+		t.Errorf("crossing fault VA = %#x, want 0x9000 (second page)", got)
+	}
+	if got := m.Mem.Read(0x7008, 4); got != 0 {
+		t.Errorf("unexpected third fault VA %#x", got)
+	}
+}
+
+// TestFetchEndingAtPageBoundaryNoFault: an instruction whose last byte is
+// the last byte of a mapped page must execute without touching the next
+// page, even though the decoder's speculative fetch window would reach
+// past it. The next virtual page stays unmapped for the whole run.
+func TestFetchEndingAtPageBoundaryNoFault(t *testing.T) {
+	m, _ := runAt(t, `
+		.org 0
+		.space 256
+		.org 0x400
+	tlbmiss:
+		movrc r11, cr2
+		stw  r11, [r10]
+		addi r10, 4
+		shri r11, 12
+		mov  r12, r11
+		shli r12, 12
+		ori  r12, 3
+		tlbwr r11, r12
+		iret
+		.org 0x480
+	sys:	halt
+		.org 0x1000
+	entry:
+		movi r8, tlbmiss
+		movi r9, 12
+		stw  r8, [r9]
+		movi r8, sys
+		movi r9, 20
+		stw  r8, [r9]
+		movi r10, 0x7000
+		movi r8, 1
+		movcr r8, cr1
+		movi r8, 0x8000
+		movcr r8, cr5
+		movi r8, 0x20
+		movcr r8, cr6
+		iret
+		.org 0x8000
+	user:
+		jmpf mid
+	done:
+		syscall
+		.org 0x8FF7
+	mid:
+		movi r7, 0x55AA55AA  ; 0x8FF7..0x8FFC
+		jmp  done            ; 3 bytes: 0x8FFD..0x8FFF, ends at the page edge
+	.entry entry
+	`, 0, 100_000)
+	if m.GPR[7] != 0x55AA55AA {
+		t.Errorf("R7 = %#x, want 0x55AA55AA", m.GPR[7])
+	}
+	// Only the initial user-page miss; the boundary-hugging jmpf must not
+	// have faulted on 0x9000.
+	if got := m.Mem.Read(0x7000, 4); got != 0x8000 {
+		t.Errorf("first fault VA = %#x, want 0x8000", got)
+	}
+	if got := m.Mem.Read(0x7004, 4); got != 0 {
+		t.Errorf("unexpected second fault VA %#x — fetch touched the unmapped page", got)
+	}
+}

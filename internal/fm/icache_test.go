@@ -1,0 +1,350 @@
+package fm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// icachePair runs src on two otherwise identical models — predecode cache
+// enabled (small, so conflict evictions happen too) and disabled — and
+// fails unless the traces and final scalar state are identical. It returns
+// the cached model for stat assertions.
+func icachePair(t *testing.T, src string, base isa.Word, max int) *Model {
+	t.Helper()
+	prog := isa.MustAssemble(src, base)
+	exec := func(entries int) (*Model, []trace.Entry) {
+		m := New(Config{MemBytes: 1 << 20, DisableInterrupts: true, ICacheEntries: entries})
+		m.LoadProgram(prog)
+		var out []trace.Entry
+		for i := 0; i < max; i++ {
+			e, ok := m.Step()
+			if !ok {
+				if m.Fatal() != nil {
+					t.Fatalf("fatal after %d steps: %v", i, m.Fatal())
+				}
+				break
+			}
+			out = append(out, e)
+		}
+		return m, out
+	}
+	on, onT := exec(64)
+	off, offT := exec(0)
+	if len(onT) != len(offT) {
+		t.Fatalf("cached run: %d entries, uncached %d", len(onT), len(offT))
+	}
+	for i := range onT {
+		if !entriesEqual(onT[i], offT[i]) {
+			t.Fatalf("entry %d differs with cache on:\n  on: %+v\n off: %+v", i, onT[i], offT[i])
+		}
+	}
+	if on.Scalars != off.Scalars {
+		t.Fatalf("final scalar state differs:\n  on: %+v\n off: %+v", on.Scalars, off.Scalars)
+	}
+	return on
+}
+
+// TestICacheSelfModifyingCode stores into an already-cached instruction's
+// immediate and re-executes it: the store must invalidate the cached
+// decode, so the patched bytes execute and the trace matches an uncached
+// model exactly.
+func TestICacheSelfModifyingCode(t *testing.T) {
+	m := icachePair(t, `
+		movi r6, 0
+	loop:
+	target:
+		movi r7, 0x11111111
+		addi r6, 1
+		cmpi r6, 2
+		jl   patch
+		halt
+	patch:
+		movi r0, target
+		addi r0, 2
+		movi r1, 0x22222222
+		stw  r1, [r0]
+		jmp  loop
+	`, 0x1000, 100)
+	if m.GPR[7] != 0x22222222 {
+		t.Errorf("R7 = %#x, want 0x22222222 (patched immediate)", m.GPR[7])
+	}
+	// No hit assertion: the patch store lands on the page holding the loop
+	// itself, so every iteration legitimately re-decodes the whole page.
+	_, _, invalidations, _ := m.ICacheStats()
+	if invalidations == 0 {
+		t.Error("code store caused no invalidation")
+	}
+}
+
+// TestICachePagedCrossingRemap caches a page-crossing user instruction,
+// then has the kernel remap the second virtual page to a different frame
+// holding different tail bytes. The mapping-generation check must force a
+// re-fetch: the entry's physical first page is untouched, so nothing else
+// would invalidate it.
+func TestICachePagedCrossingRemap(t *testing.T) {
+	m := icachePair(t, `
+		.org 0
+		.space 256
+		.org 0x400
+	tlbmiss:
+		movrc r11, cr2
+		shri  r11, 12
+		mov   r12, r11
+		shli  r12, 12
+		ori   r12, 3
+		tlbwr r11, r12
+		iret
+		.org 0x480
+	sys:
+		cmpi r5, 0
+		jnz  fin
+		movi r5, 1
+		; build an alternate image of the tail page in frame 3: copy the
+		; original page-9 bytes, then rewrite the first two (the crossing
+		; instruction's middle immediate bytes).
+		movi r0, 0x9000
+		movi r1, 0x3000
+		movi r2, 16
+		rep movs
+		movi r3, 0xBBAA
+		movi r4, 0x3000
+		sth  r3, [r4]
+		; remap user VPN 9 -> PFN 3 and re-run the crossing instruction
+		movi r11, 9
+		movi r12, 0x3003
+		tlbwr r11, r12
+		movi r8, 0x8FFD
+		movcr r8, cr5
+		iret
+	fin:	halt
+		.org 0x1000
+	entry:
+		movi r8, tlbmiss
+		movi r9, 12
+		stw  r8, [r9]
+		movi r8, sys
+		movi r9, 20
+		stw  r8, [r9]
+		movi r8, 1
+		movcr r8, cr1
+		movi r8, 0x8000
+		movcr r8, cr5
+		movi r8, 0x20
+		movcr r8, cr6
+		iret
+		; user code, identity-mapped on demand; the movi's 6 bytes sit at
+		; 0x8FFD..0x9002, crossing into VPN 9.
+		.org 0x8000
+	user:
+		jmpf nearend
+		.org 0x8FFD
+	nearend:
+		movi r7, 0x12345678
+		syscall
+	.entry entry
+	`, 0, 100_000)
+	// Second execution reads imm bytes {0x78 | AA BB 0x12}: frame 3 holds
+	// the copied page with its first halfword rewritten to 0xBBAA.
+	if m.GPR[7] != 0x12BBAA78 {
+		t.Errorf("R7 = %#x, want 0x12BBAA78 (remapped tail bytes)", m.GPR[7])
+	}
+}
+
+// TestICacheRollbackPastCodeStore is the directed store-then-rollback SMC
+// case: cache an instruction, patch it, execute the patched form, then
+// roll back to before the patch store and steer straight back to the
+// instruction. Memory undo rewrites the original bytes without passing
+// through Model.store, so the cache must learn about it from the undo path.
+func TestICacheRollbackPastCodeStore(t *testing.T) {
+	src := `
+		movi r7, 0
+	target:
+		movi r7, 0x11111111
+		movi r0, target
+		addi r0, 2
+		movi r1, 0x22222222
+		stw  r1, [r0]
+		jmp  target
+	`
+	prog := isa.MustAssemble(src, 0x1000)
+	for _, cfg := range []Config{
+		{MemBytes: 1 << 20, DisableInterrupts: true, ICacheEntries: 64},
+		{MemBytes: 1 << 20, DisableInterrupts: true, ICacheEntries: 64,
+			Rollback: RollbackCheckpoint, CheckpointInterval: 4},
+		{MemBytes: 1 << 20, DisableInterrupts: true},
+	} {
+		m := New(cfg)
+		m.LoadProgram(prog)
+		var entries []trace.Entry
+		for i := 0; i < 8; i++ { // IN 0..7; IN 7 re-executes target patched
+			e, ok := m.Step()
+			if !ok {
+				t.Fatalf("halted early at step %d", i)
+			}
+			entries = append(entries, e)
+		}
+		if m.GPR[7] != 0x22222222 {
+			t.Fatalf("after patch R7 = %#x, want 0x22222222", m.GPR[7])
+		}
+		// Roll back to IN 2 (undoes the store at IN 5) and steer to target.
+		if err := m.SetPC(2, entries[1].PC); err != nil {
+			t.Fatalf("SetPC: %v", err)
+		}
+		e, ok := m.Step()
+		if !ok || e.IN != 2 || e.PC != entries[1].PC {
+			t.Fatalf("redirected step = %+v ok=%v, want IN 2 at %#x", e, ok, entries[1].PC)
+		}
+		if m.GPR[7] != 0x11111111 {
+			t.Fatalf("replay after rollback R7 = %#x, want original 0x11111111", m.GPR[7])
+		}
+	}
+}
+
+// TestICacheRollbackReplayEquivalence runs a self-modifying loop under an
+// identical random rollback/commit schedule on three models — journal and
+// leapfrog-checkpoint with the cache on, journal with it off — and
+// requires byte-identical traces and final state. This locks the cache's
+// two rollback obligations at once: undo-driven invalidation and
+// checkpoint replay through the normal store path.
+func TestICacheRollbackReplayEquivalence(t *testing.T) {
+	prog := isa.MustAssemble(`
+		movi sp, 0x9000
+		movi r6, 0
+		movi r3, 0x22222222
+		movi r4, 0x33333333
+	loop:
+	target:
+		movi r7, 0x11111111
+		add  r1, r7
+		movi r0, target
+		addi r0, 2
+		stw  r3, [r0]
+		mov  r5, r3
+		mov  r3, r4
+		mov  r4, r5
+		addi r6, 1
+		cmpi r6, 300
+		jl   loop
+		halt
+	`, 0x1000)
+
+	drive := func(m *Model, seed int64) []trace.Entry {
+		var entries []trace.Entry
+		rng := rand.New(rand.NewSource(seed))
+		for {
+			e, ok := m.Step()
+			if !ok {
+				if m.Fatal() != nil {
+					t.Fatalf("fatal: %v", m.Fatal())
+				}
+				break
+			}
+			if int(e.IN) >= len(entries) {
+				entries = append(entries, e)
+			} else {
+				entries[e.IN] = e
+			}
+			if rng.Intn(8) == 0 && m.JournalLen() > 1 {
+				back := rng.Intn(min(20, m.JournalLen()-1)) + 1
+				target := m.IN() - uint64(back)
+				if err := m.SetPC(target, entries[target].PC); err != nil {
+					t.Fatalf("SetPC: %v", err)
+				}
+			}
+			if rng.Intn(13) == 0 && m.IN() > 40 {
+				m.Commit(m.IN() - 40)
+			}
+		}
+		return entries
+	}
+
+	ref := New(Config{MemBytes: 1 << 20, DisableInterrupts: true})
+	ref.LoadProgram(prog)
+	refEntries := drive(ref, 7)
+
+	for name, cfg := range map[string]Config{
+		"journal": {MemBytes: 1 << 20, DisableInterrupts: true, ICacheEntries: 64},
+		"checkpoint": {MemBytes: 1 << 20, DisableInterrupts: true, ICacheEntries: 64,
+			Rollback: RollbackCheckpoint, CheckpointInterval: 8},
+	} {
+		m := New(cfg)
+		m.LoadProgram(prog)
+		entries := drive(m, 7)
+		if len(entries) != len(refEntries) {
+			t.Fatalf("%s: %d entries vs %d uncached", name, len(entries), len(refEntries))
+		}
+		for i := range entries {
+			if !entriesEqual(entries[i], refEntries[i]) {
+				t.Fatalf("%s: entry %d differs:\n got %+v\nwant %+v", name, i, entries[i], refEntries[i])
+			}
+		}
+		if m.Scalars != ref.Scalars {
+			t.Fatalf("%s: final scalar state differs", name)
+		}
+		if m.Rollbacks == 0 {
+			t.Fatalf("%s: schedule exercised no rollbacks", name)
+		}
+	}
+}
+
+// TestICacheStatsAndTelemetry pins the counter plumbing: LoadProgram
+// counts one flush, a loop hits, and the counters surface under the
+// documented fm_icache_* metric names (absent when the cache is off).
+func TestICacheStatsAndTelemetry(t *testing.T) {
+	src := `
+		movi r0, 0
+	loop:
+		addi r0, 1
+		cmpi r0, 50
+		jl   loop
+		halt
+	`
+	m, _ := func() (*Model, []trace.Entry) {
+		m := New(Config{MemBytes: 1 << 20, DisableInterrupts: true, ICacheEntries: 16})
+		m.LoadProgram(isa.MustAssemble(src, 0x1000))
+		for {
+			if _, ok := m.Step(); !ok {
+				break
+			}
+		}
+		return m, nil
+	}()
+	hits, misses, _, flushes := m.ICacheStats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("stats hits=%d misses=%d, want both > 0", hits, misses)
+	}
+	if flushes != 1 {
+		t.Errorf("flushes = %d, want exactly 1 (LoadProgram)", flushes)
+	}
+
+	tel := obs.New()
+	m.PublishTelemetry(tel)
+	var buf bytes.Buffer
+	tel.Metrics.WritePrometheus(&buf)
+	for _, name := range []string{
+		"fm_icache_hits_total", "fm_icache_misses_total",
+		"fm_icache_invalidations_total", "fm_icache_flushes_total",
+	} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("metric %s missing from telemetry output", name)
+		}
+	}
+
+	off := New(Config{MemBytes: 1 << 20, DisableInterrupts: true})
+	if h, ms, inv, fl := off.ICacheStats(); h|ms|inv|fl != 0 {
+		t.Errorf("disabled cache reported stats %d %d %d %d", h, ms, inv, fl)
+	}
+	tel2 := obs.New()
+	off.PublishTelemetry(tel2)
+	buf.Reset()
+	tel2.Metrics.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), "fm_icache") {
+		t.Error("disabled cache still publishes fm_icache_* metrics")
+	}
+}

@@ -61,10 +61,13 @@ type memUndo struct {
 	size uint8
 }
 
-// undoMem applies a memory undo list newest-first.
+// undoMem applies a memory undo list newest-first. The rewrites bypass
+// Model.store, so the predecode cache is notified here: an undone store
+// changes code bytes just as surely as the store did.
 func undoMem(m *Model, undos []memUndo) {
 	for i := len(undos) - 1; i >= 0; i-- {
 		u := undos[i]
+		m.icache.noteStore(u.pa, int(u.size))
 		m.Mem.Write(u.pa, u.old, int(u.size))
 	}
 }
@@ -371,6 +374,11 @@ func (m *Model) SetPC(in uint64, pc uint32) error {
 	undone := m.in - in
 	m.RolledBack += undone
 	m.obs.rolledBack.Add(undone)
+	// Rollback restores TLB snapshots and pre-instruction control
+	// registers without passing through the instructions that set them;
+	// one mapping-generation bump covers every translation change the
+	// undo can make (paged page-crossing entries revalidate against it).
+	m.icache.noteMapping()
 	reBefore := m.ReExecuted()
 	err := m.engine.setPC(m, in, pc)
 	m.obs.reExecuted.Add(m.ReExecuted() - reBefore)

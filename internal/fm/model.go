@@ -48,6 +48,12 @@ type Config struct {
 	// bounded without affecting correct-path programs (which stay far
 	// below it). 0 means the default of 65536.
 	RepCap int
+	// ICacheEntries sizes the predecode cache (icache.go): direct-mapped
+	// slots keyed by physical address, rounded up to a power of two.
+	// 0 disables the cache. Architected state and the emitted trace are
+	// bit-identical at any value — the knob trades host memory for FM
+	// speed only.
+	ICacheEntries int
 	// Encoding selects the trace compression model for link accounting.
 	Encoding trace.EncodeOptions
 	// DisableInterrupts prevents autonomous interrupt delivery; used by
@@ -72,8 +78,9 @@ type Model struct {
 	TLB fullsys.TLB
 	Bus *fullsys.Bus
 
-	table *microcode.Table
-	cfg   Config
+	table  *microcode.Table
+	icache *icache // predecode cache; nil when disabled
+	cfg    Config
 
 	in     uint64 // next instruction number to produce
 	halted bool
@@ -119,6 +126,9 @@ func New(cfg Config) *Model {
 	} else {
 		m.engine = &journalEngine{}
 	}
+	if cfg.ICacheEntries > 0 {
+		m.icache = newICache(cfg.ICacheEntries, cfg.MemBytes)
+	}
 	m.obs.attach(cfg.Telemetry)
 	return m
 }
@@ -158,6 +168,22 @@ func (m *Model) PublishTelemetry(tel *obs.Telemetry) {
 	tel.Counter("fm_interrupts_total").Add(m.Interrupts)
 	tel.Counter("fm_exceptions_total").Add(m.Exceptions)
 	tel.Counter("fm_trace_words_total").Add(m.TraceWords)
+	if c := m.icache; c != nil {
+		tel.Counter("fm_icache_hits_total").Add(c.hits)
+		tel.Counter("fm_icache_misses_total").Add(c.misses)
+		tel.Counter("fm_icache_invalidations_total").Add(c.invalidations)
+		tel.Counter("fm_icache_flushes_total").Add(c.flushes)
+	}
+}
+
+// ICacheStats reports the predecode-cache counters (all zero when the
+// cache is disabled): probe hits, probe misses, store-driven page
+// invalidations and whole-cache flushes.
+func (m *Model) ICacheStats() (hits, misses, invalidations, flushes uint64) {
+	if m.icache == nil {
+		return 0, 0, 0, 0
+	}
+	return m.icache.hits, m.icache.misses, m.icache.invalidations, m.icache.flushes
 }
 
 // Table exposes the microcode table (shared with the timing model).
@@ -166,6 +192,7 @@ func (m *Model) Table() *microcode.Table { return m.table }
 // LoadProgram copies the image into physical memory and jumps to its entry.
 func (m *Model) LoadProgram(p *isa.Program) {
 	m.Mem.Load(p.Base, p.Code)
+	m.icache.flush()
 	m.PC = p.Entry
 }
 
@@ -256,6 +283,7 @@ func (m *Model) store(va isa.Word, v uint64, n int) (isa.Word, *fault) {
 		return 0, &fault{vector: isa.VecProt, faultVA: va, retry: true}
 	}
 	m.journalMem(pa, n)
+	m.icache.noteStore(pa, n)
 	m.Mem.Write(pa, v, n)
 	return pa, nil
 }

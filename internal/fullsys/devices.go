@@ -334,16 +334,27 @@ type diskState struct {
 	writing bool
 }
 
-// Snapshot implements Device. Sector images are copied wholesale: disks in
-// these workloads hold a handful of sectors, so this stays cheap.
-func (d *Disk) Snapshot() any {
-	dirty := make(map[uint32][]uint32, len(d.sectors))
-	for s, w := range d.sectors {
-		dirty[s] = append([]uint32(nil), w...)
+// copySectors shallow-copies the sector map. Sector images are immutable
+// once installed — Tick and Preload always build a fresh slice and reads
+// copy into d.buf — so snapshots may share them; only the map itself needs
+// copying (on both Snapshot and Restore, so a restored snapshot is never
+// aliased by subsequent live writes). The undo journal snapshots the bus
+// on every device-touching instruction, so this is on the FM hot path.
+func copySectors(src map[uint32][]uint32) map[uint32][]uint32 {
+	dst := make(map[uint32][]uint32, len(src))
+	for s, w := range src {
+		dst[s] = w
 	}
+	return dst
+}
+
+// Snapshot implements Device.
+func (d *Disk) Snapshot() any {
 	return diskState{
-		dirty: dirty, sector: d.sector, busy: d.busy, doneAt: d.doneAt,
-		done: d.done, buf: append([]uint32(nil), d.buf...), bufPos: d.bufPos,
+		dirty: copySectors(d.sectors), sector: d.sector, busy: d.busy,
+		doneAt: d.doneAt, done: d.done,
+		// buf is appended to in place mid-write, so it does need a copy.
+		buf: append([]uint32(nil), d.buf...), bufPos: d.bufPos,
 		writing: d.writing,
 	}
 }
@@ -351,7 +362,7 @@ func (d *Disk) Snapshot() any {
 // Restore implements Device.
 func (d *Disk) Restore(s any) {
 	st := s.(diskState)
-	d.sectors = st.dirty
+	d.sectors = copySectors(st.dirty)
 	d.sector, d.busy, d.doneAt = st.sector, st.busy, st.doneAt
 	d.done, d.buf, d.bufPos, d.writing = st.done, st.buf, st.bufPos, st.writing
 }

@@ -135,7 +135,8 @@ func (e *DecodeError) Error() string {
 // Decode decodes the instruction starting at buf[0]. pc is used only for
 // error reporting. A short buffer or an undefined opcode yields a
 // *DecodeError, which the functional model turns into an illegal-instruction
-// exception.
+// exception. On error the returned Inst is always the zero value — callers
+// must never see a partially-populated instruction next to a non-nil error.
 func Decode(buf []byte, pc Word) (Inst, error) {
 	inst := Inst{Rd: RegNone, Rs: RegNone}
 	i := 0
@@ -153,15 +154,15 @@ func Decode(buf []byte, pc Word) (Inst, error) {
 		break
 	}
 	if i > 2 {
-		return inst, &DecodeError{PC: pc, Reason: "too many prefixes"}
+		return Inst{}, &DecodeError{PC: pc, Reason: "too many prefixes"}
 	}
 	if i >= len(buf) {
-		return inst, &DecodeError{PC: pc, Reason: "truncated instruction"}
+		return Inst{}, &DecodeError{PC: pc, Reason: "truncated instruction"}
 	}
 	if buf[i] == escapeByte {
 		i++
 		if i >= len(buf) {
-			return inst, &DecodeError{PC: pc, Reason: "truncated escape opcode"}
+			return Inst{}, &DecodeError{PC: pc, Reason: "truncated escape opcode"}
 		}
 		inst.Op = opSecondaryBase + Op(buf[i])
 	} else {
@@ -169,7 +170,7 @@ func Decode(buf []byte, pc Word) (Inst, error) {
 	}
 	i++
 	if !Valid(inst.Op) {
-		return inst, &DecodeError{PC: pc, Reason: fmt.Sprintf("undefined opcode %#x", uint16(inst.Op))}
+		return Inst{}, &DecodeError{PC: pc, Reason: fmt.Sprintf("undefined opcode %#x", uint16(inst.Op))}
 	}
 	in := infoTable[inst.Op]
 	need := func(n int) error {
@@ -197,13 +198,13 @@ func Decode(buf []byte, pc Word) (Inst, error) {
 	case FmtNone:
 	case FmtR:
 		if err := need(1); err != nil {
-			return inst, err
+			return Inst{}, err
 		}
 		readPair(fpBank, false)
 		inst.Rs = RegNone
 	case FmtRR:
 		if err := need(1); err != nil {
-			return inst, err
+			return Inst{}, err
 		}
 		// I2F reads a GPR source; F2I writes a GPR destination.
 		switch inst.Op {
@@ -216,7 +217,7 @@ func Decode(buf []byte, pc Word) (Inst, error) {
 		}
 	case FmtRI8, FmtI8R:
 		if err := need(2); err != nil {
-			return inst, err
+			return Inst{}, err
 		}
 		readPair(fpBank, false)
 		inst.Rs = RegNone
@@ -228,7 +229,7 @@ func Decode(buf []byte, pc Word) (Inst, error) {
 		i++
 	case FmtRI32:
 		if err := need(5); err != nil {
-			return inst, err
+			return Inst{}, err
 		}
 		readPair(fpBank, false)
 		inst.Rs = RegNone
@@ -236,21 +237,21 @@ func Decode(buf []byte, pc Word) (Inst, error) {
 		i += 4
 	case FmtRM:
 		if err := need(3); err != nil {
-			return inst, err
+			return Inst{}, err
 		}
 		readPair(in.FP, false) // Rd may be FP (FLd/FSt); base Rs is a GPR
 		inst.Disp = int32(int16(binary.LittleEndian.Uint16(buf[i:])))
 		i += 2
 	case FmtRel16:
 		if err := need(2); err != nil {
-			return inst, err
+			return Inst{}, err
 		}
 		inst.Rd, inst.Rs = RegNone, RegNone
 		inst.Imm = int64(int16(binary.LittleEndian.Uint16(buf[i:])))
 		i += 2
 	case FmtI16R:
 		if err := need(3); err != nil {
-			return inst, err
+			return Inst{}, err
 		}
 		readPair(false, false)
 		inst.Rs = RegNone
@@ -258,7 +259,7 @@ func Decode(buf []byte, pc Word) (Inst, error) {
 		i += 2
 	case FmtFI64:
 		if err := need(9); err != nil {
-			return inst, err
+			return Inst{}, err
 		}
 		readPair(true, false)
 		inst.Rs = RegNone
@@ -266,7 +267,7 @@ func Decode(buf []byte, pc Word) (Inst, error) {
 		i += 8
 	case FmtI32:
 		if err := need(4); err != nil {
-			return inst, err
+			return Inst{}, err
 		}
 		inst.Rd, inst.Rs = RegNone, RegNone
 		inst.Imm = int64(binary.LittleEndian.Uint32(buf[i:]))
@@ -274,7 +275,7 @@ func Decode(buf []byte, pc Word) (Inst, error) {
 	}
 	inst.Size = i
 	if inst.Size > MaxInstLen {
-		return inst, &DecodeError{PC: pc, Reason: "instruction longer than 15 bytes"}
+		return Inst{}, &DecodeError{PC: pc, Reason: "instruction longer than 15 bytes"}
 	}
 	return inst, nil
 }

@@ -1,0 +1,72 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode drives Decode with arbitrary byte soup. The functional model
+// feeds Decode raw target memory, so beyond not panicking it must uphold
+// the contracts the predecode cache leans on:
+//
+//   - an error always comes with a zero Inst (no partial decode escapes);
+//   - a success reports a Size that covers 1..MaxInstLen bytes of the input;
+//   - a successful decode re-encodes, and the re-encoded bytes are a fixed
+//     point: Decode(Encode(inst)) reproduces inst exactly and Encode of
+//     that reproduces the same bytes.
+//
+// The original buffer is not required to re-encode byte-identically:
+// Decode accepts non-canonical forms (duplicate prefixes, junk in ignored
+// operand nibbles) that Encode normalizes, which is why the round trip is
+// checked on the re-encoded bytes rather than the raw input.
+func FuzzDecode(f *testing.F) {
+	// Seed with canonical encodings spanning every opcode and format, then
+	// a handful of known-malformed shapes so the error paths start covered.
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 256; i++ {
+		if enc, err := Encode(nil, randomInst(r)); err == nil {
+			f.Add(enc)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{PrefixREP})
+	f.Add([]byte{PrefixREP, PrefixLock, PrefixREP, byte(OpMovs)})
+	f.Add([]byte{escapeByte})
+	f.Add([]byte{escapeByte, 0xEE})
+	f.Add([]byte{byte(OpMovRI), 0x10, 1, 2})
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		inst, err := Decode(buf, 0x1234)
+		if err != nil {
+			if inst != (Inst{}) {
+				t.Fatalf("Decode(% x) returned non-zero Inst %+v alongside error %v", buf, inst, err)
+			}
+			return
+		}
+		if inst.Size <= 0 || inst.Size > MaxInstLen || inst.Size > len(buf) {
+			t.Fatalf("Decode(% x) reported Size %d outside [1, min(%d, len))", buf, inst.Size, MaxInstLen)
+		}
+		enc, err := Encode(nil, inst)
+		if err != nil {
+			t.Fatalf("Encode(Decode(% x)) = %+v failed: %v", buf, inst, err)
+		}
+		again, err := Decode(enc, 0x1234)
+		if err != nil {
+			t.Fatalf("re-Decode(% x) of %+v failed: %v", enc, inst, err)
+		}
+		// Canonical encodings may be shorter than the fuzzed input (e.g.
+		// a doubled prefix collapses), so compare modulo Size.
+		inst.Size = len(enc)
+		if again != inst {
+			t.Fatalf("re-decode mismatch:\n got %+v\nwant %+v", again, inst)
+		}
+		enc2, err := Encode(nil, again)
+		if err != nil {
+			t.Fatalf("Encode(%+v) failed on second pass: %v", again, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("Encode not a fixed point: % x vs % x", enc, enc2)
+		}
+	})
+}

@@ -168,12 +168,16 @@ func TestDecodeErrors(t *testing.T) {
 		{"triple prefix", []byte{PrefixREP, PrefixLock, PrefixREP, byte(OpMovs)}},
 	}
 	for _, c := range cases {
-		if _, err := Decode(c.buf, 0x100); err == nil {
+		if inst, err := Decode(c.buf, 0x100); err == nil {
 			t.Errorf("%s: Decode succeeded, want error", c.name)
 		} else if de, ok := err.(*DecodeError); !ok {
 			t.Errorf("%s: error type %T, want *DecodeError", c.name, err)
 		} else if de.PC != 0x100 {
 			t.Errorf("%s: DecodeError.PC = %#x, want 0x100", c.name, de.PC)
+		} else if inst != (Inst{}) {
+			// The predecode cache and fault paths rely on failed decodes
+			// never leaking a partially-populated instruction.
+			t.Errorf("%s: Decode returned non-zero Inst %+v alongside error", c.name, inst)
 		}
 	}
 }

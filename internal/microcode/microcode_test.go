@@ -350,3 +350,35 @@ func TestCompileArbitraryInputNeverPanics(t *testing.T) {
 		_, _ = Compile(src)
 	}
 }
+
+func TestPrecrackMatchesCrack(t *testing.T) {
+	// The predecode cache replays Precracked.Crack where the uncached path
+	// calls Table.Crack; bit-identical traces require exact equivalence for
+	// every opcode, with and without REP, at every iteration count shape
+	// (0 = loop-control only, 1, and >1).
+	tab := NewTable()
+	for _, op := range isa.Opcodes() {
+		for _, rep := range []bool{false, true} {
+			inst := isa.Inst{Op: op, Rd: 3, Rs: 7, Imm: 5, Disp: -12, Size: 4, Rep: rep}
+			pre := tab.Precrack(inst)
+			for _, iters := range []int{0, 1, 3, 10} {
+				want := tab.Crack(inst, iters)
+				got := pre.Crack(iters)
+				if got.Valid != want.Valid || got.Count != want.Count {
+					t.Fatalf("%s rep=%v iters=%d: got {Valid:%v Count:%d}, want {Valid:%v Count:%d}",
+						isa.Lookup(op).Name, rep, iters, got.Valid, got.Count, want.Valid, want.Count)
+				}
+				if len(got.UOps) != len(want.UOps) {
+					t.Fatalf("%s rep=%v iters=%d: %d µops, want %d",
+						isa.Lookup(op).Name, rep, iters, len(got.UOps), len(want.UOps))
+				}
+				for i := range got.UOps {
+					if got.UOps[i] != want.UOps[i] {
+						t.Fatalf("%s rep=%v iters=%d µop %d: got %v, want %v",
+							isa.Lookup(op).Name, rep, iters, i, got.UOps[i], want.UOps[i])
+					}
+				}
+			}
+		}
+	}
+}

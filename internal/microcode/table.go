@@ -197,6 +197,58 @@ func (t *Table) Crack(inst isa.Inst, iterations int) Crack {
 	return c
 }
 
+// Precracked is the memoized crack of one *static* instruction: the
+// register/immediate-instantiated µop slices that Table.Crack would rebuild
+// for every dynamic execution. The functional model's predecode cache
+// stores one Precracked per cached instruction so steady-state execution
+// re-instantiates nothing; only the dynamic REP iteration count still
+// varies per execution and is supplied to Crack.
+//
+// The memoized slices are shared by every Crack result (and therefore by
+// every trace entry) derived from them — they must be treated as
+// immutable, which the timing model already guarantees (it copies µops
+// into its own in-flight structures).
+type Precracked struct {
+	valid    bool
+	rep      bool
+	body     []UOp // one iteration, instantiated
+	over     []UOp // REP loop-control overhead (rep only)
+	combined []UOp // body followed by over (rep only)
+}
+
+// Precrack instantiates the table templates for inst once, for reuse across
+// dynamic executions via Precracked.Crack.
+func (t *Table) Precrack(inst isa.Inst) Precracked {
+	e := t.entries[inst.Op]
+	p := Precracked{valid: e.Valid, rep: inst.Rep, body: instantiate(e.Template, inst)}
+	if inst.Rep {
+		p.over = instantiate(t.repOverhead, inst)
+		p.combined = make([]UOp, 0, len(p.body)+len(p.over))
+		p.combined = append(append(p.combined, p.body...), p.over...)
+	}
+	return p
+}
+
+// Crack produces the same result as Table.Crack(inst, iterations) for the
+// instruction this Precracked was built from, without re-instantiating any
+// template (equivalence is locked by TestPrecrackMatchesCrack).
+func (p *Precracked) Crack(iterations int) Crack {
+	c := Crack{Valid: p.valid}
+	if !p.rep {
+		c.UOps = p.body
+		c.Count = len(p.body)
+		return c
+	}
+	if iterations < 1 {
+		c.UOps = p.over
+		c.Count = len(p.over)
+		return c
+	}
+	c.UOps = p.combined
+	c.Count = iterations * (len(p.body) + len(p.over))
+	return c
+}
+
 // CoverageStats aggregates Table 1: the fraction of dynamic instructions
 // with valid microcode and the dynamic µops per instruction.
 type CoverageStats struct {

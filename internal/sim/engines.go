@@ -41,7 +41,7 @@ func prepare(p Params) (*isa.Program, *workload.Boot, fm.Config, error) {
 	if p.Program != nil {
 		// Bare metal: no toyOS underneath, so nothing can service
 		// interrupts.
-		return p.Program, nil, fm.Config{DisableInterrupts: true}, nil
+		return p.Program, nil, fm.Config{DisableInterrupts: true, ICacheEntries: p.ICacheEntries}, nil
 	}
 	spec, err := p.workloadSpec()
 	if err != nil {
@@ -51,7 +51,7 @@ func prepare(p Params) (*isa.Program, *workload.Boot, fm.Config, error) {
 	if err != nil {
 		return nil, nil, fm.Config{}, err
 	}
-	return boot.Kernel, boot, fm.Config{Devices: boot.Devices()}, nil
+	return boot.Kernel, boot, fm.Config{Devices: boot.Devices(), ICacheEntries: p.ICacheEntries}, nil
 }
 
 // fastEngine runs the FAST simulator proper in either coupling mode.

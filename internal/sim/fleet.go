@@ -105,6 +105,9 @@ func Merge(base, v Params) Params {
 	if v.TraceChunk != 0 {
 		p.TraceChunk = v.TraceChunk
 	}
+	if v.ICacheEntries != 0 {
+		p.ICacheEntries = v.ICacheEntries
+	}
 	if v.Rollback != "" {
 		p.Rollback = v.Rollback
 	}

@@ -149,3 +149,31 @@ func TestFastEngineTraceChunkInvariance(t *testing.T) {
 		})
 	}
 }
+
+// TestFastEngineICacheInvariance is the predecode-cache acceptance bar:
+// any cache size — tiny (constant conflict evictions), one-slot, or the
+// CLI default — must yield the identical Result as running with the cache
+// disabled, which is the configuration the seed goldens pin.
+func TestFastEngineICacheInvariance(t *testing.T) {
+	for _, w := range []string{"164.gzip", "Linux-2.4"} {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			base := runFast(t, sim.Params{Workload: w, MaxInstructions: 50_000})
+			for _, entries := range []int{1, 16, 4096} {
+				entries := entries
+				t.Run(fmt.Sprintf("icache%d", entries), func(t *testing.T) {
+					got := runFast(t, sim.Params{
+						Workload:        w,
+						MaxInstructions: 50_000,
+						ICacheEntries:   entries,
+					})
+					if diffs := diffMaps("", base, got); len(diffs) != 0 {
+						for _, d := range diffs {
+							t.Error(d)
+						}
+					}
+				})
+			}
+		})
+	}
+}

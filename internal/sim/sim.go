@@ -69,6 +69,15 @@ type Params struct {
 	// sweeps host-side synchronization cost only. FAST engines only.
 	TraceChunk int
 
+	// ICacheEntries sizes the functional model's predecode cache
+	// (direct-mapped slots keyed by physical address, rounded up to a
+	// power of two): code is decoded and µop-instantiated once and
+	// replayed from the cache until a store, rollback or mapping change
+	// invalidates it. 0 disables the cache. Architected state, the
+	// emitted trace and every modeled number are bit-identical at any
+	// value — the knob trades host memory for FM speed only.
+	ICacheEntries int
+
 	// Rollback selects the FM recovery mechanism: "" or "journal" (the
 	// per-instruction undo journal), "checkpoint" (periodic register-file
 	// checkpoints, ablation A7). FAST engines only.
@@ -116,6 +125,9 @@ func (p Params) validate() error {
 	}
 	if p.TraceChunk < 0 {
 		return fmt.Errorf("sim: negative trace chunk %d", p.TraceChunk)
+	}
+	if p.ICacheEntries < 0 {
+		return fmt.Errorf("sim: negative icache entries %d", p.ICacheEntries)
 	}
 	return nil
 }
