@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the tier-1 gate: formatting,
 # vet, build, full test suite. `make race` exercises the concurrent paths
-# (the goroutine-parallel coupling and the sim.Fleet sweep runner) under
-# the race detector.
+# (the goroutine-parallel coupling, the sim.Fleet sweep runner and the
+# fastd job service) under the race detector. `make serve` boots the job
+# server; `make smoke` drives a built fastd end to end over HTTP.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-gate
+.PHONY: check fmt vet build test race bench bench-json bench-gate serve smoke
 
 check: fmt vet build test
 
@@ -26,7 +27,17 @@ test:
 
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/sim/... \
-		./internal/trace/... ./internal/fm ./internal/tm
+		./internal/trace/... ./internal/fm ./internal/tm ./internal/service/...
+
+# Run the simulation-as-a-service daemon locally (ctrl-C drains gracefully).
+serve:
+	$(GO) run ./cmd/fastd
+
+# End-to-end service smoke: boot fastd, submit the same Figure-4 point
+# twice, assert the second submission is a byte-identical cache hit, and
+# check the SIGTERM drain path.
+smoke:
+	./scripts/service_smoke.sh
 
 # The same harness the paper tables come from: one pass over every
 # table/figure benchmark.

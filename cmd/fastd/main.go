@@ -1,0 +1,110 @@
+// fastd is the simulation-as-a-service daemon: an HTTP job server over the
+// internal/sim engine registry with a bounded queue, a worker pool and a
+// content-addressed result cache (see internal/service for the API).
+//
+// Usage:
+//
+//	fastd -addr :8080 -workers 4 -queue 64 -cache 256 -timeout 10m
+//
+//	# submit a job, read its result, watch the cache work
+//	curl -s localhost:8080/v1/jobs -d '{"engine":"fast","params":{"workload":"164.gzip","max_instructions":50000}}'
+//	curl -s localhost:8080/v1/jobs/job-000001/result
+//	curl -s localhost:8080/metrics | grep service_
+//
+// SIGINT/SIGTERM drains gracefully: the listener stops accepting, queued
+// and in-flight jobs finish (bounded by -drain), and the final metrics
+// dump is written before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "bounded job-queue depth (full queue answers 429)")
+		cache   = flag.Int("cache", 256, "content-addressed result-cache entries (negative = disable)")
+		timeout = flag.Duration("timeout", 10*time.Minute, "default per-job deadline (overridable per request via timeout_ms)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before in-flight jobs are cancelled")
+		dump    = flag.String("metrics-dump", "", "write the final Prometheus metrics dump to this file on exit (\"-\" = stderr)")
+	)
+	flag.Parse()
+	log.SetPrefix("fastd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	tel := obs.New()
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		Telemetry:      tel,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
+		*addr, *workers, *queue, *cache, *timeout)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of draining
+
+	log.Printf("signal received, draining (budget %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain expired, in-flight jobs cancelled: %v", err)
+	} else {
+		log.Printf("drained cleanly")
+	}
+	if err := flushMetrics(tel, *dump); err != nil {
+		log.Printf("metrics dump: %v", err)
+	}
+}
+
+// flushMetrics writes the server-wide registry on the way out, so a
+// scrapeless deployment still gets its final counters.
+func flushMetrics(tel *obs.Telemetry, dump string) error {
+	if dump == "" {
+		return nil
+	}
+	if dump == "-" {
+		return tel.Metrics.WritePrometheus(os.Stderr)
+	}
+	f, err := os.Create(dump)
+	if err != nil {
+		return err
+	}
+	werr := tel.Metrics.WritePrometheus(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

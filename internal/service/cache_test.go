@@ -1,0 +1,135 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func testResult(n uint64) sim.Result {
+	return sim.Result{Engine: "fast", Workload: "w", Instructions: n, TargetCycles: 2 * n}
+}
+
+func mustJSON(t *testing.T, r sim.Result) []byte {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestResultCacheLRU pins eviction order: the least recently used entry
+// (including use via get) is the one that falls off.
+func TestResultCacheLRU(t *testing.T) {
+	tel := obs.New()
+	c := newResultCache(2, tel)
+	c.put("a", testResult(1), mustJSON(t, testResult(1)))
+	c.put("b", testResult(2), mustJSON(t, testResult(2)))
+	if _, _, ok := c.get("a"); !ok { // refresh a → b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", testResult(3), mustJSON(t, testResult(3)))
+	if _, _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, _, ok := c.get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, _, ok := c.get("c"); !ok {
+		t.Error("c should be resident")
+	}
+	if got := c.len(); got != 2 {
+		t.Errorf("len = %d, want 2", got)
+	}
+	if hits, misses := tel.Metrics.Counter("service_cache_hits_total").Value(),
+		tel.Metrics.Counter("service_cache_misses_total").Value(); hits != 3 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 3/1", hits, misses)
+	}
+}
+
+// TestResultCacheDisabled: max <= 0 means every put drops and every get
+// misses — the service runs uncached but correct.
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(0, obs.New())
+	c.put("a", testResult(1), mustJSON(t, testResult(1)))
+	if _, _, ok := c.get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Error("disabled cache holds entries")
+	}
+}
+
+// TestResultCacheContains must not disturb accounting or recency: it is the
+// sweep capacity pre-check, not a read.
+func TestResultCacheContains(t *testing.T) {
+	tel := obs.New()
+	c := newResultCache(2, tel)
+	c.put("a", testResult(1), mustJSON(t, testResult(1)))
+	c.put("b", testResult(2), mustJSON(t, testResult(2)))
+	if !c.contains("a") || c.contains("z") {
+		t.Fatal("contains wrong")
+	}
+	// contains("a") must NOT have refreshed a: inserting c evicts a (the
+	// true LRU), not b.
+	c.put("c", testResult(3), mustJSON(t, testResult(3)))
+	if c.contains("a") {
+		t.Error("contains refreshed LRU order")
+	}
+	if hits := tel.Metrics.Counter("service_cache_hits_total").Value(); hits != 0 {
+		t.Errorf("contains counted %d hits", hits)
+	}
+	if misses := tel.Metrics.Counter("service_cache_misses_total").Value(); misses != 0 {
+		t.Errorf("contains counted %d misses", misses)
+	}
+}
+
+// TestResultCacheConcurrentReaders is the sharing-hazard regression test
+// behind Result.Clone: many goroutines get the same entry, mutate their
+// copy, and re-put racing writers — under -race this proves a cache hit
+// never hands out state shared with another caller, and that the raw bytes
+// stay the canonical encoding throughout.
+func TestResultCacheConcurrentReaders(t *testing.T) {
+	tel := obs.New()
+	c := newResultCache(8, tel)
+	want := testResult(42)
+	wantRaw := mustJSON(t, want)
+	c.put("k", want, wantRaw)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				res, raw, ok := c.get("k")
+				if !ok {
+					t.Error("entry vanished")
+					return
+				}
+				// Mutating the returned copy must not be visible to anyone.
+				res.Instructions = uint64(g*1000 + i)
+				res.IPC = float64(g)
+				if string(raw) != string(wantRaw) {
+					t.Errorf("raw bytes changed: %s", raw)
+					return
+				}
+				if i%50 == 0 {
+					// Racing refresh with the identical (deterministic) value.
+					c.put("k", want, wantRaw)
+					c.put(fmt.Sprintf("g%d-%d", g, i), testResult(uint64(i)), wantRaw)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	res, _, ok := c.get("k")
+	if !ok || res.Instructions != 42 {
+		t.Fatalf("entry corrupted by readers: %+v ok=%v", res, ok)
+	}
+}

@@ -1,0 +1,409 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Job states. A job is terminal in done, failed or canceled; cached jobs
+// are born terminal (done with Cached=true) and never occupy a queue slot.
+const (
+	statusQueued   = "queued"
+	statusRunning  = "running"
+	statusDone     = "done"
+	statusFailed   = "failed"
+	statusCanceled = "canceled"
+)
+
+// job is one accepted simulation. Mutable fields are guarded by the
+// server's mu; done closes exactly once, at the terminal transition, so
+// waiters can block without polling.
+type job struct {
+	id      string
+	engine  string
+	params  sim.Params
+	key     string // content address ("" when uncacheable); see jobKey
+	timeout time.Duration
+
+	tel *obs.Telemetry // per-job registry, served at /v1/jobs/{id}/metrics
+
+	status    string
+	cached    bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // non-nil while running
+	result    sim.Result
+	raw       []byte // canonical result JSON; read-only once set
+	errMsg    string
+
+	done chan struct{}
+}
+
+// jobKey combines the engine name with the Params content address into the
+// cache key. Engines model different cost structures over the same target,
+// so the same Params under two engines are two different results.
+func jobKey(engine string, p sim.Params) string {
+	if !p.Cacheable() {
+		return ""
+	}
+	return engine + "\x00" + p.Key()
+}
+
+// jobView is the stable JSON shape of GET /v1/jobs/{id}.
+type jobView struct {
+	ID          string    `json:"id"`
+	Engine      string    `json:"engine"`
+	Status      string    `json:"status"`
+	Cached      bool      `json:"cached"`
+	Key         string    `json:"key,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at"`  // zero until the job leaves the queue
+	FinishedAt  time.Time `json:"finished_at"` // zero until the job is terminal
+}
+
+// view snapshots a job under the server lock.
+func (s *Server) view(j *job) jobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.viewLocked(j)
+}
+
+func (s *Server) viewLocked(j *job) jobView {
+	return jobView{
+		ID:          j.id,
+		Engine:      j.engine,
+		Status:      j.status,
+		Cached:      j.cached,
+		Key:         j.key,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+}
+
+// httpError carries a status code (and optional Retry-After) out of the
+// submit path to the handler layer.
+type httpError struct {
+	code       int
+	retryAfter int // seconds; 0 = no header
+	msg        string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// submitJob validates, resolves the cache, and either completes the job
+// instantly (hit) or enqueues it (miss). The whole step holds mu, so a
+// sweep's batch of submissions is atomic with respect to draining and
+// queue capacity.
+func (s *Server) submitJob(engine string, p sim.Params, timeout time.Duration) (*job, error) {
+	if !sim.Registered(engine) {
+		s.rejected("invalid").Inc()
+		return nil, &httpError{code: 400, msg: fmt.Sprintf("unknown engine %q (registered: %v)", engine, sim.Names())}
+	}
+	if err := p.Validate(); err != nil {
+		s.rejected("invalid").Inc()
+		return nil, &httpError{code: 400, msg: err.Error()}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.admitLocked(engine, p, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// admitLocked is the mu-held core of submission, shared by single jobs and
+// sweep fan-out. It never blocks: a full queue is a 429, not a wait.
+func (s *Server) admitLocked(engine string, p sim.Params, timeout time.Duration) (*job, error) {
+	if s.draining {
+		s.rejected("draining").Inc()
+		return nil, &httpError{code: 503, retryAfter: 10, msg: "server is draining"}
+	}
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		engine:    engine,
+		params:    p,
+		key:       jobKey(engine, p),
+		timeout:   timeout,
+		tel:       obs.New(),
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	if j.key != "" {
+		if res, raw, ok := s.cache.get(j.key); ok {
+			j.status = statusDone
+			j.cached = true
+			j.result, j.raw = res, raw
+			j.finished = j.submitted
+			close(j.done)
+			s.jobs[j.id] = j
+			s.jobsSubmitted.Inc()
+			s.jobsByStatus("cached").Inc()
+			return j, nil
+		}
+	}
+	j.status = statusQueued
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected("queue_full").Inc()
+		return nil, &httpError{code: 429, retryAfter: s.retryAfterSeconds(), msg: "job queue is full"}
+	}
+	s.jobs[j.id] = j
+	s.jobsSubmitted.Inc()
+	s.queueDepth.Set(int64(len(s.queue)))
+	return j, nil
+}
+
+// retryAfterSeconds turns the recent per-job wall-time average into a
+// Retry-After hint: with W workers a queue slot frees roughly every
+// avg/W seconds. Falls back to 1s before any job has finished.
+func (s *Server) retryAfterSeconds() int {
+	n := s.jobSeconds.Count()
+	if n == 0 {
+		return 1
+	}
+	per := s.jobSeconds.Sum() / float64(n) / float64(s.cfg.Workers)
+	if per < 1 {
+		return 1
+	}
+	if per > 60 {
+		return 60
+	}
+	return int(per + 0.5)
+}
+
+// worker drains the queue until it is closed and empty (graceful drain).
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.queueDepth.Set(int64(len(s.queue)))
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job under its deadline and records the
+// terminal state. A job canceled while queued is skipped; a key that
+// became resident while the job waited (an identical submission finished
+// first) is served from cache without an engine run.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.status != statusQueued {
+		s.mu.Unlock()
+		return
+	}
+	if j.key != "" {
+		if res, raw, ok := s.cache.get(j.key); ok {
+			j.status = statusDone
+			j.cached = true
+			j.result, j.raw = res, raw
+			j.finished = time.Now()
+			close(j.done)
+			s.jobsByStatus("cached").Inc()
+			s.mu.Unlock()
+			return
+		}
+	}
+	j.status = statusRunning
+	j.started = time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), j.timeout)
+	j.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+	s.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
+
+	p := j.params
+	if p.Telemetry == nil {
+		p.Telemetry = j.tel
+	}
+	s.engineRuns.Inc()
+	res, err := sim.RunContext(ctx, j.engine, p)
+	finished := time.Now()
+	s.jobSeconds.Observe(finished.Sub(j.started).Seconds())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = finished
+	j.cancel = nil
+	switch {
+	case err == nil:
+		raw, merr := json.Marshal(res)
+		if merr != nil {
+			j.status = statusFailed
+			j.errMsg = fmt.Sprintf("encode result: %v", merr)
+			break
+		}
+		j.status = statusDone
+		j.result, j.raw = res, raw
+		if j.key != "" {
+			s.cache.put(j.key, res, raw)
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		j.status = statusFailed
+		j.errMsg = fmt.Sprintf("deadline exceeded after %s: %v", j.timeout, err)
+	case errors.Is(err, context.Canceled):
+		j.status = statusCanceled
+		j.errMsg = err.Error()
+	default:
+		j.status = statusFailed
+		j.errMsg = err.Error()
+	}
+	s.jobsByStatus(j.status).Inc()
+	close(j.done)
+}
+
+// cancelLocked moves a job toward termination: a queued job terminates
+// immediately (the worker will skip it), a running job gets its context
+// cancelled and terminates when the engine notices. Terminal jobs are
+// left alone (reported false).
+func (s *Server) cancelLocked(j *job) bool {
+	switch j.status {
+	case statusQueued:
+		j.status = statusCanceled
+		j.errMsg = "canceled while queued"
+		j.finished = time.Now()
+		s.jobsByStatus(statusCanceled).Inc()
+		close(j.done)
+		return true
+	case statusRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	}
+	return false
+}
+
+// sweepJob is one fanned-out sim.Sweep: child jobs in spec order, each an
+// ordinary job (cache-resolved or queued) that GET /v1/sweeps/{id}/result
+// aggregates back in spec order.
+type sweepJob struct {
+	id        string
+	submitted time.Time
+	points    []sim.Point
+	children  []*job
+}
+
+// sweepView is the stable JSON shape of GET /v1/sweeps/{id}.
+type sweepView struct {
+	ID          string         `json:"id"`
+	Status      string         `json:"status"` // running until every child is terminal
+	Total       int            `json:"total"`
+	ByStatus    map[string]int `json:"by_status"`
+	Cached      int            `json:"cached"`
+	JobIDs      []string       `json:"job_ids"`
+	SubmittedAt time.Time      `json:"submitted_at"`
+}
+
+func (s *Server) sweepViewLocked(sw *sweepJob) sweepView {
+	v := sweepView{
+		ID:          sw.id,
+		Total:       len(sw.children),
+		ByStatus:    map[string]int{},
+		JobIDs:      make([]string, len(sw.children)),
+		SubmittedAt: sw.submitted,
+	}
+	terminal := 0
+	for i, j := range sw.children {
+		v.JobIDs[i] = j.id
+		v.ByStatus[j.status]++
+		if j.cached {
+			v.Cached++
+		}
+		switch j.status {
+		case statusDone, statusFailed, statusCanceled:
+			terminal++
+		}
+	}
+	v.Status = statusRunning
+	if terminal == len(sw.children) {
+		v.Status = statusDone
+	}
+	return v
+}
+
+// submitSweep expands the spec and admits every point atomically: either
+// the whole sweep is accepted (cache hits resolved, the rest enqueued) or
+// nothing is, so a half-admitted sweep can never wedge the queue.
+func (s *Server) submitSweep(spec sim.Sweep, timeout time.Duration) (*sweepJob, error) {
+	points := spec.Points()
+	if len(points) == 0 {
+		return nil, &httpError{code: 400, msg: "sweep expands to zero points"}
+	}
+	for i, pt := range points {
+		if !sim.Registered(pt.Engine) {
+			s.rejected("invalid").Inc()
+			return nil, &httpError{code: 400, msg: fmt.Sprintf("point %d: unknown engine %q", i, pt.Engine)}
+		}
+		if err := pt.Params.Validate(); err != nil {
+			s.rejected("invalid").Inc()
+			return nil, &httpError{code: 400, msg: fmt.Sprintf("point %d (%s): %v", i, pt, err)}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejected("draining").Inc()
+		return nil, &httpError{code: 503, retryAfter: 10, msg: "server is draining"}
+	}
+	// All-or-nothing capacity check: points not already resident must all
+	// fit in the queue's free space right now.
+	need := 0
+	for _, pt := range points {
+		key := jobKey(pt.Engine, pt.Params)
+		if key == "" || !s.cache.contains(key) {
+			need++
+		}
+	}
+	if free := cap(s.queue) - len(s.queue); need > free {
+		s.rejected("queue_full").Inc()
+		return nil, &httpError{code: 429, retryAfter: s.retryAfterSeconds(),
+			msg: fmt.Sprintf("sweep needs %d queue slots, %d free", need, free)}
+	}
+	s.seq++
+	sw := &sweepJob{
+		id:        fmt.Sprintf("sweep-%06d", s.seq),
+		submitted: time.Now(),
+		points:    points,
+		children:  make([]*job, len(points)),
+	}
+	for i, pt := range points {
+		j, err := s.admitLocked(pt.Engine, pt.Params, timeout)
+		if err != nil {
+			// Capacity was checked above; only a concurrent drain could get
+			// here, and draining flips under mu — so this is unreachable.
+			// Fail closed anyway rather than leak a half-built sweep.
+			for _, prev := range sw.children[:i] {
+				s.cancelLocked(prev)
+			}
+			return nil, err
+		}
+		sw.children[i] = j
+	}
+	s.sweeps[sw.id] = sw
+	s.sweepsTotal.Inc()
+	return sw, nil
+}
+
+// contains reports residency without touching hit/miss accounting or LRU
+// order — the sweep capacity pre-check must not distort cache metrics.
+func (c *resultCache) contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.byKey[key]
+	return ok
+}

@@ -1,0 +1,439 @@
+// Package service turns the simulator registry into a multi-tenant batch
+// backend: a zero-external-dependency HTTP job server (exposed as
+// cmd/fastd) that accepts engine + sim.Params submissions, drains them
+// through a bounded queue and worker pool, and — because runs are
+// deterministic (locked by the golden and invariance tests of
+// internal/sim) — serves repeated submissions from a content-addressed
+// result cache keyed by engine name + sim.Params.Key() without simulating.
+//
+// API (all request/response bodies are JSON; unknown fields are rejected):
+//
+//	POST   /v1/jobs             {"engine","params","timeout_ms"} → 202 job view
+//	GET    /v1/jobs/{id}        job view (status, cache flag, timestamps)
+//	GET    /v1/jobs/{id}/result 200 canonical sim.Result | 202 while pending
+//	GET    /v1/jobs/{id}/metrics per-job Prometheus dump
+//	DELETE /v1/jobs/{id}        cancel (queued → skipped, running → ctx cancel)
+//	POST   /v1/sweeps           {"sweep","timeout_ms"} → 202 sweep view
+//	GET    /v1/sweeps/{id}      sweep view (per-status child counts)
+//	GET    /v1/sweeps/{id}/result spec-order aggregation of child results
+//	GET    /v1/engines          registry names + descriptions
+//	GET    /metrics             server-wide Prometheus dump (service_* series
+//	                            plus every per-run series of runs that
+//	                            inherited the server telemetry)
+//	GET    /healthz             liveness + drain state
+//
+// Production behaviors: a full queue answers 429 with a Retry-After
+// estimated from recent job wall times; every job runs under a deadline
+// enforced through Engine.RunContext; Shutdown drains gracefully (stop
+// accepting, finish queued and in-flight work, or cancel it when the drain
+// context expires).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Config sizes the server. The zero value is a usable single-host default.
+type Config struct {
+	// Workers is the simulation worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the backlog of accepted-but-not-started jobs;
+	// <= 0 means 64. A full queue rejects submissions with 429.
+	QueueDepth int
+	// CacheEntries caps the content-addressed result cache; 0 means 256,
+	// negative disables caching.
+	CacheEntries int
+	// DefaultTimeout is the per-job deadline applied when a submission
+	// carries no timeout_ms; <= 0 means 10 minutes.
+	DefaultTimeout time.Duration
+	// Telemetry receives the service_* series and, transitively, the
+	// engine/fleet series of every run (each job also keeps a private
+	// registry for /v1/jobs/{id}/metrics). Nil allocates a fresh one.
+	Telemetry *obs.Telemetry
+}
+
+// Server is the job service. Build with New (which starts the worker
+// pool), mount Handler on an http.Server, and Shutdown to drain.
+type Server struct {
+	cfg   Config
+	tel   *obs.Telemetry
+	mux   *http.ServeMux
+	cache *resultCache
+	queue chan *job
+
+	mu       sync.Mutex
+	draining bool
+	seq      uint64
+	jobs     map[string]*job
+	sweeps   map[string]*sweepJob
+
+	workers sync.WaitGroup
+
+	jobsSubmitted *obs.Counter
+	engineRuns    *obs.Counter
+	sweepsTotal   *obs.Counter
+	queueDepth    *obs.Gauge
+	queueWait     *obs.Histogram
+	jobSeconds    *obs.Histogram
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	switch {
+	case cfg.CacheEntries == 0:
+		cfg.CacheEntries = 256
+	case cfg.CacheEntries < 0:
+		cfg.CacheEntries = 0 // disabled
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Minute
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = obs.New()
+	}
+	s := &Server{
+		cfg:           cfg,
+		tel:           cfg.Telemetry,
+		cache:         newResultCache(cfg.CacheEntries, cfg.Telemetry),
+		queue:         make(chan *job, cfg.QueueDepth),
+		jobs:          map[string]*job{},
+		sweeps:        map[string]*sweepJob{},
+		jobsSubmitted: cfg.Telemetry.Counter("service_jobs_submitted_total"),
+		engineRuns:    cfg.Telemetry.Counter("service_engine_runs_total"),
+		sweepsTotal:   cfg.Telemetry.Counter("service_sweeps_total"),
+		queueDepth:    cfg.Telemetry.Gauge("service_queue_depth"),
+		queueWait:     cfg.Telemetry.Histogram("service_queue_wait_seconds", obs.SecondsBuckets),
+		jobSeconds:    cfg.Telemetry.Histogram("service_job_seconds", obs.SecondsBuckets),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// jobsByStatus resolves the service_jobs_total{status=...} series.
+func (s *Server) jobsByStatus(status string) *obs.Counter {
+	return s.tel.Counter(obs.L("service_jobs_total", "status", status))
+}
+
+// rejected resolves the service_jobs_rejected_total{reason=...} series.
+func (s *Server) rejected(reason string) *obs.Counter {
+	return s.tel.Counter(obs.L("service_jobs_rejected_total", "reason", reason))
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
+	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+}
+
+// maxBodyBytes bounds request bodies: the largest legitimate submission is
+// a sweep spec a few KB long; anything bigger is a client bug or abuse.
+const maxBodyBytes = 1 << 20
+
+// jobRequest is the POST /v1/jobs body. Params stays raw here so the
+// strict decode (sim.DecodeParams — unknown fields, trailing data) is the
+// single authority for the overlay schema.
+type jobRequest struct {
+	Engine    string          `json:"engine"`
+	Params    json.RawMessage `json:"params"`
+	TimeoutMS int64           `json:"timeout_ms"`
+}
+
+// sweepRequest is the POST /v1/sweeps body.
+type sweepRequest struct {
+	Sweep     sim.Sweep `json:"sweep"`
+	TimeoutMS int64     `json:"timeout_ms"`
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	p, err := sim.DecodeParams(req.Params)
+	if err != nil {
+		s.rejected("invalid").Inc()
+		s.writeError(w, &httpError{code: 400, msg: err.Error()})
+		return
+	}
+	j, err := s.submitJob(req.Engine, p, time.Duration(req.TimeoutMS)*time.Millisecond)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, s.view(j))
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	sw, err := s.submitSweep(req.Sweep, time.Duration(req.TimeoutMS)*time.Millisecond)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	v := s.sweepViewLocked(sw)
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, &httpError{code: 404, msg: fmt.Sprintf("no job %q", r.PathValue("id"))})
+	}
+	return j, ok
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.view(j))
+}
+
+// handleJobResult serves the canonical result JSON — the exact bytes
+// marshaled when the run (or its cache ancestor) completed, so identical
+// submissions are byte-identical on the wire.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	status, raw, errMsg := j.status, j.raw, j.errMsg
+	s.mu.Unlock()
+	switch status {
+	case statusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(raw)
+		w.Write([]byte("\n"))
+	case statusFailed, statusCanceled:
+		s.writeJSON(w, http.StatusConflict, map[string]string{"status": status, "error": errMsg})
+	default:
+		s.writeJSON(w, http.StatusAccepted, s.view(j))
+	}
+}
+
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	j.tel.Metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	changed := s.cancelLocked(j)
+	v := s.viewLocked(j)
+	s.mu.Unlock()
+	if !changed {
+		s.writeError(w, &httpError{code: 409, msg: fmt.Sprintf("job %s already %s", j.id, v.Status)})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) lookupSweep(w http.ResponseWriter, r *http.Request) (*sweepJob, bool) {
+	s.mu.Lock()
+	sw, ok := s.sweeps[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, &httpError{code: 404, msg: fmt.Sprintf("no sweep %q", r.PathValue("id"))})
+	}
+	return sw, ok
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookupSweep(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	v := s.sweepViewLocked(sw)
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, v)
+}
+
+// sweepResult is one spec-order slot of GET /v1/sweeps/{id}/result.
+type sweepResult struct {
+	Index  int             `json:"index"`
+	JobID  string          `json:"job_id"`
+	Point  string          `json:"point"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookupSweep(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	v := s.sweepViewLocked(sw)
+	if v.Status != statusDone {
+		s.mu.Unlock()
+		s.writeJSON(w, http.StatusAccepted, v)
+		return
+	}
+	out := make([]sweepResult, len(sw.children))
+	for i, j := range sw.children {
+		out[i] = sweepResult{
+			Index:  i,
+			JobID:  j.id,
+			Point:  sw.points[i].String(),
+			Cached: j.cached,
+			Result: json.RawMessage(j.raw),
+			Error:  j.errMsg,
+		}
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, map[string]any{"id": sw.id, "results": out})
+}
+
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	type engineView struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	var out []engineView
+	for _, name := range sim.Names() {
+		eng, err := sim.New(name, sim.Params{Workload: "164.gzip"})
+		if err != nil {
+			s.writeError(w, &httpError{code: 500, msg: err.Error()})
+			return
+		}
+		out = append(out, engineView{Name: name, Description: eng.Describe()})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.tel.Metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]any{"status": status, "queue_depth": len(s.queue)})
+}
+
+// decodeBody strictly decodes a bounded JSON request body into dst.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.rejected("invalid").Inc()
+		s.writeError(w, &httpError{code: 400, msg: fmt.Sprintf("decode request: %v", err)})
+		return false
+	}
+	if dec.More() {
+		s.rejected("invalid").Inc()
+		s.writeError(w, &httpError{code: 400, msg: "trailing data after JSON body"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	he, ok := err.(*httpError)
+	if !ok {
+		he = &httpError{code: 500, msg: err.Error()}
+	}
+	if he.retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", he.retryAfter))
+	}
+	s.writeJSON(w, he.code, map[string]string{"error": he.msg})
+}
+
+// Shutdown drains the server: new submissions are refused with 503, the
+// queue is closed, and workers finish queued and in-flight jobs. If ctx
+// expires first, every remaining queued job is canceled, every running
+// job's context is cancelled, and Shutdown still waits for the workers to
+// observe that before returning ctx's error. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		if j.status == statusQueued || j.status == statusRunning {
+			s.cancelLocked(j)
+		}
+	}
+	s.mu.Unlock()
+	<-drained
+	return ctx.Err()
+}

@@ -31,16 +31,20 @@ func (pt Point) String() string {
 // literals: Figure 4 is {16 workloads × fast × 3 predictors}, Table 3 is
 // {Linux-2.4 × 4 engines}, a design-space exploration is {1 workload ×
 // fast × width·predictor variants}.
+//
+// The JSON tags mirror Params': internal/service accepts a Sweep spec on
+// POST /v1/sweeps (strictly decoded, unknown fields rejected) and fans it
+// into one child job per expanded point.
 type Sweep struct {
 	// Engines are registry names; empty means {"fast"}.
-	Engines []string
+	Engines []string `json:"engines,omitempty"`
 	// Workloads are workload names; empty means {Base.Workload}.
-	Workloads []string
+	Workloads []string `json:"workloads,omitempty"`
 	// Variants are parameter overlays merged over Base (zero fields keep
 	// the base value); empty means one point per workload × engine.
-	Variants []Params
+	Variants []Params `json:"variants,omitempty"`
 	// Base supplies the fields every point shares.
-	Base Params
+	Base Params `json:"base"`
 }
 
 // Points expands the sweep in deterministic spec order: workloads

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/tm"
+	"repro/internal/trace"
+)
+
+// TestParamsKeyDefaultsCollide pins the "semantically equal params share a
+// key" half of the content-address contract: every documented "0/empty
+// means X" spelling, and every result-invariant knob, collides with the
+// zero value.
+func TestParamsKeyDefaultsCollide(t *testing.T) {
+	base := Params{}.Key()
+	equal := map[string]Params{
+		"explicit workload":     {Workload: "Linux-2.4"},
+		"explicit predictor":    {Predictor: "gshare"},
+		"explicit issue width":  {IssueWidth: 2},
+		"explicit link":         {Link: "drc"},
+		"explicit poll":         {PollEveryBBs: 2},
+		"explicit trace chunk":  {TraceChunk: trace.DefaultChunk},
+		"explicit rollback":     {Rollback: "journal"},
+		"icache off":            {ICacheEntries: 0},
+		"icache tiny":           {ICacheEntries: 16},
+		"icache default":        {ICacheEntries: 4096},
+		"telemetry attached":    {Telemetry: nil},
+		"dead checkpoint knob":  {CheckpointInterval: 64}, // ignored under journal rollback
+		"fully spelled default": {Workload: "Linux-2.4", Predictor: "gshare", IssueWidth: 2, Link: "drc", PollEveryBBs: 2, TraceChunk: trace.DefaultChunk, Rollback: "journal", ICacheEntries: 4096},
+	}
+	for name, p := range equal {
+		if got := p.Key(); got != base {
+			t.Errorf("%s: key %s differs from zero-Params key %s", name, got, base)
+		}
+	}
+	// The checkpoint-spacing default folds the same way under checkpoint
+	// rollback.
+	a := Params{Rollback: "checkpoint"}.Key()
+	b := Params{Rollback: "checkpoint", CheckpointInterval: 64}.Key()
+	if a != b {
+		t.Errorf("checkpoint interval 0 and 64 should collide: %s vs %s", a, b)
+	}
+}
+
+// TestParamsKeyKnobsSeparate pins the other half: any knob that can move a
+// Result bit produces a distinct key, and all those keys are distinct from
+// each other.
+func TestParamsKeyKnobsSeparate(t *testing.T) {
+	variants := map[string]Params{
+		"workload":            {Workload: "164.gzip"},
+		"predictor":           {Predictor: "2bit"},
+		"issue width":         {IssueWidth: 4},
+		"link":                {Link: "pins"},
+		"poll":                {PollEveryBBs: 8},
+		"poll on resteer":     {PollEveryBBs: PollOnResteer},
+		"bpp":                 {BPP: true},
+		"max instructions":    {MaxInstructions: 1000},
+		"trace chunk":         {TraceChunk: 8},
+		"rollback":            {Rollback: "checkpoint"},
+		"checkpoint interval": {Rollback: "checkpoint", CheckpointInterval: 128},
+		"uncompressed":        {UncompressedTrace: true},
+		"future microarch":    {FutureMicroarch: true},
+	}
+	seen := map[string]string{Params{}.Key(): "zero"}
+	for name, p := range variants {
+		k := p.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s: key %s collides with %s", name, k, prev)
+			continue
+		}
+		seen[k] = name
+	}
+}
+
+// TestParamsKeyProgramDigest checks raw bare-metal images are addressed by
+// content: identical images collide, any loaded byte separates, and a
+// program run never collides with a named workload.
+func TestParamsKeyProgramDigest(t *testing.T) {
+	prog := func(code ...byte) *isa.Program {
+		return &isa.Program{Base: 0x1000, Entry: 0x1000, Code: code}
+	}
+	a := Params{Program: prog(1, 2, 3)}
+	b := Params{Program: prog(1, 2, 3)}
+	if a.Key() != b.Key() {
+		t.Error("identical program images should share a key")
+	}
+	if a.Key() == (Params{Program: prog(1, 2, 4)}).Key() {
+		t.Error("changing a code byte should change the key")
+	}
+	moved := &isa.Program{Base: 0x2000, Entry: 0x2000, Code: []byte{1, 2, 3}}
+	if a.Key() == (Params{Program: moved}).Key() {
+		t.Error("relocating the image should change the key")
+	}
+	if a.Key() == (Params{}).Key() {
+		t.Error("a raw program should not collide with the default workload")
+	}
+	// Symbols are assembler metadata the FM never loads.
+	sym := prog(1, 2, 3)
+	sym.Symbols = map[string]isa.Word{"start": 0x1000}
+	if a.Key() != (Params{Program: sym}).Key() {
+		t.Error("symbol tables should not affect the key")
+	}
+}
+
+// TestKeyDefaultConstantsPinned ties the canonicalization constants to the
+// layers that own each default, so a default changing there breaks here
+// instead of silently corrupting the key space.
+func TestKeyDefaultConstantsPinned(t *testing.T) {
+	if got := tm.DefaultConfig().Predictor; got != keyDefaultPredictor {
+		t.Errorf("tm default predictor %q, key folds %q", got, keyDefaultPredictor)
+	}
+	if got := tm.DefaultConfig().IssueWidth; got != keyDefaultIssue {
+		t.Errorf("tm default issue width %d, key folds %d", got, keyDefaultIssue)
+	}
+	if got := core.DefaultConfig().PollEveryBBs; got != keyDefaultPollBBs {
+		t.Errorf("core default poll %d, key folds %d", got, keyDefaultPollBBs)
+	}
+	if spec, err := (Params{Workload: keyDefaultWorkload}).workloadSpec(); err != nil || spec.Name != keyDefaultWorkload {
+		t.Errorf("default workload %q not resolvable: %v", keyDefaultWorkload, err)
+	}
+	empty, err := Params{}.link()
+	if err != nil {
+		t.Fatalf("empty link: %v", err)
+	}
+	if named, err := (Params{Link: keyDefaultLink}).link(); err != nil || !reflect.DeepEqual(empty, named) {
+		t.Errorf("empty link should resolve to %q: %v", keyDefaultLink, err)
+	}
+}
+
+// TestParamsCacheable: a Mutate hook makes params unaddressable; everything
+// declarative stays cacheable.
+func TestParamsCacheable(t *testing.T) {
+	if !(Params{Workload: "164.gzip", BPP: true}).Cacheable() {
+		t.Error("declarative params should be cacheable")
+	}
+	if (Params{Mutate: func(*core.Config) {}}).Cacheable() {
+		t.Error("a Mutate hook should make params uncacheable")
+	}
+}
+
+// TestParamsJSONRoundTrip pins the API-boundary schema: a fully-populated
+// Params survives marshal → strict decode unchanged, and the zero value
+// serializes as the empty object (so overlays stay minimal on the wire).
+func TestParamsJSONRoundTrip(t *testing.T) {
+	p := Params{
+		Workload:           "164.gzip",
+		Predictor:          "2bit",
+		IssueWidth:         4,
+		Link:               "coherent",
+		PollEveryBBs:       PollOnResteer,
+		BPP:                true,
+		MaxInstructions:    123456,
+		TraceChunk:         32,
+		ICacheEntries:      512,
+		Rollback:           "checkpoint",
+		CheckpointInterval: 128,
+		UncompressedTrace:  true,
+		FutureMicroarch:    true,
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeParams(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("round trip changed params:\n  in  %+v\n  out %+v", p, got)
+	}
+	if zero, _ := json.Marshal(Params{}); string(zero) != "{}" {
+		t.Errorf("zero Params should marshal to {}, got %s", zero)
+	}
+	// The unserializable fields stay off the wire entirely.
+	var m map[string]any
+	full, _ := json.Marshal(Params{Program: &isa.Program{}, Telemetry: nil, Mutate: func(*core.Config) {}})
+	if err := json.Unmarshal(full, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 0 {
+		t.Errorf("Program/Telemetry/Mutate leaked into JSON: %v", m)
+	}
+}
+
+// TestDecodeParamsStrict is the rejection table for the API boundary.
+func TestDecodeParamsStrict(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"unknown field", `{"workload":"164.gzip","warkload":"gzip"}`, "unknown field"},
+		{"typo'd knob", `{"icache":16}`, "unknown field"},
+		{"wrong type", `{"max_instructions":"lots"}`, "cannot unmarshal"},
+		{"trailing data", `{"workload":"164.gzip"} {"bpp":true}`, "trailing data"},
+		{"array body", `[1,2,3]`, "cannot unmarshal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeParams([]byte(tc.in)); err == nil {
+				t.Fatalf("DecodeParams(%s) accepted bad input", tc.in)
+			} else if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+	for _, ok := range []string{"", "  ", "{}", `{"workload":"164.gzip"}`} {
+		if _, err := DecodeParams([]byte(ok)); err != nil {
+			t.Errorf("DecodeParams(%q): %v", ok, err)
+		}
+	}
+}
+
+// TestDecodeSweepStrict: strictness reaches nested Params objects too.
+func TestDecodeSweepStrict(t *testing.T) {
+	good := `{"engines":["fast"],"workloads":["164.gzip"],"variants":[{"predictor":"2bit"}],"base":{"max_instructions":1000}}`
+	s, err := DecodeSweep(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points()) != 1 || s.Points()[0].Params.Predictor != "2bit" {
+		t.Errorf("sweep decoded wrong: %+v", s)
+	}
+	for _, bad := range []string{
+		`{"engine":["fast"]}`,         // top-level typo
+		`{"base":{"warkload":"x"}}`,   // nested unknown field
+		`{"variants":[{"icache":1}]}`, // nested typo in a variant
+		`{"base":{}} trailing`,        // trailing data
+	} {
+		if _, err := DecodeSweep(strings.NewReader(bad)); err == nil {
+			t.Errorf("DecodeSweep(%s) accepted bad input", bad)
+		}
+	}
+}
+
+// FuzzDecodeParams chews arbitrary bytes through the API-boundary decoder:
+// it must never panic, and anything it accepts must survive a marshal →
+// decode round trip unchanged (the property the content-address cache
+// relies on when it re-derives keys from stored requests).
+func FuzzDecodeParams(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"workload":"164.gzip","max_instructions":50000}`))
+	f.Add([]byte(`{"predictor":"perfect","issue_width":8,"bpp":true}`))
+	f.Add([]byte(`{"unknown":1}`))
+	f.Add([]byte(`{"workload":"x"} {"workload":"y"}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeParams(data)
+		if err != nil {
+			return
+		}
+		raw, merr := json.Marshal(p)
+		if merr != nil {
+			t.Fatalf("accepted params failed to marshal: %v", merr)
+		}
+		again, derr := DecodeParams(raw)
+		if derr != nil {
+			t.Fatalf("re-decode of %s failed: %v", raw, derr)
+		}
+		if !reflect.DeepEqual(p, again) {
+			t.Fatalf("round trip changed params: %+v vs %+v", p, again)
+		}
+		// Key must be total and stable on every accepted input.
+		if p.Key() != again.Key() {
+			t.Fatal("round trip changed the content address")
+		}
+	})
+}
+
+// TestResultValueCopyIsDeep enforces the property Result.Clone documents:
+// no field of Result, recursively, is a slice, map, pointer, interface,
+// channel or function, so a value copy is a deep copy. Adding a
+// reference-typed field trips this test and forces Clone (and the
+// internal/service cache) to learn about it.
+func TestResultValueCopyIsDeep(t *testing.T) {
+	var check func(path string, ty reflect.Type)
+	check = func(path string, ty reflect.Type) {
+		switch ty.Kind() {
+		case reflect.Slice, reflect.Map, reflect.Ptr, reflect.Interface,
+			reflect.Chan, reflect.Func, reflect.UnsafePointer:
+			t.Errorf("%s is a %s: value copies of Result are no longer deep — teach Result.Clone to copy it", path, ty.Kind())
+		case reflect.Struct:
+			for i := 0; i < ty.NumField(); i++ {
+				f := ty.Field(i)
+				check(path+"."+f.Name, f.Type)
+			}
+		case reflect.Array:
+			check(path+"[]", ty.Elem())
+		}
+	}
+	check("Result", reflect.TypeOf(Result{}))
+}

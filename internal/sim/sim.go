@@ -35,31 +35,38 @@ const PollOnResteer = -1
 // Params configures any engine. The zero value means "engine defaults":
 // the Linux-boot workload, gshare prediction, the prototype issue width,
 // the DRC link, per-2-basic-block polling and no instruction cap.
+//
+// The JSON tags are a stable serialization schema: internal/service accepts
+// a Params overlay on its API boundary (strictly — unknown fields are
+// rejected, see DecodeParams) and the omitempty tags make the zero value
+// round-trip as `{}`. Program, Telemetry and Mutate deliberately carry no
+// tag: raw images, live instrumentation and code hooks never cross the
+// wire. Add fields freely; never rename or repurpose a tag.
 type Params struct {
 	// Workload names a workload from internal/workload ("Linux-2.4",
 	// "164.gzip", ...). Empty selects Linux-2.4 unless Program is set.
-	Workload string
+	Workload string `json:"workload,omitempty"`
 	// Program, when non-nil, is a raw assembled image run bare-metal
 	// (no toyOS boot, interrupts disabled) instead of a named workload.
-	Program *isa.Program
+	Program *isa.Program `json:"-"`
 
 	// Predictor is the branch predictor ("gshare", "2bit", "97%", "95%",
 	// "perfect"); empty = the timing model's default (gshare).
-	Predictor string
+	Predictor string `json:"predictor,omitempty"`
 	// IssueWidth is the target issue width; 0 = the prototype's default.
-	IssueWidth int
+	IssueWidth int `json:"issue_width,omitempty"`
 	// Link names the host CPU↔FPGA channel: "drc" (default), "pins",
 	// "coherent".
-	Link string
+	Link string `json:"link,omitempty"`
 	// PollEveryBBs is the FM polling policy: 0 = engine default (every
 	// 2 basic blocks, the §4 prototype), N>0 = every N basic blocks,
 	// PollOnResteer = only on re-steers.
-	PollEveryBBs int
+	PollEveryBBs int `json:"poll_every_bbs,omitempty"`
 	// BPP enables the FM-side branch-predictor-predictor (§2.1).
-	BPP bool
+	BPP bool `json:"bpp,omitempty"`
 	// MaxInstructions bounds committed instructions (0 = run to
 	// completion).
-	MaxInstructions uint64
+	MaxInstructions uint64 `json:"max_instructions,omitempty"`
 
 	// TraceChunk is the FM→TM trace-buffer publish granularity in entries:
 	// the FM accumulates a chunk locally and publishes it (one buffer
@@ -67,7 +74,7 @@ type Params struct {
 	// engine default (trace.DefaultChunk); 1 = per-entry coupling.
 	// Architectural results are identical for every value ≥ 1 — the knob
 	// sweeps host-side synchronization cost only. FAST engines only.
-	TraceChunk int
+	TraceChunk int `json:"trace_chunk,omitempty"`
 
 	// ICacheEntries sizes the functional model's predecode cache
 	// (direct-mapped slots keyed by physical address, rounded up to a
@@ -76,28 +83,28 @@ type Params struct {
 	// invalidates it. 0 disables the cache. Architected state, the
 	// emitted trace and every modeled number are bit-identical at any
 	// value — the knob trades host memory for FM speed only.
-	ICacheEntries int
+	ICacheEntries int `json:"icache_entries,omitempty"`
 
 	// Rollback selects the FM recovery mechanism: "" or "journal" (the
 	// per-instruction undo journal), "checkpoint" (periodic register-file
 	// checkpoints, ablation A7). FAST engines only.
-	Rollback string
+	Rollback string `json:"rollback,omitempty"`
 	// CheckpointInterval is the instructions-per-checkpoint spacing when
 	// Rollback is "checkpoint"; 0 = the FM default.
-	CheckpointInterval int
+	CheckpointInterval int `json:"checkpoint_interval,omitempty"`
 	// UncompressedTrace disables the trace-word compression of §2.2, so
 	// every entry ships full-width over the link (ablation A5). FAST
 	// engines only.
-	UncompressedTrace bool
+	UncompressedTrace bool `json:"uncompressed_trace,omitempty"`
 	// FutureMicroarch swaps in the scaled-up future target
 	// microarchitecture (ablation A8). FAST engines only.
-	FutureMicroarch bool
+	FutureMicroarch bool `json:"future_microarch,omitempty"`
 
 	// Telemetry, when non-nil, receives the run's metrics and (if it
 	// carries a TraceLog) its timeline. Safe to share across concurrent
 	// fleet points: metric hot paths are atomic and trace appends are
 	// locked.
-	Telemetry *obs.Telemetry
+	Telemetry *obs.Telemetry `json:"-"`
 
 	// Mutate, when non-nil, is applied to the assembled core.Config just
 	// before construction.
@@ -107,8 +114,9 @@ type Params struct {
 	// are) so points stay comparable, serializable and printable. Mutate
 	// remains only as the escape hatch for one-off instrumentation hooks
 	// that have no business in the schema. Only the FAST engines honour
-	// it; baselines ignore it.
-	Mutate func(*core.Config)
+	// it; baselines ignore it. Params carrying a Mutate hook are not
+	// content-addressable: see Cacheable.
+	Mutate func(*core.Config) `json:"-"`
 }
 
 // validate rejects parameter values no engine can honour. Engines call it
@@ -128,6 +136,26 @@ func (p Params) validate() error {
 	}
 	if p.ICacheEntries < 0 {
 		return fmt.Errorf("sim: negative icache entries %d", p.ICacheEntries)
+	}
+	return nil
+}
+
+// Validate rejects parameters no engine can honour without building
+// anything: the named-field checks every Configure runs, plus the workload
+// and link name lookups that Configure would otherwise only hit after
+// assembling a boot image. API boundaries (internal/service) call it to
+// fail a submission before it costs a queue slot.
+func (p Params) Validate() error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	if p.Program == nil {
+		if _, err := p.workloadSpec(); err != nil {
+			return err
+		}
+	}
+	if _, err := p.link(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -213,6 +241,18 @@ func (r Result) String() string {
 		r.Engine, r.Workload, r.Instructions, r.TargetCycles, r.IPC,
 		100*r.BPAccuracy, r.TargetMIPS, r.KIPS)
 }
+
+// Clone returns an independent copy of r that is safe to hand to a
+// concurrent reader while the original (or another copy) is being read or
+// mutated elsewhere — the contract the internal/service result cache
+// depends on when it serves one completed Result to many requests.
+//
+// Result is a pure value type: every field, recursively, is a scalar,
+// string or fixed-size array (TestResultValueCopyIsDeep enforces this with
+// reflection), so a value copy IS a deep copy. If a slice, map or pointer
+// field is ever added, that test fails and this method is the single place
+// that must learn to copy it.
+func (r Result) Clone() Result { return r }
 
 // Engine is one simulator behind the registry. Configure validates the
 // parameters and builds the underlying simulator (so instrumentation — a

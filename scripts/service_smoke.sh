@@ -1,0 +1,109 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the fastd job service, driven the way an operator
+# would: boot the daemon, submit one Figure-4 point (fast engine, 164.gzip,
+# gshare) twice, and assert
+#   1. both jobs finish "done" with byte-identical result JSON,
+#   2. the second is served from the content-addressed cache
+#      (cached=true, service_cache_hits_total=1, exactly one engine run),
+#   3. SIGTERM drains gracefully (clean exit, final metrics dump written).
+# Needs only a built Go toolchain plus curl; jq is optional (falls back to
+# grep-level checks without it).
+set -eu
+
+PORT="${FASTD_PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+BIN="${TMP}/fastd"
+PID=""
+
+fail() {
+    echo "SMOKE FAIL: $*" >&2
+    [ -f "${TMP}/fastd.log" ] && sed 's/^/  fastd: /' "${TMP}/fastd.log" >&2
+    exit 1
+}
+
+cleanup() {
+    [ -n "${PID}" ] && kill "${PID}" 2>/dev/null || true
+    rm -rf "${TMP}"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build fastd"
+go build -o "${BIN}" ./cmd/fastd
+
+echo "== boot on :${PORT}"
+"${BIN}" -addr "127.0.0.1:${PORT}" -workers 2 -queue 8 \
+    -metrics-dump "${TMP}/final-metrics.prom" >"${TMP}/fastd.log" 2>&1 &
+PID=$!
+
+i=0
+until curl -fsS "${BASE}/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server never became healthy"
+    kill -0 "${PID}" 2>/dev/null || fail "fastd exited during startup"
+    sleep 0.1
+done
+
+BODY='{"engine":"fast","params":{"workload":"164.gzip","predictor":"gshare","max_instructions":50000}}'
+
+submit_and_wait() {
+    # $1: file to store the result bytes in. Echoes the job's cached flag.
+    resp="$(curl -fsS -d "${BODY}" "${BASE}/v1/jobs")" || fail "submit rejected: ${resp:-no response}"
+    if command -v jq >/dev/null 2>&1; then
+        id="$(echo "${resp}" | jq -r .id)"
+    else
+        id="$(echo "${resp}" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+    fi
+    [ -n "${id}" ] || fail "no job id in response: ${resp}"
+    i=0
+    while :; do
+        view="$(curl -fsS "${BASE}/v1/jobs/${id}")"
+        case "${view}" in
+        *'"status":"done"'*) break ;;
+        *'"status":"failed"'* | *'"status":"canceled"'*) fail "job ${id} did not complete: ${view}" ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -gt 300 ] && fail "job ${id} never finished: ${view}"
+        sleep 0.1
+    done
+    curl -fsS "${BASE}/v1/jobs/${id}/result" >"$1"
+    case "${view}" in
+    *'"cached":true'*) echo true ;;
+    *) echo false ;;
+    esac
+}
+
+echo "== submit the Figure-4 point (cold)"
+first_cached="$(submit_and_wait "${TMP}/result1.json")"
+[ "${first_cached}" = false ] || fail "first submission claims to be cached"
+
+echo "== submit the identical point again (must hit the cache)"
+second_cached="$(submit_and_wait "${TMP}/result2.json")"
+[ "${second_cached}" = true ] || fail "second submission was not served from cache"
+
+cmp -s "${TMP}/result1.json" "${TMP}/result2.json" ||
+    fail "cache hit is not byte-identical to the original result"
+
+echo "== check the /metrics scrape"
+metrics="$(curl -fsS "${BASE}/metrics")"
+echo "${metrics}" | grep -q '^service_cache_hits_total 1$' ||
+    fail "expected exactly one cache hit, got: $(echo "${metrics}" | grep service_cache || true)"
+echo "${metrics}" | grep -q '^service_engine_runs_total 1$' ||
+    fail "cache hit triggered a second engine run"
+echo "${metrics}" | grep -q '^service_jobs_submitted_total 2$' ||
+    fail "expected two submitted jobs"
+
+echo "== SIGTERM drains gracefully"
+kill -TERM "${PID}"
+i=0
+while kill -0 "${PID}" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "fastd did not exit within 10s of SIGTERM"
+    sleep 0.1
+done
+wait "${PID}" 2>/dev/null || fail "fastd exited non-zero after SIGTERM"
+PID=""
+grep -q '^service_cache_hits_total 1$' "${TMP}/final-metrics.prom" ||
+    fail "final metrics dump missing or wrong"
+
+echo "SMOKE OK: cold run + byte-identical cache hit + graceful drain"
