@@ -26,8 +26,9 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/sim/... \
-		./internal/trace/... ./internal/fm ./internal/tm ./internal/service/...
+	$(GO) test -race -timeout 30m ./internal/obs/... ./internal/core/... \
+		./internal/sim/... ./internal/trace/... ./internal/fm ./internal/tm \
+		./internal/service/... ./internal/cache ./internal/workload
 
 # Run the simulation-as-a-service daemon locally (ctrl-C drains gracefully).
 serve:

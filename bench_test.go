@@ -337,6 +337,30 @@ func BenchmarkCoupledSimulator(b *testing.B) {
 	}
 }
 
+// BenchmarkMulticoreCoupledSimulator measures the N-core scheduler: the
+// smp-lock workload on four coupled FM/TM pairs over the modeled coherent
+// interconnect, run to the instruction cap.
+func BenchmarkMulticoreCoupledSimulator(b *testing.B) {
+	spec := workload.SMP(4)
+	for i := 0; i < b.N; i++ {
+		boot, err := spec.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.FM.Devices = boot.Devices()
+		cfg.MaxInstructions = 80_000
+		sim, err := core.NewMulticore(cfg, core.MulticoreConfig{Cores: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.LoadProgram(boot.Kernel)
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkParallelCoupledSimulator is the same workload through the
 // goroutine-parallel coupling.
 func BenchmarkParallelCoupledSimulator(b *testing.B) {

@@ -44,6 +44,8 @@ func main() {
 		parallel    = flag.Bool("parallel", false, "run FM and TM in separate goroutines (fast engine only)")
 		simulator   = flag.String("simulator", "fast", "simulator engine (see -engines)")
 		issueWidth  = flag.Int("issue", 2, "target issue width")
+		cores       = flag.Int("cores", 1, "target core count (1 = the single-core target; >1 = N coupled FM/TM pairs over the modeled coherent interconnect, fast engine only)")
+		hopLatency  = flag.Int("interconnect-latency", 0, "per-hop core↔L2 interconnect delay in target cycles (0 = default; only meaningful with -cores > 1)")
 		link        = flag.String("link", "drc", "host link: drc, pins, coherent")
 		traceChunk  = flag.Int("tracechunk", 0, "FM→TM trace-buffer publish granularity in entries (0 = default, 1 = per-entry; architectural results are identical for any value)")
 		icacheEnt   = flag.Int("icache", fm.DefaultICacheEntries, "FM predecode-cache entries, rounded up to a power of two (0 = disable; architected results and modeled times are bit-identical at any value)")
@@ -67,7 +69,7 @@ func main() {
 		return
 	}
 	if *list {
-		for _, s := range append(workload.All(), workload.WindowsXP()) {
+		for _, s := range append(workload.All(), workload.WindowsXP(), workload.SMP(1)) {
 			fmt.Println(s.Name)
 		}
 		return
@@ -163,14 +165,16 @@ func main() {
 	}
 
 	eng, err := sim.New(engine, sim.Params{
-		Workload:        *name,
-		Predictor:       *predictor,
-		IssueWidth:      *issueWidth,
-		Link:            *link,
-		MaxInstructions: *maxInst,
-		TraceChunk:      *traceChunk,
-		ICacheEntries:   *icacheEnt,
-		Telemetry:       tel,
+		Workload:            *name,
+		Predictor:           *predictor,
+		IssueWidth:          *issueWidth,
+		Cores:               *cores,
+		InterconnectLatency: *hopLatency,
+		Link:                *link,
+		MaxInstructions:     *maxInst,
+		TraceChunk:          *traceChunk,
+		ICacheEntries:       *icacheEnt,
+		Telemetry:           tel,
 	})
 	if err != nil {
 		fatal(err)
@@ -201,6 +205,10 @@ func main() {
 		fmt.Printf("fm: %.1fms ∥ tm: %.1fms  wrong-path: %d  rollbacks: %d\n",
 			result.FMNanos/1e6, result.TMNanos/1e6, result.WrongPath, result.Rollbacks)
 		fmt.Println(c.TimingModel().Describe())
+	}
+	if result.Cores > 1 {
+		fmt.Printf("cores: %d  coherence: %d transfers, %d invalidations, %d hops\n",
+			result.Cores, result.CoherenceTransfers, result.CoherenceInvalidations, result.CoherenceHops)
 	}
 	if sc, ok := eng.(sim.SoftwareComparison); ok {
 		fmt.Printf("vs %v\n", sc.Software())

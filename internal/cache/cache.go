@@ -200,6 +200,22 @@ func (c *Cache) touch(base, w int) {
 	c.meta[base+w] = 0
 }
 
+// Invalidate drops addr's line if resident — a directory-initiated
+// back-invalidation. No write-back happens here: the coherence model
+// charges the data movement at the directory, and architectural data lives
+// in the functional model's memory, not in this timing structure.
+func (c *Cache) Invalidate(addr uint32) {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.valid[base+w] = false
+			c.dirty[base+w] = false
+			return
+		}
+	}
+}
+
 // Contains reports whether addr's line is resident (probe; no state
 // change). Used by tests and the prefetch ablations.
 func (c *Cache) Contains(addr uint32) bool {

@@ -1,0 +1,203 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// DefaultInterconnectLatency is the default per-hop core↔L2 interconnect
+// delay of the multicore target, in target cycles. It sits between the L1
+// and L2 hit latencies of the Figure 3 hierarchy: the shared L2 is one
+// interconnect traversal away from every core.
+const DefaultInterconnectLatency = 4
+
+// CoherentConfig describes the shared memory-side hierarchy of a multicore
+// target: one L2 array behind a crossbar, a directory tracking which cores'
+// L1s hold each line, and the flat DRAM delay below.
+type CoherentConfig struct {
+	L2         Config
+	MemLatency int
+	// InterconnectLatency is the cost of one interconnect hop (core to L2
+	// or L2 to core), charged on every port access and again for each
+	// directory-induced remote action (owner transfer, sharer
+	// invalidation). 0 selects DefaultInterconnectLatency.
+	InterconnectLatency int
+	Cores               int
+}
+
+// CoherentStats counts directory activity.
+type CoherentStats struct {
+	Transfers     uint64 // dirty lines pulled from a remote owner on a read
+	Invalidations uint64 // L1 sharer copies invalidated by a remote write
+	Hops          uint64 // interconnect traversals charged
+}
+
+// dirLine is one directory entry: which cores' L1s may hold the line, and
+// whether one of them owns it dirty. The model is MSI-shaped: it tracks
+// just enough state to charge transfer and invalidation latencies; data
+// correctness lives in the functional models' shared memory.
+type dirLine struct {
+	sharers uint64
+	owner   int8
+	dirty   bool
+}
+
+// Coherent is the shared L2 + directory. Each core accesses it through its
+// own port (a Level, so per-core L1s stack on top unchanged); the directory
+// arbitrates the ports and charges coherence latency. All ports are driven
+// from one goroutine by the multicore scheduler, in a deterministic order,
+// so the modeled cycle counts are reproducible at any host parallelism.
+type Coherent struct {
+	cfg   CoherentConfig
+	l2    *Cache
+	mem   *FixedMemory
+	dir   map[uint32]dirLine
+	l1s   [][]*Cache // per-core private caches, for back-invalidation
+	stats CoherentStats
+}
+
+// NewCoherent builds the shared hierarchy for cfg.Cores ports.
+func NewCoherent(cfg CoherentConfig) *Coherent {
+	if cfg.Cores <= 0 || cfg.Cores > 64 {
+		panic(fmt.Sprintf("cache: coherent directory supports 1..64 cores, got %d", cfg.Cores))
+	}
+	if cfg.InterconnectLatency <= 0 {
+		cfg.InterconnectLatency = DefaultInterconnectLatency
+	}
+	mem := NewFixedMemory(cfg.MemLatency)
+	return &Coherent{
+		cfg: cfg,
+		l2:  New(cfg.L2, mem),
+		mem: mem,
+		dir: make(map[uint32]dirLine),
+		l1s: make([][]*Cache, cfg.Cores),
+	}
+}
+
+// AttachL1 registers core's private caches with the directory so write
+// transitions can back-invalidate remote copies — without it the private
+// L1s would keep serving lines the directory has already handed to another
+// core's writer.
+func (c *Coherent) AttachL1(core int, caches ...*Cache) {
+	if core < 0 || core >= c.cfg.Cores {
+		panic(fmt.Sprintf("cache: attach to port %d of a %d-core hierarchy", core, c.cfg.Cores))
+	}
+	c.l1s[core] = append(c.l1s[core], caches...)
+}
+
+// Port returns core's interconnect port; it implements Level so a private
+// L1 can use it as its next level.
+func (c *Coherent) Port(core int) *CoherentPort {
+	if core < 0 || core >= c.cfg.Cores {
+		panic(fmt.Sprintf("cache: port %d of a %d-core hierarchy", core, c.cfg.Cores))
+	}
+	return &CoherentPort{c: c, core: core}
+}
+
+// L2 exposes the shared array (stats reporting).
+func (c *Coherent) L2() *Cache { return c.l2 }
+
+// Memory exposes the DRAM delay model.
+func (c *Coherent) Memory() *FixedMemory { return c.mem }
+
+// Stats returns the directory counters.
+func (c *Coherent) Stats() CoherentStats { return c.stats }
+
+// access is the directory-arbitrated L2 access for one core.
+func (c *Coherent) access(core int, addr uint32, write bool) int {
+	hop := c.cfg.InterconnectLatency
+	lat := hop // the request's own traversal to the L2
+	c.stats.Hops++
+
+	line := addr / uint32(c.cfg.L2.LineBytes)
+	d := c.dir[line]
+	if write {
+		lat += c.claim(core, addr, &d)
+	} else {
+		// A read of a remotely dirty line pulls the data from the owner's
+		// L1 (request + response hops) and leaves it shared.
+		if d.dirty && int(d.owner) != core {
+			lat += 2 * hop
+			c.stats.Hops += 2
+			c.stats.Transfers++
+			d.dirty = false
+		}
+		d.sharers |= uint64(1) << core
+	}
+	c.dir[line] = d
+	return lat + c.l2.Access(addr, write)
+}
+
+// claim performs the write transition for core on addr's line: pull a
+// remote dirty copy, invalidate every other sharer (one hop per victim,
+// plus the L1 back-invalidation), and record core as the dirty owner.
+func (c *Coherent) claim(core int, addr uint32, d *dirLine) int {
+	hop := c.cfg.InterconnectLatency
+	lat := 0
+	self := uint64(1) << core
+	if d.dirty && int(d.owner) != core {
+		lat += 2 * hop
+		c.stats.Hops += 2
+		c.stats.Transfers++
+	}
+	if others := d.sharers &^ self; others != 0 {
+		n := bits.OnesCount64(others)
+		lat += hop * n
+		c.stats.Hops += uint64(n)
+		c.stats.Invalidations += uint64(n)
+		c.backInvalidate(others, addr)
+	}
+	d.sharers, d.owner, d.dirty = self, int8(core), true
+	return lat
+}
+
+// backInvalidate drops addr's line from the private caches of every core
+// in the mask.
+func (c *Coherent) backInvalidate(cores uint64, addr uint32) {
+	for cores != 0 {
+		i := bits.TrailingZeros64(cores)
+		cores &^= 1 << i
+		for _, l1 := range c.l1s[i] {
+			l1.Invalidate(addr)
+		}
+	}
+}
+
+// Upgrade is the store-side coherence action, consulted by a core's timing
+// model on every store — including L1 write hits, where a private
+// write-back cache would otherwise hide the ownership upgrade from the
+// directory. It is free while the core stays the line's dirty owner (a
+// core hammering its own data pays nothing extra); a store that steals the
+// line from a remote owner or sharers pays the directory round trip plus
+// the remote actions.
+func (c *Coherent) Upgrade(core int, addr uint32) int {
+	line := addr / uint32(c.cfg.L2.LineBytes)
+	d := c.dir[line]
+	if d.dirty && int(d.owner) == core {
+		return 0
+	}
+	hop := c.cfg.InterconnectLatency
+	lat := hop // the directory round trip
+	c.stats.Hops++
+	lat += c.claim(core, addr, &d)
+	c.dir[line] = d
+	return lat
+}
+
+// CoherentPort is one core's view of the shared hierarchy.
+type CoherentPort struct {
+	c    *Coherent
+	core int
+}
+
+// Name implements Level.
+func (p *CoherentPort) Name() string { return fmt.Sprintf("L2@core%d", p.core) }
+
+// Access implements Level.
+func (p *CoherentPort) Access(addr uint32, write bool) int {
+	return p.c.access(p.core, addr, write)
+}
+
+// Stats implements Level: the shared array's counters (every port sees the
+// same totals; per-core activity is visible in the L1s above).
+func (p *CoherentPort) Stats() Stats { return p.c.l2.Stats() }

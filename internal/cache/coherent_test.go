@@ -1,0 +1,120 @@
+package cache
+
+import "testing"
+
+func coherentPair(t *testing.T) (*Coherent, *CoherentPort, *CoherentPort) {
+	t.Helper()
+	c := NewCoherent(CoherentConfig{
+		L2: DefaultL2(), MemLatency: 25, InterconnectLatency: 4, Cores: 2,
+	})
+	return c, c.Port(0), c.Port(1)
+}
+
+func TestCoherentReadSharing(t *testing.T) {
+	c, p0, p1 := coherentPair(t)
+	// Cold read: hop + L2 miss (8 + 25).
+	if got := p0.Access(0x1000, false); got != 4+8+25 {
+		t.Errorf("cold read latency = %d, want %d", got, 4+8+25)
+	}
+	// Second core reads the now-resident clean line: hop + L2 hit, no
+	// coherence action.
+	if got := p1.Access(0x1000, false); got != 4+8 {
+		t.Errorf("shared read latency = %d, want %d", got, 4+8)
+	}
+	s := c.Stats()
+	if s.Transfers != 0 || s.Invalidations != 0 {
+		t.Errorf("clean sharing caused coherence actions: %+v", s)
+	}
+}
+
+func TestCoherentWriteInvalidatesSharers(t *testing.T) {
+	c, p0, p1 := coherentPair(t)
+	p0.Access(0x2000, false)
+	p1.Access(0x2000, false) // both cores share the line
+	// Core 1 writes: one invalidation hop for core 0's copy, then an L2 hit.
+	if got := p1.Access(0x2000, true); got != 4+4+8 {
+		t.Errorf("invalidating write latency = %d, want %d", got, 4+4+8)
+	}
+	if s := c.Stats(); s.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", s.Invalidations)
+	}
+	// A write by the sole owner costs no invalidation.
+	if got := p1.Access(0x2000, true); got != 4+8 {
+		t.Errorf("owner re-write latency = %d, want %d", got, 4+8)
+	}
+}
+
+func TestCoherentDirtyTransfer(t *testing.T) {
+	c, p0, p1 := coherentPair(t)
+	p0.Access(0x3000, true) // core 0 dirties the line
+	// Core 1 reads: request hop + owner-transfer round trip + L2 hit.
+	if got := p1.Access(0x3000, false); got != 4+8+8 {
+		t.Errorf("dirty-transfer read latency = %d, want %d", got, 4+8+8)
+	}
+	if s := c.Stats(); s.Transfers != 1 {
+		t.Errorf("transfers = %d, want 1", s.Transfers)
+	}
+	// The line is shared now; the owner's next read is plain.
+	if got := p0.Access(0x3000, false); got != 4+8 {
+		t.Errorf("post-transfer read latency = %d, want %d", got, 4+8)
+	}
+}
+
+func TestCoherentStoreUpgradeBackInvalidates(t *testing.T) {
+	c, p0, p1 := coherentPair(t)
+	l1a := New(DefaultL1D(), p0)
+	l1b := New(DefaultL1D(), p1)
+	c.AttachL1(0, l1a)
+	c.AttachL1(1, l1b)
+
+	// Both cores pull the line into their private L1s (read fills).
+	l1a.Access(0x5000, false)
+	l1b.Access(0x5000, false)
+
+	// Core 0 stores. Its L1 write hit hides the store from the port, so
+	// the upgrade must charge the directory round trip plus one
+	// invalidation hop, and drop core 1's copy.
+	if got := c.Upgrade(0, 0x5000); got != 4+4 {
+		t.Errorf("shared→owned upgrade latency = %d, want %d", got, 4+4)
+	}
+	if l1b.Contains(0x5000) {
+		t.Error("remote L1 copy survived the upgrade")
+	}
+	if s := c.Stats(); s.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", s.Invalidations)
+	}
+
+	// The dirty owner stores for free.
+	if got := c.Upgrade(0, 0x5000); got != 0 {
+		t.Errorf("owner re-store charged %d cycles", got)
+	}
+
+	// Core 1 steals the line: round trip + dirty transfer + invalidation,
+	// and core 0's copy is dropped.
+	if got := c.Upgrade(1, 0x5000); got != 4+2*4+4 {
+		t.Errorf("steal upgrade latency = %d, want %d", got, 4+2*4+4)
+	}
+	if l1a.Contains(0x5000) {
+		t.Error("previous owner's L1 copy survived the steal")
+	}
+	if s := c.Stats(); s.Transfers != 1 || s.Invalidations != 2 {
+		t.Errorf("stats after steal: %+v", s)
+	}
+}
+
+func TestCoherentPortAsL1Next(t *testing.T) {
+	c, p0, _ := coherentPair(t)
+	l1 := New(DefaultL1D(), p0)
+	// L1 miss forwards through the port: 1 (L1) + 4 (hop) + 8+25 (L2 miss).
+	if got := l1.Access(0x4000, false); got != 1+4+8+25 {
+		t.Errorf("L1-miss-through-port latency = %d, want %d", got, 1+4+8+25)
+	}
+	// L1 hit never touches the interconnect.
+	hops := c.Stats().Hops
+	if got := l1.Access(0x4000, false); got != 1 {
+		t.Errorf("L1 hit latency = %d, want 1", got)
+	}
+	if c.Stats().Hops != hops {
+		t.Error("L1 hit traversed the interconnect")
+	}
+}

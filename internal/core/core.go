@@ -351,19 +351,53 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 				break
 			}
 		}
-		// Grant the FM the host time the TM consumed last cycle.
-		h := s.TM.HostCycles()
-		s.budget += s.cfg.Clock.Nanos(h - s.lastHost)
-		s.lastHost = h
-		if s.FM.Halted() && !s.terminal() {
-			s.FM.AdvanceIdle(1)
-		}
-		s.pump()
-		s.TM.Step()
+		s.stepCycle()
 		// Deadlock guard: if the FM is terminally halted and the TB is
 		// drained, the TM will see FetchEnd and drain itself.
 	}
 	return s.result(), s.err
+}
+
+// stepCycle advances the coupled simulation by one target cycle: the FM is
+// granted the host time the TM consumed last cycle, produces trace entries
+// as that budget allows, then the TM executes one cycle. The serial run
+// loop and the multicore quantum scheduler share this body, so a one-core
+// multicore run is cycle-for-cycle the serial simulation.
+func (s *Sim) stepCycle() {
+	h := s.TM.HostCycles()
+	s.budget += s.cfg.Clock.Nanos(h - s.lastHost)
+	s.lastHost = h
+	if s.FM.Halted() && !s.terminal() {
+		s.FM.AdvanceIdle(1)
+	}
+	s.pump()
+	s.TM.Step()
+}
+
+// converged reports whether the core's shared-memory state is stable: the
+// FM is not inside a wrong-path episode and the TM's fetch pointer has
+// consumed every produced entry, so any future re-steer targets an IN
+// beyond everything already produced and no store in memory can be undone.
+// This is the multicore quantum boundary condition.
+func (s *Sim) converged() bool {
+	return !s.wrongPath && s.TM.NextFetchIN() >= s.app.NextIN()
+}
+
+// converge steps the TM — without granting the FM budget to produce new
+// entries — until the core converges or its TM drains. The cycles spent
+// here are the modeled cost of quantum synchronization.
+func (s *Sim) converge() {
+	s.app.Flush()
+	for !s.TM.Done() && !s.converged() {
+		if s.TM.Cycle() >= s.cfg.MaxCycles {
+			s.err = fmt.Errorf("core: exceeded max cycles %d during convergence", s.cfg.MaxCycles)
+			return
+		}
+		h := s.TM.HostCycles()
+		s.budget += s.cfg.Clock.Nanos(h - s.lastHost)
+		s.lastHost = h
+		s.TM.Step()
+	}
 }
 
 func (s *Sim) result() Result {

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/fm"
+	"repro/internal/fullsys"
+	"repro/internal/isa"
+)
+
+// MulticoreConfig shapes an N-core target built from one per-core Config.
+type MulticoreConfig struct {
+	Cores int
+	// InterconnectLatency is the per-hop core↔L2 delay of the shared
+	// hierarchy (0 selects cache.DefaultInterconnectLatency).
+	InterconnectLatency int
+	// QuantumCycles is the bounded-lag quantum: how many target cycles a
+	// core advances before the scheduler moves on. 0 derives it from the
+	// trace chunk size, making the skew bound ride the same granule as the
+	// FM→TM coupling.
+	QuantumCycles uint64
+}
+
+// Multicore couples N FM/TM pairs over one shared physical memory and a
+// modeled shared L2 + directory. The cores advance round-robin in bounded
+// quanta on a single goroutine, and every quantum ends with a convergence
+// phase (Sim.converge) that retires the core's speculative run-ahead, so a
+// core only ever observes the *stable* memory state of its peers:
+//
+//   - Within its quantum a core runs exactly the serial coupled
+//     simulation, including wrong-path FM run-ahead into shared memory.
+//   - At the quantum boundary the core's TM has consumed every produced
+//     entry and no wrong-path episode is in flight, so every store it has
+//     made is final — nothing a later re-steer could undo remains visible.
+//   - Only then does the next core run. Cross-core visibility therefore
+//     happens exclusively at quantum boundaries (bounded lag), and the
+//     whole schedule is a deterministic function of the configuration —
+//     byte-identical results at any host parallelism, by construction.
+type Multicore struct {
+	cfg     Config
+	mc      MulticoreConfig
+	cores   []*Sim
+	shared  *cache.Coherent
+	quantum uint64
+	err     error
+}
+
+// MulticoreResult is the run summary: the aggregate view plus each core's
+// own Result and the directory counters.
+type MulticoreResult struct {
+	Aggregate Result
+	PerCore   []Result
+	Coherence cache.CoherentStats
+}
+
+// NewMulticore builds an N-core simulator from the per-core configuration:
+// one shared physical memory and predecode-coherence domain on the FM side,
+// one shared L2 + directory on the TM side, and N serial Sims around them.
+func NewMulticore(cfg Config, mc MulticoreConfig) (*Multicore, error) {
+	if mc.Cores < 1 || mc.Cores > 64 {
+		return nil, fmt.Errorf("core: multicore supports 1..64 cores, got %d", mc.Cores)
+	}
+	if cfg.FM.MemBytes == 0 {
+		cfg.FM.MemBytes = 16 << 20
+	}
+	if cfg.TM.MemLatency == 0 {
+		cfg.TM.MemLatency = 25
+	}
+	sharedMem := fullsys.NewMemory(cfg.FM.MemBytes)
+	coh := fm.NewCoherence()
+	shared := cache.NewCoherent(cache.CoherentConfig{
+		L2:                  cfg.TM.L2,
+		MemLatency:          cfg.TM.MemLatency,
+		InterconnectLatency: mc.InterconnectLatency,
+		Cores:               mc.Cores,
+	})
+	m := &Multicore{cfg: cfg, mc: mc, shared: shared}
+	for i := 0; i < mc.Cores; i++ {
+		ci := cfg
+		ci.FM.SharedMem = sharedMem
+		ci.FM.Coherence = coh
+		ci.FM.CoreID = i
+		ci.TM.Shared = shared
+		ci.TM.CoreID = i
+		// The instruction cap is a whole-target budget; the scheduler
+		// enforces it across cores.
+		ci.MaxInstructions = 0
+		if i > 0 {
+			// Boot devices (disk, NIC) hang off core 0; secondaries get
+			// the default per-core console + timer.
+			ci.FM.Devices = nil
+		}
+		s, err := New(ci)
+		if err != nil {
+			return nil, fmt.Errorf("core %d: %w", i, err)
+		}
+		if s.tlog != nil {
+			s.tlog.ProcessName(s.pid, fmt.Sprintf("FAST core %d", i))
+		}
+		m.cores = append(m.cores, s)
+	}
+	m.quantum = mc.QuantumCycles
+	if m.quantum == 0 {
+		m.quantum = uint64(m.cores[0].app.ChunkSize())
+	}
+	return m, nil
+}
+
+// Cores exposes the per-core simulators (core 0 carries the boot devices).
+func (m *Multicore) Cores() []*Sim { return m.cores }
+
+// LoadProgram loads the image into the shared memory and points every
+// core's PC at its entry; the per-CPU boot path dispatches on CPUID.
+func (m *Multicore) LoadProgram(p *isa.Program) {
+	for _, s := range m.cores {
+		s.LoadProgram(p)
+	}
+}
+
+// Run executes the multicore simulation to completion or its limits.
+func (m *Multicore) Run() (MulticoreResult, error) { return m.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation.
+func (m *Multicore) RunContext(ctx context.Context) (MulticoreResult, error) {
+	var ticks uint64
+	for m.err == nil {
+		live := false
+		for _, s := range m.cores {
+			if s.TM.Done() || s.err != nil {
+				continue
+			}
+			live = true
+			end := s.TM.Cycle() + m.quantum
+			for s.TM.Cycle() < end && !s.TM.Done() {
+				if m.capped() {
+					break
+				}
+				if s.TM.Cycle() >= s.cfg.MaxCycles {
+					s.err = fmt.Errorf("core %d: exceeded max cycles %d", s.cfg.FM.CoreID, s.cfg.MaxCycles)
+					break
+				}
+				if ticks++; ticks%ctxCheckInterval == 0 {
+					if err := ctx.Err(); err != nil {
+						s.err = err
+						break
+					}
+				}
+				s.stepCycle()
+			}
+			// Quantum boundary: retire the run-ahead so the next core sees
+			// only stable memory.
+			s.converge()
+			if s.err != nil {
+				m.err = s.err
+			}
+		}
+		if !live || m.capped() {
+			break
+		}
+	}
+	return m.result(), m.err
+}
+
+// capped reports whether the whole-target committed-instruction budget is
+// exhausted.
+func (m *Multicore) capped() bool {
+	if m.cfg.MaxInstructions == 0 {
+		return false
+	}
+	var total uint64
+	for _, s := range m.cores {
+		total += s.committed
+	}
+	return total >= m.cfg.MaxInstructions
+}
+
+// result aggregates the per-core runs. Host-time semantics: the N
+// functional models run on N host cores while the single FPGA hosts all N
+// timing models, so the end-to-end wall time is the slowest core's
+// SimNanos; FM work is reported summed.
+func (m *Multicore) result() MulticoreResult {
+	var r MulticoreResult
+	var weightedBP float64
+	for _, s := range m.cores {
+		cr := s.result()
+		r.PerCore = append(r.PerCore, cr)
+		a := &r.Aggregate
+		a.Instructions += cr.Instructions
+		a.WrongPath += cr.WrongPath
+		a.FMNanos += cr.FMNanos
+		a.Mispredicts += cr.Mispredicts
+		a.Rollbacks += cr.Rollbacks
+		a.TraceWords += cr.TraceWords
+		weightedBP += cr.BPAccuracy * float64(cr.Instructions)
+		a.LinkStats.Nanos += cr.LinkStats.Nanos
+		a.LinkStats.Reads += cr.LinkStats.Reads
+		a.LinkStats.Writes += cr.LinkStats.Writes
+		a.LinkStats.BurstWords += cr.LinkStats.BurstWords
+		if cr.TargetCycles > a.TargetCycles {
+			a.TargetCycles = cr.TargetCycles
+		}
+		if cr.TMNanos > a.TMNanos {
+			a.TMNanos = cr.TMNanos
+		}
+		if cr.SimNanos > a.SimNanos {
+			a.SimNanos = cr.SimNanos
+		}
+		if cr.TBMaxOccupancy > a.TBMaxOccupancy {
+			a.TBMaxOccupancy = cr.TBMaxOccupancy
+		}
+		// The aggregate TM stats keep the whole-target totals the study
+		// tables read (cycles stay the max, not the sum).
+		a.TM.Instructions += cr.TM.Instructions
+		a.TM.UOps += cr.TM.UOps
+		a.TM.BasicBlocks += cr.TM.BasicBlocks
+		a.TM.Mispredicts += cr.TM.Mispredicts
+		if cr.TM.Cycles > a.TM.Cycles {
+			a.TM.Cycles = cr.TM.Cycles
+		}
+	}
+	a := &r.Aggregate
+	if a.Instructions > 0 {
+		a.BPAccuracy = weightedBP / float64(a.Instructions)
+	}
+	if a.TargetCycles > 0 {
+		a.IPC = float64(a.Instructions) / float64(a.TargetCycles)
+	}
+	if a.SimNanos > 0 {
+		a.TargetMIPS = float64(a.Instructions+a.WrongPath) / a.SimNanos * 1e3
+	}
+	r.Coherence = m.shared.Stats()
+	return r
+}

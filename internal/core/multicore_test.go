@@ -1,0 +1,152 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// smpBoot builds the SMP spinlock workload for n cores with a small
+// iteration count so the run completes (no instruction cap needed).
+func smpBoot(t *testing.T, n, iters int) *workload.Boot {
+	t.Helper()
+	k := workload.FastBoot()
+	k.Cores = n
+	k.SMPUser = true
+	boot, err := workload.BuildBoot(k, workload.SMPProgram(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return boot
+}
+
+func runMulticore(t *testing.T, n, iters int) (MulticoreResult, string) {
+	t.Helper()
+	boot := smpBoot(t, n, iters)
+	cfg := DefaultConfig()
+	cfg.FM.Devices = boot.Devices()
+	m, err := NewMulticore(cfg, MulticoreConfig{Cores: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LoadProgram(boot.Kernel)
+	r, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return r, string(boot.Console.Output())
+}
+
+// TestMulticoreSMPLockNoLostUpdates boots the SMP workload on two cores:
+// the ll/sc spinlock must serialize the shared-counter increments (core 0
+// prints 'K' after verifying the reduction), and the directory must have
+// seen cross-core sharing.
+func TestMulticoreSMPLockNoLostUpdates(t *testing.T) {
+	r, out := runMulticore(t, 2, 150)
+	if !strings.Contains(out, "K") {
+		t.Fatalf("core 0 did not verify the reduction: console %q", out)
+	}
+	if strings.Contains(out, "X") {
+		t.Fatalf("lost update detected: console %q", out)
+	}
+	if len(r.PerCore) != 2 {
+		t.Fatalf("got %d per-core results", len(r.PerCore))
+	}
+	for i, cr := range r.PerCore {
+		if cr.Instructions == 0 {
+			t.Errorf("core %d committed no instructions", i)
+		}
+	}
+	if r.Coherence.Invalidations == 0 {
+		t.Error("no directory invalidations despite write sharing")
+	}
+	if r.Coherence.Hops == 0 {
+		t.Error("no interconnect hops charged")
+	}
+	if r.Aggregate.Instructions != r.PerCore[0].Instructions+r.PerCore[1].Instructions {
+		t.Error("aggregate instructions are not the per-core sum")
+	}
+	if r.Aggregate.TargetCycles < r.PerCore[0].TargetCycles ||
+		r.Aggregate.TargetCycles < r.PerCore[1].TargetCycles {
+		t.Error("aggregate target cycles below a per-core value")
+	}
+}
+
+// TestMulticoreDeterministic runs the same 2-core configuration twice and
+// requires bit-identical results — the bounded-lag schedule may not depend
+// on anything but the configuration.
+func TestMulticoreDeterministic(t *testing.T) {
+	a, outA := runMulticore(t, 2, 100)
+	b, outB := runMulticore(t, 2, 100)
+	if outA != outB {
+		t.Errorf("console output diverged: %q vs %q", outA, outB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("results diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestMulticoreSingleCoreArchMatchesSerial runs a deterministic kernel-mode
+// program through a 1-core Multicore and the plain serial Sim: the shared
+// hierarchy adds interconnect latency (so cycles differ) but the
+// architectural work must be identical.
+func TestMulticoreSingleCoreArchMatchesSerial(t *testing.T) {
+	prog := isa.MustAssemble(testProgram, 0x1000)
+
+	cfg := DefaultConfig()
+	cfg.FM.DisableInterrupts = true
+	m, err := NewMulticore(cfg, MulticoreConfig{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LoadProgram(prog)
+	mr, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := DefaultConfig()
+	cfg2.FM.DisableInterrupts = true
+	s, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadProgram(prog)
+	sr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if mr.Aggregate.Instructions != sr.Instructions {
+		t.Errorf("instructions: multicore %d, serial %d", mr.Aggregate.Instructions, sr.Instructions)
+	}
+	if mr.Aggregate.TM.Instructions != sr.TM.Instructions {
+		t.Errorf("TM instructions: multicore %d, serial %d", mr.Aggregate.TM.Instructions, sr.TM.Instructions)
+	}
+	if mr.Aggregate.TM.UOps != sr.TM.UOps {
+		t.Errorf("TM µops: multicore %d, serial %d", mr.Aggregate.TM.UOps, sr.TM.UOps)
+	}
+	if mr.Coherence.Invalidations != 0 || mr.Coherence.Transfers != 0 {
+		t.Errorf("coherence events on a single core: %+v", mr.Coherence)
+	}
+}
+
+// TestMulticoreScalesCores checks the 4-core run completes and every core
+// contributed; a coarse sanity check ahead of the fastbench sweep.
+func TestMulticoreScalesCores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	r, out := runMulticore(t, 4, 80)
+	if !strings.Contains(out, "K") {
+		t.Fatalf("4-core reduction not verified: console %q", out)
+	}
+	for i, cr := range r.PerCore {
+		if cr.Instructions == 0 {
+			t.Errorf("core %d committed no instructions", i)
+		}
+	}
+}

@@ -412,6 +412,54 @@ func (r Runner) Bottleneck() (string, error) {
 	return b.String(), nil
 }
 
+// SMP reproduces the multicore extension study on the default runner.
+func SMP() (string, error) { return Runner{}.SMP() }
+
+// SMP is the Table-3-style multicore study: the smp-lock workload (ll/sc
+// spinlock contention over shared counters) swept over a core-count ×
+// interconnect-latency grid on the serial fast engine — the one engine that
+// models the coherent interconnect. The single-core row is the contention-
+// free baseline; the grid shows coherence traffic and the latency it costs
+// growing with both axes.
+func (r Runner) SMP() (string, error) {
+	var variants []sim.Params
+	for _, cores := range []int{1, 2, 4} {
+		if cores == 1 {
+			variants = append(variants, sim.Params{Cores: 1})
+			continue
+		}
+		for _, hop := range []int{2, 4, 8} {
+			variants = append(variants, sim.Params{Cores: cores, InterconnectLatency: hop})
+		}
+	}
+	results := r.sweep(sim.Sweep{
+		Workloads: []string{workload.SMPName},
+		Variants:  variants,
+		Base:      sim.Params{MaxInstructions: InstCap},
+	})
+	if err := sim.FirstErr(results); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multicore study — %s (ll/sc spinlock) on the fast engine\n", workload.SMPName)
+	fmt.Fprintf(&b, "%5s %4s %10s %10s %6s %10s %10s %10s\n",
+		"cores", "hop", "inst", "cycles", "IPC", "transfers", "invals", "hops")
+	for _, pr := range results {
+		res := pr.Result
+		p := pr.Point.Params
+		cores, hop := p.Cores, p.InterconnectLatency
+		if cores == 1 {
+			fmt.Fprintf(&b, "%5d %4s %10d %10d %6.3f %10s %10s %10s\n",
+				cores, "-", res.Instructions, res.TargetCycles, res.IPC, "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%5d %4d %10d %10d %6.3f %10d %10d %10d\n",
+			cores, hop, res.Instructions, res.TargetCycles, res.IPC,
+			res.CoherenceTransfers, res.CoherenceInvalidations, res.CoherenceHops)
+	}
+	return b.String(), nil
+}
+
 // Ablations runs A1-A8 of DESIGN.md on a fixed workload.
 func Ablations() (string, error) { return Runner{}.Ablations() }
 

@@ -1,0 +1,42 @@
+package fm
+
+import "repro/internal/isa"
+
+// Coherence links the functional models of a multicore target. The cores
+// share one physical memory (Config.SharedMem), so data values need no
+// propagation — but each core keeps a private predecode cache keyed by
+// physical address, and a store by one core must invalidate instructions
+// another core predecoded from the written bytes. Coherence fans every
+// store notification (including rollback memory undo, which rewrites
+// memory without going through store) out to all attached models.
+//
+// The multicore scheduler runs all cores on one goroutine, so no locking
+// is needed; attach order only affects private counters, never architected
+// state.
+type Coherence struct {
+	models []*Model
+}
+
+// NewCoherence returns an empty coherence domain; fm.New attaches each
+// model built with Config.Coherence set to it.
+func NewCoherence() *Coherence { return &Coherence{} }
+
+func (c *Coherence) attach(m *Model) {
+	if c == nil {
+		return
+	}
+	c.models = append(c.models, m)
+}
+
+// noteStore reports an n-byte write at physical address pa to every
+// predecode cache in this model's coherence domain (or just its own when
+// the model is not part of one).
+func (m *Model) noteStore(pa isa.Word, n int) {
+	if c := m.cfg.Coherence; c != nil {
+		for _, peer := range c.models {
+			peer.icache.noteStore(pa, n)
+		}
+		return
+	}
+	m.icache.noteStore(pa, n)
+}

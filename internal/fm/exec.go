@@ -475,6 +475,46 @@ func (m *Model) execute(inst isa.Inst, nextPC isa.Word, e *trace.Entry) *fault {
 		m.GPR[inst.Rd] = isa.Word(v)
 		m.GPR[isa.RegSP] = va + 4
 		e.MemVA, e.MemPA, e.MemSize = va, pa, 4
+	case isa.OpLl:
+		// Load-linked: an ordinary word load that also records the link
+		// (address + loaded value) in the architectural link register. The
+		// link lives in Scalars, so rollback restores it exactly and a
+		// checkpoint replay reproduces the original ll/sc outcomes.
+		va := m.GPR[inst.Rs] + isa.Word(inst.Disp)
+		v, pa, f := m.load(va, 4)
+		if f != nil {
+			return f
+		}
+		m.GPR[inst.Rd] = isa.Word(v)
+		m.LLValid, m.LLAddr, m.LLVal = true, va, isa.Word(v)
+		e.MemVA, e.MemPA, e.MemSize = va, pa, 4
+	case isa.OpSc:
+		// Store-conditional: succeeds iff the link is live, names this
+		// address, and the word in memory still holds the linked value —
+		// an intervening store (own or remote core, committed or undone)
+		// that changed the value fails the sc. Because success is a pure
+		// function of (Scalars, memory), it needs no hidden reservation
+		// state and is stable under rollback re-execution.
+		va := m.GPR[inst.Rs] + isa.Word(inst.Disp)
+		pa, f := m.translate(va, true)
+		if f != nil {
+			return f
+		}
+		if !m.Mem.InRange(pa, 4) {
+			return &fault{vector: isa.VecProt, faultVA: va, retry: true}
+		}
+		ok := m.LLValid && va == m.LLAddr && isa.Word(m.Mem.Read(pa, 4)) == m.LLVal
+		m.LLValid = false // the link is consumed either way
+		if ok {
+			m.journalMem(pa, 4)
+			m.noteStore(pa, 4)
+			m.Mem.Write(pa, uint64(m.GPR[inst.Rd]), 4)
+			m.GPR[inst.Rd] = 1
+		} else {
+			m.GPR[inst.Rd] = 0
+		}
+		m.setFlagsZN(m.GPR[inst.Rd]) // Z set on failure: `jz retry`
+		e.MemVA, e.MemPA, e.MemSize, e.IsStore = va, pa, 4, ok
 	case isa.OpJmp:
 		branchTo(rel(), true)
 	case isa.OpJz, isa.OpJnz, isa.OpJl, isa.OpJge, isa.OpJg, isa.OpJle, isa.OpJc, isa.OpJnc:
@@ -548,6 +588,8 @@ func (m *Model) execute(inst isa.Inst, nextPC isa.Word, e *trace.Entry) *fault {
 		switch inst.Imm {
 		case isa.CRCycles:
 			m.GPR[inst.Rd] = isa.Word(m.Now())
+		case isa.CRCpuID:
+			m.GPR[inst.Rd] = isa.Word(m.cfg.CoreID)
 		default:
 			if int(inst.Imm) < isa.NumCR {
 				m.GPR[inst.Rd] = m.CR[inst.Imm]
@@ -771,10 +813,14 @@ func fillRegs(inst isa.Inst, e *trace.Entry) {
 		e.Dst = inst.Rd
 	case isa.OpLea:
 		e.SrcA, e.Dst = inst.Rs, inst.Rd
-	case isa.OpLdW, isa.OpLdH, isa.OpLdB, isa.OpFLd:
+	case isa.OpLdW, isa.OpLdH, isa.OpLdB, isa.OpFLd, isa.OpLl:
 		e.SrcA, e.Dst = inst.Rs, inst.Rd
 	case isa.OpStW, isa.OpStH, isa.OpStB, isa.OpFSt:
 		e.SrcA, e.SrcB = inst.Rs, inst.Rd
+	case isa.OpSc:
+		// Reads the address base and the store value, writes the success
+		// flag back into rd.
+		e.SrcA, e.SrcB, e.Dst = inst.Rs, inst.Rd, inst.Rd
 	case isa.OpPush:
 		e.SrcA, e.SrcB, e.Dst = isa.RegSP, inst.Rd, isa.RegSP
 	case isa.OpPop:

@@ -67,7 +67,7 @@ type memUndo struct {
 func undoMem(m *Model, undos []memUndo) {
 	for i := len(undos) - 1; i >= 0; i-- {
 		u := undos[i]
-		m.icache.noteStore(u.pa, int(u.size))
+		m.noteStore(u.pa, int(u.size))
 		m.Mem.Write(u.pa, u.old, int(u.size))
 	}
 }
@@ -365,6 +365,11 @@ func (m *Model) SetPC(in uint64, pc uint32) error {
 	m.obs.rollbacks.Inc()
 	m.obs.journalDepth.Observe(float64(m.engine.window()))
 	m.obs.rollbackDist.Observe(float64(m.in - in))
+	// A fatal condition reached on the speculative path dies with the
+	// re-steer: the faulting instruction was aborted (neither state nor IN
+	// advanced), so redirecting supersedes it. A right-path fatal re-arises
+	// deterministically on re-execution.
+	m.fatal = nil
 	if in == m.in {
 		// Pure redirect: the TM re-steers the next instruction before the
 		// FM ran ahead. Still a set_pc round trip, zero work undone.

@@ -89,6 +89,15 @@ func TestEveryOpcodeExecutes(t *testing.T) {
 		push  r2
 		pop   r9
 
+		; --- atomics: ll/sc success, then failure after an intervening store ---
+		ll    r9, [r7]          ; link the word stw'd above (9)
+		inc   r9
+		sc    r9, [r7]          ; link intact: mem <- 10, r9 <- 1
+		ll    r9, [r7+32]       ; link a zero word
+		movi  r8, 0x77
+		stw   r8, [r7+32]       ; the value changes: link broken
+		sc    r9, [r7+32]       ; fails: memory keeps 0x77, r9 <- 0
+
 		; --- branches ---
 		cmpi  r2, 9
 		jz    t1
@@ -208,6 +217,12 @@ func TestEveryOpcodeExecutes(t *testing.T) {
 	}
 	if m.GPR[6] != 0x46495341+1 {
 		t.Errorf("cpuid+lock-inc = %#x", m.GPR[6])
+	}
+	if v := m.Mem.Read(0x5000, 4); v != 10 {
+		t.Errorf("sc success: mem[0x5000] = %d, want 10", v)
+	}
+	if v := m.Mem.Read(0x5020, 4); v != 0x77 {
+		t.Errorf("sc failure must not store: mem[0x5020] = %#x, want 0x77", v)
 	}
 	if m.GPR[15] != 0x52 {
 		t.Errorf("syscall/break handlers did not run: r15=%#x", m.GPR[15])

@@ -18,6 +18,7 @@ package fm
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/fullsys"
 	"repro/internal/isa"
@@ -34,6 +35,15 @@ type Scalars struct {
 	Flags isa.Word
 	PC    isa.Word
 	CR    [isa.NumCR]isa.Word
+
+	// The ll/sc link register: LL records the address and value it loaded,
+	// SC succeeds iff the linked word still holds that value. Keeping the
+	// link in Scalars (rather than as hidden model state) means rollback
+	// restores it exactly, so a re-executed ll/sc sequence reproduces its
+	// original outcome and checkpoint replay stays deterministic.
+	LLValid bool
+	LLAddr  isa.Word
+	LLVal   isa.Word
 }
 
 // Config parameterizes a functional model instance.
@@ -69,6 +79,17 @@ type Config struct {
 	// the journal-depth distribution (fm_* series). Nil telemetry costs one
 	// nil check per rollback event.
 	Telemetry *obs.Telemetry
+	// CoreID is this core's index in a multicore target (0 in a single-core
+	// one); it is what MOVRC from CRCpuID reads.
+	CoreID int
+	// SharedMem, when non-nil, is the physical memory shared by all cores of
+	// a multicore target; the model attaches to it instead of allocating its
+	// own. MemBytes is ignored for sizing when set.
+	SharedMem *fullsys.Memory
+	// Coherence, when non-nil, fans store notifications out to every
+	// attached core's predecode cache so cross-core self-modifying code
+	// invalidates remotely cached instructions (coherence.go).
+	Coherence *Coherence
 }
 
 // Model is the speculative functional model.
@@ -115,8 +136,14 @@ func New(cfg Config) *Model {
 	if devs == nil {
 		devs = []fullsys.Device{fullsys.NewConsole(), fullsys.NewTimer()}
 	}
+	mem := cfg.SharedMem
+	if mem == nil {
+		mem = fullsys.NewMemory(cfg.MemBytes)
+	} else {
+		cfg.MemBytes = mem.Size()
+	}
 	m := &Model{
-		Mem:   fullsys.NewMemory(cfg.MemBytes),
+		Mem:   mem,
 		Bus:   fullsys.NewBus(devs...),
 		table: microcode.NewTable(),
 		cfg:   cfg,
@@ -129,7 +156,8 @@ func New(cfg Config) *Model {
 	if cfg.ICacheEntries > 0 {
 		m.icache = newICache(cfg.ICacheEntries, cfg.MemBytes)
 	}
-	m.obs.attach(cfg.Telemetry)
+	cfg.Coherence.attach(m)
+	m.obs.attach(cfg.Telemetry, m.series())
 	return m
 }
 
@@ -143,19 +171,29 @@ type fmInstruments struct {
 	rollbackDist *obs.Histogram
 }
 
-func (i *fmInstruments) attach(tel *obs.Telemetry) {
+func (i *fmInstruments) attach(tel *obs.Telemetry, series func(string) string) {
 	if tel == nil {
 		return
 	}
-	i.rollbacks = tel.Counter("fm_rollbacks_total")
-	i.rolledBack = tel.Counter("fm_rolled_back_instructions_total")
-	i.reExecuted = tel.Counter("fm_reexecuted_instructions_total")
-	i.journalDepth = tel.Histogram("fm_journal_depth", obs.DepthBuckets)
+	i.rollbacks = tel.Counter(series("fm_rollbacks_total"))
+	i.rolledBack = tel.Counter(series("fm_rolled_back_instructions_total"))
+	i.reExecuted = tel.Counter(series("fm_reexecuted_instructions_total"))
+	i.journalDepth = tel.Histogram(series("fm_journal_depth"), obs.DepthBuckets)
 	// Distance distribution of set_pc re-steers, in instructions undone:
 	// how far the speculative run-ahead had gone when the TM pulled it
 	// back (0 = pure redirect). The chunked trace coupling discards the
 	// same entries from the TB, so this is also the rewind-depth profile.
-	i.rollbackDist = tel.Histogram("fm_rollback_distance", obs.ChunkBuckets)
+	i.rollbackDist = tel.Histogram(series("fm_rollback_distance"), obs.ChunkBuckets)
+}
+
+// series returns the telemetry series namer for this model: identity on a
+// single-core target, a core label on every multicore series.
+func (m *Model) series() func(string) string {
+	if m.cfg.Coherence == nil {
+		return func(name string) string { return name }
+	}
+	id := strconv.Itoa(m.cfg.CoreID)
+	return func(name string) string { return obs.AddLabel(name, "core", id) }
 }
 
 // PublishTelemetry flushes the run-total FM statistics that are not worth
@@ -165,14 +203,15 @@ func (m *Model) PublishTelemetry(tel *obs.Telemetry) {
 	if tel == nil {
 		return
 	}
-	tel.Counter("fm_interrupts_total").Add(m.Interrupts)
-	tel.Counter("fm_exceptions_total").Add(m.Exceptions)
-	tel.Counter("fm_trace_words_total").Add(m.TraceWords)
+	series := m.series()
+	tel.Counter(series("fm_interrupts_total")).Add(m.Interrupts)
+	tel.Counter(series("fm_exceptions_total")).Add(m.Exceptions)
+	tel.Counter(series("fm_trace_words_total")).Add(m.TraceWords)
 	if c := m.icache; c != nil {
-		tel.Counter("fm_icache_hits_total").Add(c.hits)
-		tel.Counter("fm_icache_misses_total").Add(c.misses)
-		tel.Counter("fm_icache_invalidations_total").Add(c.invalidations)
-		tel.Counter("fm_icache_flushes_total").Add(c.flushes)
+		tel.Counter(series("fm_icache_hits_total")).Add(c.hits)
+		tel.Counter(series("fm_icache_misses_total")).Add(c.misses)
+		tel.Counter(series("fm_icache_invalidations_total")).Add(c.invalidations)
+		tel.Counter(series("fm_icache_flushes_total")).Add(c.flushes)
 	}
 }
 
@@ -283,7 +322,7 @@ func (m *Model) store(va isa.Word, v uint64, n int) (isa.Word, *fault) {
 		return 0, &fault{vector: isa.VecProt, faultVA: va, retry: true}
 	}
 	m.journalMem(pa, n)
-	m.icache.noteStore(pa, n)
+	m.noteStore(pa, n)
 	m.Mem.Write(pa, v, n)
 	return pa, nil
 }

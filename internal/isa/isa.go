@@ -84,6 +84,13 @@ const (
 	NumCR     = 8
 )
 
+// CRCpuID is a read-only pseudo control register holding the core's id in a
+// multicore target (0 on core 0 and on every single-core target). It sits
+// above NumCR so it occupies no slot in the writable CR file: MOVRC
+// special-cases it like CRCycles, and a MOVCR to it is ignored by the
+// NumCR bound check.
+const CRCpuID = 8
+
 // Vector numbers in the interrupt vector table. Vectors 0..15 are exceptions
 // raised by instruction execution; 16..31 are external interrupts delivered
 // by the interrupt controller.
@@ -189,6 +196,8 @@ const (
 	OpBreak // breakpoint trap
 	OpCpuid // rd <- ISA identification constant
 	OpPause // spin-loop hint; no architectural effect
+	OpLl    // rd <- mem32[rb + disp16], acquiring a load-link reservation
+	OpSc    // store-conditional: if the reservation holds, mem32[rb+disp16] <- rd, rd <- 1; else rd <- 0. Sets Z from rd.
 	numPrimary
 )
 
@@ -390,6 +399,8 @@ func init() {
 	define(OpBreak, "break", FmtNone, ClassSystem, br)
 	define(OpCpuid, "cpuid", FmtR, ClassALU, nil)
 	define(OpPause, "pause", FmtNone, ClassALU, nil)
+	define(OpLl, "ll", FmtRM, ClassLoad, nil)
+	define(OpSc, "sc", FmtRM, ClassStore, ccW)
 
 	define(OpFAdd, "fadd", FmtRR, ClassFPU, func(i *Info) { fp(i); ccW(i) })
 	define(OpFSub, "fsub", FmtRR, ClassFPU, func(i *Info) { fp(i); ccW(i) })

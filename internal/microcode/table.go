@@ -72,6 +72,7 @@ var specs = map[isa.Op]string{
 	isa.OpScas:   `t0 = load8(r1); cmp(r3, t0); r1 = r1 + 1`,
 	isa.OpCpuid:  `rd = 0x46495341`, // "FISA"
 	isa.OpPause:  ``,
+	isa.OpLl:     `rd = load32(agen(rb, disp))`,
 
 	// Floating point the compiler does translate (simple data movement):
 	// everything else FP is NOP-replaced below, reproducing the paper's
@@ -101,6 +102,11 @@ var handSpecs = map[isa.Op]string{
 	isa.OpIn:      `rd = ioin(imm)`,
 	isa.OpOut:     `ioout(imm, rd)`,
 	isa.OpBreak:   `sys(9); jump()`,
+	// Store-conditional: the conditional store is not expressible in µC
+	// (no control flow inside a template), so the entry is authored by
+	// hand — a store µop, the success flag materialized into rd, and the
+	// condition codes set from it.
+	isa.OpSc: `store32(agen(rb, disp), rd); rd = 1; cc(rd)`,
 }
 
 // nopReplaced lists opcodes with no translation yet; they are "replaced

@@ -282,6 +282,18 @@ func L(name string, kv ...string) string {
 	return b.String()
 }
 
+// AddLabel appends one k="v" pair to a series name that may already carry
+// a label block: AddLabel(`x{a="b"}`, "core", "2") → `x{a="b",core="2"}`.
+// The multicore publishers use it to stamp per-core identity onto series
+// whose inner labels are chosen at the call site.
+func AddLabel(name, k, v string) string {
+	base, labels := splitName(name)
+	if labels == "" {
+		return L(base, k, v)
+	}
+	return fmt.Sprintf("%s{%s,%s=%q}", base, labels, k, v)
+}
+
 // splitName separates a series name into its base and label block:
 // `a{b="c"}` → ("a", `b="c"`).
 func splitName(name string) (base, labels string) {

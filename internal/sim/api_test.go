@@ -66,6 +66,12 @@ func TestParamsValidation(t *testing.T) {
 		{"unknown rollback", "fast", Params{Workload: "164.gzip", Rollback: "undo-log"}, "unknown rollback"},
 		{"rollback validated on baselines", "lockstep", Params{Workload: "164.gzip", Rollback: "undo-log"}, "unknown rollback"},
 		{"negative checkpoint interval", "fast", Params{Workload: "164.gzip", Rollback: "checkpoint", CheckpointInterval: -1}, "checkpoint interval"},
+		{"cores out of range", "fast", Params{Workload: "164.gzip", Cores: 65}, "cores"},
+		{"negative interconnect latency", "fast", Params{Workload: "164.gzip", Cores: 2, InterconnectLatency: -1}, "interconnect latency"},
+		{"multicore on fast-parallel", "fast-parallel", Params{Workload: "164.gzip", Cores: 2}, "single-core"},
+		{"multicore on monolithic", "monolithic", Params{Workload: "164.gzip", Cores: 2}, "single-core"},
+		{"multicore on lockstep", "lockstep", Params{Workload: "164.gzip", Cores: 2}, "single-core"},
+		{"multicore on fsbcache", "fsbcache", Params{Workload: "164.gzip", Cores: 2}, "single-core"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

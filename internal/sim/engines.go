@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -47,6 +48,18 @@ func prepare(p Params) (*isa.Program, *workload.Boot, fm.Config, error) {
 	if err != nil {
 		return nil, nil, fm.Config{}, err
 	}
+	if p.Cores > 1 {
+		if spec.Name == workload.SMPName {
+			// The SMP workload bakes the core count into the user program
+			// (each thread must know how many siblings to wait for), so the
+			// spec is rebuilt at the requested width.
+			spec = workload.SMP(p.Cores)
+		} else {
+			// Any other workload boots SMP with idle secondaries: they park
+			// in the kernel after release while core 0 runs the program.
+			spec.Kernel.Cores = p.Cores
+		}
+	}
 	boot, err := spec.Build()
 	if err != nil {
 		return nil, nil, fm.Config{}, err
@@ -61,6 +74,7 @@ type fastEngine struct {
 	boot     *workload.Boot
 	serial   *core.Sim
 	par      *core.ParallelSim
+	multi    *core.Multicore
 }
 
 func (e *fastEngine) Describe() string {
@@ -110,6 +124,24 @@ func (e *fastEngine) Configure(p Params) error {
 		p.Mutate(&cfg)
 	}
 	e.params, e.boot = p, boot
+	if p.Cores > 1 {
+		if e.parallel {
+			// The goroutine-parallel coupling owes its determinism to the
+			// single-core rate-matching protocol; the multicore scheduler is
+			// serial-only (and deterministic by construction).
+			return fmt.Errorf("sim: fast-parallel runs single-core targets only (got %d cores); use the fast engine", p.Cores)
+		}
+		m, err := core.NewMulticore(cfg, core.MulticoreConfig{
+			Cores:               p.Cores,
+			InterconnectLatency: p.InterconnectLatency,
+		})
+		if err != nil {
+			return err
+		}
+		m.LoadProgram(prog)
+		e.multi = m
+		return nil
+	}
 	if e.parallel {
 		s, err := core.NewParallel(cfg)
 		if err != nil {
@@ -131,6 +163,10 @@ func (e *fastEngine) Configure(p Params) error {
 func (e *fastEngine) Run() (Result, error) { return e.RunContext(context.Background()) }
 
 func (e *fastEngine) RunContext(ctx context.Context) (Result, error) {
+	if e.multi != nil {
+		mr, err := e.multi.RunContext(ctx)
+		return fromMulticore(e.params, mr), err
+	}
 	var (
 		r   core.Result
 		err error
@@ -145,7 +181,12 @@ func (e *fastEngine) RunContext(ctx context.Context) (Result, error) {
 	return fromCore(name, e.params, r), err
 }
 
+// TimingModel and FunctionalModel expose core 0's pair on a multicore
+// engine; Multicore.Cores reaches the siblings.
 func (e *fastEngine) TimingModel() *tm.TM {
+	if e.multi != nil {
+		return e.multi.Cores()[0].TM
+	}
 	if e.parallel {
 		return e.par.TM
 	}
@@ -153,11 +194,19 @@ func (e *fastEngine) TimingModel() *tm.TM {
 }
 
 func (e *fastEngine) FunctionalModel() *fm.Model {
+	if e.multi != nil {
+		return e.multi.Cores()[0].FM
+	}
 	if e.parallel {
 		return e.par.FM
 	}
 	return e.serial.FM
 }
+
+// Multicore exposes the N-core simulator when the engine was configured
+// with Cores > 1 (nil otherwise) — per-core results and the directory live
+// there.
+func (e *fastEngine) Multicore() *core.Multicore { return e.multi }
 
 func (e *fastEngine) Boot() *workload.Boot { return e.boot }
 
@@ -186,6 +235,17 @@ func fromCore(engine string, p Params, r core.Result) Result {
 	}
 }
 
+// fromMulticore lifts a core.MulticoreResult into the canonical shape: the
+// aggregate counters plus the multicore-only summary fields.
+func fromMulticore(p Params, mr core.MulticoreResult) Result {
+	r := fromCore("fast", p, mr.Aggregate)
+	r.Cores = len(mr.PerCore)
+	r.CoherenceTransfers = mr.Coherence.Transfers
+	r.CoherenceInvalidations = mr.Coherence.Invalidations
+	r.CoherenceHops = mr.Coherence.Hops
+	return r
+}
+
 // fromBaseline lifts a baseline.Result into the canonical shape.
 func fromBaseline(engine string, p Params, r baseline.Result) Result {
 	return Result{
@@ -202,6 +262,15 @@ func fromBaseline(engine string, p Params, r baseline.Result) Result {
 		Mispredicts:  r.TM.Mispredicts,
 		TM:           r.TM,
 	}
+}
+
+// rejectMulticore is the shared guard for the baseline engines: none of the
+// comparison simulators models a multicore target.
+func rejectMulticore(name string, p Params) error {
+	if p.Cores > 1 {
+		return fmt.Errorf("sim: engine %s runs single-core targets only (got %d cores); use the fast engine", name, p.Cores)
+	}
+	return nil
 }
 
 func workloadName(p Params) string {
@@ -228,6 +297,9 @@ func (e *monoEngine) Describe() string { return e.desc }
 
 func (e *monoEngine) Configure(p Params) error {
 	if err := p.validate(); err != nil {
+		return err
+	}
+	if err := rejectMulticore(e.name, p); err != nil {
 		return err
 	}
 	prog, boot, fmCfg, err := prepare(p)
@@ -269,6 +341,9 @@ func (e *lockstepEngine) Describe() string {
 
 func (e *lockstepEngine) Configure(p Params) error {
 	if err := p.validate(); err != nil {
+		return err
+	}
+	if err := rejectMulticore("lockstep", p); err != nil {
 		return err
 	}
 	prog, boot, fmCfg, err := prepare(p)
@@ -314,6 +389,9 @@ func (e *fsbEngine) Describe() string {
 
 func (e *fsbEngine) Configure(p Params) error {
 	if err := p.validate(); err != nil {
+		return err
+	}
+	if err := rejectMulticore("fsbcache", p); err != nil {
 		return err
 	}
 	prog, boot, fmCfg, err := prepare(p)

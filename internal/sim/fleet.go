@@ -106,6 +106,12 @@ func Merge(base, v Params) Params {
 	if v.MaxInstructions != 0 {
 		p.MaxInstructions = v.MaxInstructions
 	}
+	if v.Cores != 0 {
+		p.Cores = v.Cores
+	}
+	if v.InterconnectLatency != 0 {
+		p.InterconnectLatency = v.InterconnectLatency
+	}
 	if v.TraceChunk != 0 {
 		p.TraceChunk = v.TraceChunk
 	}

@@ -34,6 +34,8 @@ const (
 	keyDefaultPollBBs   = 2           // core.DefaultConfig().PollEveryBBs
 	keyDefaultRollback  = "journal"   // fm's default recovery engine
 	keyDefaultCkptEvery = 64          // fm.newCheckpointEngine
+	keyDefaultCores     = 1           // Params.Cores: 0 means single-core
+	keyDefaultHopLat    = 4           // cache.DefaultInterconnectLatency
 )
 
 // canonicalParams is the shape Key hashes: every Params field that can
@@ -64,12 +66,14 @@ type canonicalParams struct {
 	CheckpointEvery int    `json:"checkpoint_every"`
 	Uncompressed    bool   `json:"uncompressed"`
 	FutureMicroarch bool   `json:"future_microarch"`
+	Cores           int    `json:"cores"`
+	HopLatency      int    `json:"hop_latency"`
 }
 
 // canonical resolves p into the form Key hashes.
 func (p Params) canonical() canonicalParams {
 	c := canonicalParams{
-		Version:         1,
+		Version:         2, // v2: multicore fields (cores, hop_latency)
 		Workload:        p.Workload,
 		Predictor:       p.Predictor,
 		IssueWidth:      p.IssueWidth,
@@ -82,6 +86,8 @@ func (p Params) canonical() canonicalParams {
 		CheckpointEvery: p.CheckpointInterval,
 		Uncompressed:    p.UncompressedTrace,
 		FutureMicroarch: p.FutureMicroarch,
+		Cores:           p.Cores,
+		HopLatency:      p.InterconnectLatency,
 	}
 	if p.Program != nil {
 		// A raw image replaces the named workload entirely; only the parts
@@ -121,6 +127,17 @@ func (p Params) canonical() canonicalParams {
 		c.CheckpointEvery = 0
 	case c.CheckpointEvery == 0:
 		c.CheckpointEvery = keyDefaultCkptEvery
+	}
+	if c.Cores == 0 {
+		c.Cores = keyDefaultCores
+	}
+	switch {
+	case c.Cores == 1:
+		// A single-core target has no interconnect; the hop knob is dead
+		// state there and must not split keys.
+		c.HopLatency = 0
+	case c.HopLatency == 0:
+		c.HopLatency = keyDefaultHopLat
 	}
 	return c
 }

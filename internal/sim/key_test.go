@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/tm"
@@ -31,6 +32,8 @@ func TestParamsKeyDefaultsCollide(t *testing.T) {
 		"icache default":        {ICacheEntries: 4096},
 		"telemetry attached":    {Telemetry: nil},
 		"dead checkpoint knob":  {CheckpointInterval: 64}, // ignored under journal rollback
+		"explicit single core":  {Cores: 1},
+		"dead hop knob":         {InterconnectLatency: 7}, // ignored at one core
 		"fully spelled default": {Workload: "Linux-2.4", Predictor: "gshare", IssueWidth: 2, Link: "drc", PollEveryBBs: 2, TraceChunk: trace.DefaultChunk, Rollback: "journal", ICacheEntries: 4096},
 	}
 	for name, p := range equal {
@@ -44,6 +47,12 @@ func TestParamsKeyDefaultsCollide(t *testing.T) {
 	b := Params{Rollback: "checkpoint", CheckpointInterval: 64}.Key()
 	if a != b {
 		t.Errorf("checkpoint interval 0 and 64 should collide: %s vs %s", a, b)
+	}
+	// The hop-latency default folds once an interconnect exists.
+	a = Params{Cores: 2}.Key()
+	b = Params{Cores: 2, InterconnectLatency: 4}.Key()
+	if a != b {
+		t.Errorf("interconnect latency 0 and 4 should collide at 2 cores: %s vs %s", a, b)
 	}
 }
 
@@ -65,6 +74,8 @@ func TestParamsKeyKnobsSeparate(t *testing.T) {
 		"checkpoint interval": {Rollback: "checkpoint", CheckpointInterval: 128},
 		"uncompressed":        {UncompressedTrace: true},
 		"future microarch":    {FutureMicroarch: true},
+		"cores":               {Cores: 2},
+		"interconnect":        {Cores: 2, InterconnectLatency: 8},
 	}
 	seen := map[string]string{Params{}.Key(): "zero"}
 	for name, p := range variants {
@@ -130,6 +141,10 @@ func TestKeyDefaultConstantsPinned(t *testing.T) {
 	if named, err := (Params{Link: keyDefaultLink}).link(); err != nil || !reflect.DeepEqual(empty, named) {
 		t.Errorf("empty link should resolve to %q: %v", keyDefaultLink, err)
 	}
+	if cache.DefaultInterconnectLatency != keyDefaultHopLat {
+		t.Errorf("cache default hop latency %d, key folds %d",
+			cache.DefaultInterconnectLatency, keyDefaultHopLat)
+	}
 }
 
 // TestParamsCacheable: a Mutate hook makes params unaddressable; everything
@@ -148,19 +163,21 @@ func TestParamsCacheable(t *testing.T) {
 // serializes as the empty object (so overlays stay minimal on the wire).
 func TestParamsJSONRoundTrip(t *testing.T) {
 	p := Params{
-		Workload:           "164.gzip",
-		Predictor:          "2bit",
-		IssueWidth:         4,
-		Link:               "coherent",
-		PollEveryBBs:       PollOnResteer,
-		BPP:                true,
-		MaxInstructions:    123456,
-		TraceChunk:         32,
-		ICacheEntries:      512,
-		Rollback:           "checkpoint",
-		CheckpointInterval: 128,
-		UncompressedTrace:  true,
-		FutureMicroarch:    true,
+		Workload:            "164.gzip",
+		Predictor:           "2bit",
+		IssueWidth:          4,
+		Link:                "coherent",
+		PollEveryBBs:        PollOnResteer,
+		BPP:                 true,
+		MaxInstructions:     123456,
+		Cores:               4,
+		InterconnectLatency: 8,
+		TraceChunk:          32,
+		ICacheEntries:       512,
+		Rollback:            "checkpoint",
+		CheckpointInterval:  128,
+		UncompressedTrace:   true,
+		FutureMicroarch:     true,
 	}
 	raw, err := json.Marshal(p)
 	if err != nil {

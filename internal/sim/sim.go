@@ -68,6 +68,17 @@ type Params struct {
 	// completion).
 	MaxInstructions uint64 `json:"max_instructions,omitempty"`
 
+	// Cores is the number of coupled FM/TM pairs in the target. 0 or 1 is
+	// the single-core target (bit-identical to builds predating the knob);
+	// 2..64 instantiates N cores over shared memory and a modeled coherent
+	// interconnect. Only the serial FAST engine runs multicore targets.
+	Cores int `json:"cores,omitempty"`
+	// InterconnectLatency is the per-hop core↔L2 interconnect delay of the
+	// multicore target, in target cycles; 0 = the default
+	// (cache.DefaultInterconnectLatency). Meaningless — and ignored — at
+	// Cores <= 1, where no interconnect exists.
+	InterconnectLatency int `json:"interconnect_latency,omitempty"`
+
 	// TraceChunk is the FM→TM trace-buffer publish granularity in entries:
 	// the FM accumulates a chunk locally and publishes it (one buffer
 	// synchronization, one modeled link transfer) when it fills. 0 = the
@@ -136,6 +147,12 @@ func (p Params) validate() error {
 	}
 	if p.ICacheEntries < 0 {
 		return fmt.Errorf("sim: negative icache entries %d", p.ICacheEntries)
+	}
+	if p.Cores < 0 || p.Cores > 64 {
+		return fmt.Errorf("sim: cores %d out of range (want 0..64)", p.Cores)
+	}
+	if p.InterconnectLatency < 0 {
+		return fmt.Errorf("sim: negative interconnect latency %d", p.InterconnectLatency)
 	}
 	return nil
 }
@@ -234,6 +251,14 @@ type Result struct {
 	LinkStats      hostlink.Stats `json:"link"`
 	TM             tm.Stats       `json:"tm"`
 	TBMaxOccupancy int            `json:"tb_max_occupancy"`
+
+	// Multicore target summary. All zero (and absent from the JSON) on
+	// single-core runs, so single-core output is byte-identical to builds
+	// predating the knob. Scalars only: Result must stay a pure value type.
+	Cores                  int    `json:"cores,omitempty"`
+	CoherenceTransfers     uint64 `json:"coherence_transfers,omitempty"`
+	CoherenceInvalidations uint64 `json:"coherence_invalidations,omitempty"`
+	CoherenceHops          uint64 `json:"coherence_hops,omitempty"`
 }
 
 func (r Result) String() string {

@@ -165,6 +165,66 @@ func TestEngineTwoPhase(t *testing.T) {
 	}
 }
 
+// TestFastEngineMulticore drives the N-core target through the registry:
+// Cores > 1 on the fast engine instantiates the multicore scheduler, the
+// smp-lock workload completes its critical sections, the Result carries the
+// multicore summary fields, and a repeat run is bit-identical.
+func TestFastEngineMulticore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coupled runs")
+	}
+	p := Params{Workload: "smp-lock", Cores: 2, MaxInstructions: 300_000}
+	run := func() (Result, Engine) {
+		eng, err := New("fast", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, eng
+	}
+	r, eng := run()
+	if r.Cores != 2 {
+		t.Errorf("Result.Cores = %d, want 2", r.Cores)
+	}
+	if r.CoherenceInvalidations == 0 || r.CoherenceHops == 0 {
+		t.Errorf("write-shared workload produced no coherence activity: %+v", r)
+	}
+	if r.Instructions == 0 || r.TargetCycles == 0 {
+		t.Errorf("zero architectural counters: %+v", r)
+	}
+	// The lock test prints 'K' on success, 'X' on a lost update.
+	boot := eng.(Booted).Boot()
+	if out := string(boot.Console.Output()); !strings.Contains(out, "K") || strings.Contains(out, "X") {
+		t.Errorf("smp-lock console = %q, want 'K' and no 'X'", out)
+	}
+	if c, ok := eng.(Coupled); !ok || c.TimingModel() == nil || c.FunctionalModel() == nil {
+		t.Error("multicore engine should expose core 0's TM/FM")
+	}
+	if again, _ := run(); again != r {
+		t.Errorf("repeat multicore run differs:\n  %+v\n  %+v", r, again)
+	}
+
+	// Cores: 1 is the plain single-core serial engine — identical to
+	// leaving the knob unset.
+	one, err := Run("fast", Params{Workload: "164.gzip", MaxInstructions: 5000, Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Run("fast", Params{Workload: "164.gzip", MaxInstructions: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != zero {
+		t.Errorf("-cores 1 differs from the unset knob:\n  %+v\n  %+v", one, zero)
+	}
+	if one.Cores != 0 {
+		t.Errorf("single-core Result.Cores = %d, want 0 (field absent from JSON)", one.Cores)
+	}
+}
+
 // TestPollPolicyMapping checks the PollEveryBBs tri-state: default,
 // explicit N, and poll-on-resteer produce strictly decreasing link reads.
 func TestPollPolicyMapping(t *testing.T) {

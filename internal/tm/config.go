@@ -59,6 +59,14 @@ type Config struct {
 	// branch *resolves*, instead of the prototype's flush-through-ROB
 	// (fetch gated on the branch's commit).
 	FastRecovery bool
+
+	// Shared, when non-nil, is the shared L2 + directory of a multicore
+	// target: the private L1s forward their misses through this core's
+	// interconnect port instead of a private L2, and the L2/MemLatency
+	// fields above are ignored (the shared hierarchy owns them). CoreID
+	// selects the port.
+	Shared *cache.Coherent
+	CoreID int
 }
 
 // DefaultConfig is the prototype's target (Figure 3 with default delays).

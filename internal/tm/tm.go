@@ -2,6 +2,7 @@ package tm
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -211,15 +212,26 @@ func New(cfg Config, src Source, ctl Control) (*TM, error) {
 	if ctl == nil {
 		ctl = NopControl{}
 	}
-	mem := cache.NewFixedMemory(cfg.MemLatency)
-	l2 := cache.New(cfg.L2, mem)
+	var (
+		mem  *cache.FixedMemory
+		l2   *cache.Cache
+		next cache.Level
+	)
+	if cfg.Shared != nil {
+		mem, l2 = cfg.Shared.Memory(), cfg.Shared.L2()
+		next = cfg.Shared.Port(cfg.CoreID)
+	} else {
+		mem = cache.NewFixedMemory(cfg.MemLatency)
+		l2 = cache.New(cfg.L2, mem)
+		next = l2
+	}
 	t := &TM{
 		cfg:       cfg,
 		src:       src,
 		ctl:       ctl,
 		BP:        bp,
-		IL1:       cache.New(cfg.L1I, l2),
-		DL1:       cache.New(cfg.L1D, l2),
+		IL1:       cache.New(cfg.L1I, next),
+		DL1:       cache.New(cfg.L1D, next),
 		L2:        l2,
 		Memory:    mem,
 		ITLB:      cache.NewTLBTiming(cfg.ITLBEntries),
@@ -239,6 +251,11 @@ func New(cfg Config, src Source, ctl Control) (*TM, error) {
 			MinLatency:       uint64((cfg.FrontEndDepth + 1) / 2),
 			MaxTransactions:  4 * cfg.IssueWidth,
 		}),
+	}
+	if cfg.Shared != nil {
+		// Register the private caches with the directory so remote write
+		// transitions back-invalidate this core's copies.
+		cfg.Shared.AttachL1(cfg.CoreID, t.IL1, t.DL1)
 	}
 	if cs, ok := src.(ChunkSource); ok {
 		t.chunkSrc = cs
@@ -509,7 +526,13 @@ func (t *TM) memLatency(u *uop) uint64 {
 		if !e.Kernel && !t.DTLB.Access(e.MemVA>>fullsys.PageShift) {
 			lat += uint64(t.cfg.TLBMissPenalty)
 		}
-		lat += uint64(t.DL1.Access(e.MemPA, u.kind == microcode.UStore))
+		store := u.kind == microcode.UStore
+		lat += uint64(t.DL1.Access(e.MemPA, store))
+		if store && t.cfg.Shared != nil {
+			// Stores consult the directory even on an L1 write hit: the
+			// ownership upgrade a private write-back cache would hide.
+			lat += uint64(t.cfg.Shared.Upgrade(t.cfg.CoreID, e.MemPA))
+		}
 	} else if u.kind == microcode.UStore {
 		lat += uint64(t.cfg.StoreLatency)
 	}
@@ -769,36 +792,44 @@ func (t *TM) PublishTelemetry(tel *obs.Telemetry) {
 	if tel == nil {
 		return
 	}
+	// In a multicore target every series carries the core identity; a
+	// single-core run keeps the unlabeled names so existing dashboards and
+	// goldens are untouched.
+	series := func(name string) string { return name }
+	if t.cfg.Shared != nil {
+		id := strconv.Itoa(t.cfg.CoreID)
+		series = func(name string) string { return obs.AddLabel(name, "core", id) }
+	}
 	s := t.Stats
-	tel.Counter("tm_cycles_total").Add(s.Cycles)
-	tel.Counter("tm_instructions_total").Add(s.Instructions)
-	tel.Counter("tm_uops_total").Add(s.UOps)
-	tel.Counter("tm_basic_blocks_total").Add(s.BasicBlocks)
-	tel.Counter("tm_exceptions_total").Add(s.Exceptions)
-	tel.Counter("tm_serializes_total").Add(s.Serializes)
+	tel.Counter(series("tm_cycles_total")).Add(s.Cycles)
+	tel.Counter(series("tm_instructions_total")).Add(s.Instructions)
+	tel.Counter(series("tm_uops_total")).Add(s.UOps)
+	tel.Counter(series("tm_basic_blocks_total")).Add(s.BasicBlocks)
+	tel.Counter(series("tm_exceptions_total")).Add(s.Exceptions)
+	tel.Counter(series("tm_serializes_total")).Add(s.Serializes)
 
 	// Front-end stall cycles by reason (cycles lost) and back-pressure
 	// stall events by structure (dispatch attempts refused).
-	tel.Counter(obs.L("tm_stall_cycles_total", "reason", "recovery_drain")).Add(s.DrainCycles)
-	tel.Counter(obs.L("tm_stall_cycles_total", "reason", "fetch_bubble")).Add(s.FetchBubbles)
-	tel.Counter(obs.L("tm_stall_cycles_total", "reason", "icache_miss")).Add(s.ICacheStalls)
-	tel.Counter(obs.L("tm_stalls_total", "structure", "rob_full")).Add(s.ROBFullStalls)
-	tel.Counter(obs.L("tm_stalls_total", "structure", "rs_full")).Add(s.RSFullStalls)
-	tel.Counter(obs.L("tm_stalls_total", "structure", "lsq_full")).Add(s.LSQFullStalls)
+	tel.Counter(series(obs.L("tm_stall_cycles_total", "reason", "recovery_drain"))).Add(s.DrainCycles)
+	tel.Counter(series(obs.L("tm_stall_cycles_total", "reason", "fetch_bubble"))).Add(s.FetchBubbles)
+	tel.Counter(series(obs.L("tm_stall_cycles_total", "reason", "icache_miss"))).Add(s.ICacheStalls)
+	tel.Counter(series(obs.L("tm_stalls_total", "structure", "rob_full"))).Add(s.ROBFullStalls)
+	tel.Counter(series(obs.L("tm_stalls_total", "structure", "rs_full"))).Add(s.RSFullStalls)
+	tel.Counter(series(obs.L("tm_stalls_total", "structure", "lsq_full"))).Add(s.LSQFullStalls)
 
 	// Per-class issue counts — §3's "active functional units" query.
 	for c := isa.Class(0); c < isa.NumClasses; c++ {
 		if n := s.IssuedByClass[c]; n > 0 {
-			tel.Counter(obs.L("tm_issued_uops_total", "class", c.String())).Add(n)
+			tel.Counter(series(obs.L("tm_issued_uops_total", "class", c.String()))).Add(n)
 		}
 	}
 
 	// Predictor outcomes (Figure 5's accuracy decomposed).
 	bp := t.BPStats
-	tel.Counter(obs.L("tm_bp_outcomes_total", "outcome", "correct")).Add(bp.Correct)
-	tel.Counter(obs.L("tm_bp_outcomes_total", "outcome", "direction_wrong")).Add(bp.DirWrong)
-	tel.Counter(obs.L("tm_bp_outcomes_total", "outcome", "target_wrong")).Add(bp.TargetWrong)
-	tel.Counter("tm_mispredicts_total").Add(s.Mispredicts)
+	tel.Counter(series(obs.L("tm_bp_outcomes_total", "outcome", "correct"))).Add(bp.Correct)
+	tel.Counter(series(obs.L("tm_bp_outcomes_total", "outcome", "direction_wrong"))).Add(bp.DirWrong)
+	tel.Counter(series(obs.L("tm_bp_outcomes_total", "outcome", "target_wrong"))).Add(bp.TargetWrong)
+	tel.Counter(series("tm_mispredicts_total")).Add(s.Mispredicts)
 }
 
 // ConnectorReport renders the §4 Connector statistics (throughput stalls,

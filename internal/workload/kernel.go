@@ -12,6 +12,7 @@ import (
 const (
 	kVarBase    = 0x100   // kernel variables
 	kCodeBase   = 0x200   // kernel code (must stay below kSecBuf)
+	kPCPU       = 0x3B800 // per-CPU trap spill areas (SMP; 32 bytes/core)
 	kSecBuf     = 0x3C000 // disk sector staging buffer
 	UserPA      = 0x40000 // user program physical base
 	UserVA      = 0x10000 // user program virtual base
@@ -47,6 +48,17 @@ type KernelConfig struct {
 	PayloadRunFraction int
 	// Banner is written to the console at boot.
 	Banner string
+
+	// Cores > 1 builds the SMP kernel: secondaries park in a release-flag
+	// spin at BIOS entry while core 0 boots, and the trap handlers spill
+	// their context to per-CPU areas. At Cores <= 1 the generated source
+	// is byte-identical to the single-core kernel.
+	Cores int
+	// SMPUser sends released secondaries into the user program (with r1 =
+	// CPUID and a per-CPU stack); when false they halt after release, an
+	// SMP boot with idle secondaries — the safe default for user programs
+	// that are not written for multiple cores.
+	SMPUser bool
 }
 
 // FastBoot is the minimal kernel configuration used when the workload of
@@ -74,10 +86,21 @@ func KernelSource(k KernelConfig) string {
 	p(".equ vSAVE3, %#x", kVarBase+0x18)
 	p(".equ SECBUF, %#x", kSecBuf)
 	p(".equ USERPA, %#x", UserPA)
+	if k.Cores > 1 {
+		p(".equ vRELEASE, %#x", kVarBase+0x1C)
+		p(".equ PCPU, %#x", kPCPU)
+	}
 	p(".org %#x", kCodeBase)
 
 	// ---- Phase 1: BIOS ----
 	p("bios:")
+	if k.Cores > 1 {
+		// SMP: every core enters here; secondaries park until core 0
+		// finishes the boot and raises the release flag.
+		p("	movrc r4, cr8     ; CPUID")
+		p("	cmpi r4, 0")
+		p("	jnz  mpwait")
+	}
 	p("	movi r1, 0x5A17")
 	for round := 0; round < max(1, k.DeviceProbes); round++ {
 		p("	in   r0, 0x01   ; PIC mask")
@@ -220,6 +243,13 @@ func KernelSource(k KernelConfig) string {
 	p("	movi r0, %#x", flags)
 	p("	movcr r0, cr6")
 	p("	movi sp, %#x", UserSP)
+	if k.Cores > 1 {
+		// Boot is done: release the parked secondaries. Plain store — the
+		// flag is write-once and the spinners only read it.
+		p("	movi r4, vRELEASE")
+		p("	movi r0, 1")
+		p("	stw  r0, [r4]")
+	}
 	// Zero the user-visible register file: no kernel state leaks into the
 	// process (r11/r12 are kernel scratch by ABI anyway).
 	for r := 0; r <= 10; r++ {
@@ -270,9 +300,19 @@ func KernelSource(k KernelConfig) string {
 
 	// Syscalls: r0 = number. The trap context (EPC/EFLAGS) is spilled to
 	// memory because sleep re-enables interrupts, which overwrites the
-	// context CRs.
+	// context CRs. On SMP the spill slot is per-CPU (PCPU + CPUID*32):
+	// two cores inside the handler at once must not share it.
+	pcpuSlot := func() {
+		p("	movrc r12, cr8")
+		p("	shli r12, 5")
+		p("	addi r12, PCPU")
+	}
 	p("syscallh:")
-	p("	movi r12, vEPC")
+	if k.Cores > 1 {
+		pcpuSlot()
+	} else {
+		p("	movi r12, vEPC")
+	}
 	p("	movrc r11, cr5")
 	p("	stw  r11, [r12]")
 	p("	movrc r11, cr6")
@@ -288,7 +328,11 @@ func KernelSource(k KernelConfig) string {
 	p("	cmpi r0, 5")
 	p("	jz   systime")
 	p("sysret:")
-	p("	movi r12, vEPC")
+	if k.Cores > 1 {
+		pcpuSlot()
+	} else {
+		p("	movi r12, vEPC")
+	}
 	p("	ldw  r11, [r12]")
 	p("	movcr r11, cr5")
 	p("	ldw  r11, [r12+4]")
@@ -328,6 +372,41 @@ func KernelSource(k KernelConfig) string {
 	p("	out  r0, 0x10")
 	p("	cli")
 	p("	halt")
+
+	if k.Cores > 1 {
+		// Secondary cores: spin on the release flag, then either drop into
+		// the user program (SMPUser) or halt as idle SMP siblings.
+		p("mpwait:")
+		p("	movi r5, vRELEASE")
+		p("mpspin:")
+		p("	pause")
+		p("	ldw  r4, [r5]")
+		p("	cmpi r4, 0")
+		p("	jz   mpspin")
+		if k.SMPUser {
+			p("	movi r0, 1")
+			p("	movcr r0, cr1     ; enable user paging")
+			p("	movi r0, %#x", UserVA)
+			p("	movcr r0, cr5")
+			p("	movi r0, %#x", flags)
+			p("	movcr r0, cr6")
+			// Per-CPU user stack, 4 KiB strides below the primary's.
+			p("	movrc r4, cr8")
+			p("	shli r4, 12")
+			p("	movi sp, %#x", UserSP)
+			p("	sub  sp, r4")
+			for r := 0; r <= 10; r++ {
+				p("	movi r%d, 0", r)
+			}
+			p("	movi r15, 0")
+			p("	movi lr, 0")
+			p("	movrc r1, cr8     ; user ABI: r1 = CPUID")
+			p("	iret              ; enter user program")
+		} else {
+			p("	cli")
+			p("	halt              ; idle secondary")
+		}
+	}
 
 	if k.Banner != "" {
 		p("banner:")

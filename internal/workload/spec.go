@@ -98,10 +98,33 @@ func WindowsXP() Spec {
 	}
 }
 
-// ByName finds a spec (including WindowsXP) by name.
+// SMPName is the multicore workload's name. It is not part of All():
+// Table 1 and the single-core figures predate it.
+const SMPName = "smp-lock"
+
+// SMP builds the multicore workload for a core count: a fast boot into N
+// user contexts contending on an ll/sc spinlock (see SMPProgram). The core
+// count is baked into the user program (the completion barrier and the
+// final reduction check need it), so callers must rebuild the spec when it
+// changes rather than patch the kernel config.
+func SMP(cores int) Spec {
+	k := FastBoot()
+	k.Cores = cores
+	k.SMPUser = true
+	return Spec{
+		Name:    SMPName,
+		Kernel:  k,
+		UserAsm: func() string { return SMPProgram(2000, cores) },
+	}
+}
+
+// ByName finds a spec (including WindowsXP and smp-lock) by name.
 func ByName(name string) (Spec, bool) {
 	if name == "WindowsXP" {
 		return WindowsXP(), true
+	}
+	if name == SMPName {
+		return SMP(1), true
 	}
 	for _, s := range All() {
 		if s.Name == name {
