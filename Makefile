@@ -1,12 +1,14 @@
 # Developer entry points. `make check` is the tier-1 gate: formatting,
 # vet, build, full test suite. `make race` exercises the concurrent paths
-# (the goroutine-parallel coupling, the sim.Fleet sweep runner and the
-# fastd job service) under the race detector. `make serve` boots the job
-# server; `make smoke` drives a built fastd end to end over HTTP.
+# (the goroutine-parallel coupling, the sim.Fleet sweep runner, the fastd
+# job service and the cluster coordinator) under the race detector.
+# `make serve` boots the job server; `make smoke` drives a built fastd end
+# to end over HTTP via fastctl; `make smoke-cluster` drives a 2-worker +
+# coordinator cluster with a shared disk store.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-gate serve smoke
+.PHONY: check fmt vet build test race bench bench-json bench-gate serve smoke smoke-cluster
 
 check: fmt vet build test
 
@@ -28,17 +30,25 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./internal/obs/... ./internal/core/... \
 		./internal/sim/... ./internal/trace/... ./internal/fm ./internal/tm \
-		./internal/service/... ./internal/cache ./internal/workload
+		./internal/service/... ./internal/cluster ./internal/cache \
+		./internal/workload
 
 # Run the simulation-as-a-service daemon locally (ctrl-C drains gracefully).
 serve:
 	$(GO) run ./cmd/fastd
 
-# End-to-end service smoke: boot fastd, submit the same Figure-4 point
-# twice, assert the second submission is a byte-identical cache hit, and
-# check the SIGTERM drain path.
+# End-to-end service smoke (via fastctl): boot fastd, submit the same
+# Figure-4 point twice, assert the second submission is a byte-identical
+# cache hit, check typed error envelopes, listing and the SIGTERM drain.
 smoke:
 	./scripts/service_smoke.sh
+
+# End-to-end cluster smoke: 2 workers sharing a disk store behind a
+# coordinator; asserts sharded sweep aggregation is byte-identical to a
+# single node and that a full worker restart serves the repeat sweep from
+# disk with zero engine runs.
+smoke-cluster:
+	./scripts/cluster_smoke.sh
 
 # The same harness the paper tables come from: one pass over every
 # table/figure benchmark.

@@ -1,0 +1,357 @@
+// fastctl is the operator CLI of the fastd /v1 API, built on
+// internal/service/client — the same typed client the cluster coordinator
+// uses for node RPCs, so everything fastctl can do is exactly what the
+// coordinator and any Go program can do.
+//
+// Usage:
+//
+//	fastctl [-addr http://127.0.0.1:8080] [-timeout 5m] <command> [flags]
+//
+//	submit       -engine fast [-params '{"workload":"164.gzip"}'] [-timeout-ms N] [-wait] [-id-only]
+//	job          <id>
+//	result       <id> [-wait]
+//	cancel       <id>
+//	sweep        -spec '<json>'|@file|@- [-timeout-ms N] [-wait] [-id-only]
+//	sweep-status <id>
+//	sweep-result <id> [-wait] [-results-only]
+//	jobs         [-status S] [-limit N] [-after ID]
+//	sweeps       [-status S] [-limit N] [-after ID]
+//	engines
+//	health
+//	metrics
+//	cluster
+//
+// All output is JSON on stdout (result and sweep-result print the
+// server's exact canonical bytes, suitable for byte-identical diffing);
+// errors print the service's error envelope on stderr and exit 1.
+// -addr defaults to $FASTD_ADDR when set.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", defaultAddr(), "fastd node or coordinator base URL (env FASTD_ADDR)")
+		timeout = flag.Duration("timeout", 5*time.Minute, "overall deadline for this invocation, waits included")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cli := client.New(*addr)
+	if err := run(ctx, cli, flag.Arg(0), flag.Args()[1:]); err != nil {
+		var ae *client.APIError
+		if errors.As(err, &ae) {
+			json.NewEncoder(os.Stderr).Encode(map[string]any{
+				"code": ae.Code, "message": ae.Message, "http_status": ae.Status,
+			})
+		} else {
+			fmt.Fprintf(os.Stderr, "fastctl: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func defaultAddr() string {
+	if a := os.Getenv("FASTD_ADDR"); a != "" {
+		return a
+	}
+	return "http://127.0.0.1:8080"
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: fastctl [-addr URL] [-timeout D] <command> [flags]
+
+commands:
+  submit        submit one job        (-engine, -params, -timeout-ms, -wait, -id-only)
+  job <id>      job status view
+  result <id>   canonical result JSON (-wait blocks until terminal)
+  cancel <id>   cancel a queued or running job
+  sweep         submit a sweep spec   (-spec JSON|@file|@-, -timeout-ms, -wait, -id-only)
+  sweep-status <id>
+  sweep-result <id>                   (-wait, -results-only)
+  jobs          list jobs, newest first   (-status, -limit, -after)
+  sweeps        list sweeps, newest first (-status, -limit, -after)
+  engines       engine registry
+  health        node liveness + queue depth
+  metrics       Prometheus dump
+  cluster       coordinator topology (coordinator nodes only)
+`)
+}
+
+// print emits v as one JSON object on stdout.
+func print(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	return enc.Encode(v)
+}
+
+// printRaw emits exact server bytes plus the newline framing the server
+// itself uses, preserving byte-identical replay through the CLI.
+func printRaw(raw []byte) error {
+	_, err := os.Stdout.Write(append(raw, '\n'))
+	return err
+}
+
+func run(ctx context.Context, cli *client.Client, cmd string, args []string) error {
+	switch cmd {
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		engine := fs.String("engine", "fast", "engine registry name")
+		params := fs.String("params", "{}", "sim.Params JSON overlay")
+		timeoutMS := fs.Int64("timeout-ms", 0, "per-job deadline (0 = server default)")
+		wait := fs.Bool("wait", false, "block until the result is ready and print it")
+		idOnly := fs.Bool("id-only", false, "print only the job id")
+		fs.Parse(args)
+		v, err := cli.SubmitJob(ctx, *engine, json.RawMessage(*params), time.Duration(*timeoutMS)*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		if *wait {
+			raw, err := cli.WaitResult(ctx, v.ID)
+			if err != nil {
+				return err
+			}
+			return printRaw(raw)
+		}
+		if *idOnly {
+			fmt.Println(v.ID)
+			return nil
+		}
+		return print(v)
+
+	case "job":
+		id, err := oneArg("job", args)
+		if err != nil {
+			return err
+		}
+		v, err := cli.Job(ctx, id)
+		if err != nil {
+			return err
+		}
+		return print(v)
+
+	case "result":
+		fs := flag.NewFlagSet("result", flag.ExitOnError)
+		wait := fs.Bool("wait", false, "block until the job is terminal")
+		id, err := idThenFlags(fs, "result", args)
+		if err != nil {
+			return err
+		}
+		if *wait {
+			raw, err := cli.WaitResult(ctx, id)
+			if err != nil {
+				return err
+			}
+			return printRaw(raw)
+		}
+		raw, ok, err := cli.JobResult(ctx, id)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("job %s still pending (use -wait)", id)
+		}
+		return printRaw(raw)
+
+	case "cancel":
+		id, err := oneArg("cancel", args)
+		if err != nil {
+			return err
+		}
+		v, err := cli.Cancel(ctx, id)
+		if err != nil {
+			return err
+		}
+		return print(v)
+
+	case "sweep":
+		fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+		spec := fs.String("spec", "", "sweep spec JSON, @file, or @- for stdin")
+		timeoutMS := fs.Int64("timeout-ms", 0, "per-child deadline (0 = server default)")
+		wait := fs.Bool("wait", false, "block until every child is terminal and print the aggregation")
+		idOnly := fs.Bool("id-only", false, "print only the sweep id")
+		fs.Parse(args)
+		raw, err := loadSpec(*spec)
+		if err != nil {
+			return err
+		}
+		v, err := cli.SubmitSweepRaw(ctx, raw, time.Duration(*timeoutMS)*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		if *wait {
+			_, agg, err := cli.WaitSweepResult(ctx, v.ID)
+			if err != nil {
+				return err
+			}
+			return printRaw(agg)
+		}
+		if *idOnly {
+			fmt.Println(v.ID)
+			return nil
+		}
+		return print(v)
+
+	case "sweep-status":
+		id, err := oneArg("sweep-status", args)
+		if err != nil {
+			return err
+		}
+		v, err := cli.Sweep(ctx, id)
+		if err != nil {
+			return err
+		}
+		return print(v)
+
+	case "sweep-result":
+		fs := flag.NewFlagSet("sweep-result", flag.ExitOnError)
+		wait := fs.Bool("wait", false, "block until every child is terminal")
+		resultsOnly := fs.Bool("results-only", false, "print each child's result bytes, one per line (failed children print their error)")
+		id, err := idThenFlags(fs, "sweep-result", args)
+		if err != nil {
+			return err
+		}
+		var agg json.RawMessage
+		var decoded service.SweepResults
+		if *wait {
+			out, raw, err := cli.WaitSweepResult(ctx, id)
+			if err != nil {
+				return err
+			}
+			agg, decoded = raw, out
+		} else {
+			out, raw, ok, err := cli.SweepResult(ctx, id)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("sweep %s still running (use -wait)", id)
+			}
+			agg, decoded = raw, out
+		}
+		if *resultsOnly {
+			// One line per spec-order child: the exact result bytes, or an
+			// error object for failed children. Ids and cache flags are
+			// excluded, so the output is stable across cache state and
+			// across single-node vs coordinator runs.
+			for _, cr := range decoded.Results {
+				if cr.Error != "" {
+					if err := print(map[string]string{"error": cr.Error}); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := printRaw(cr.Result); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return printRaw(agg)
+
+	case "jobs", "sweeps":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		status := fs.String("status", "", "filter to one state")
+		limit := fs.Int("limit", 0, "page size (0 = server default)")
+		after := fs.String("after", "", "cursor: entries strictly older than this id")
+		fs.Parse(args)
+		if cmd == "jobs" {
+			v, err := cli.ListJobs(ctx, *status, *limit, *after)
+			if err != nil {
+				return err
+			}
+			return print(v)
+		}
+		v, err := cli.ListSweeps(ctx, *status, *limit, *after)
+		if err != nil {
+			return err
+		}
+		return print(v)
+
+	case "engines":
+		v, err := cli.Engines(ctx)
+		if err != nil {
+			return err
+		}
+		return print(v)
+
+	case "health":
+		v, err := cli.Health(ctx)
+		if err != nil {
+			return err
+		}
+		return print(v)
+
+	case "metrics":
+		raw, err := cli.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		_, werr := os.Stdout.Write(raw)
+		return werr
+
+	case "cluster":
+		raw, err := cli.ClusterView(ctx)
+		if err != nil {
+			return err
+		}
+		return printRaw(raw)
+
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// oneArg expects exactly one positional argument (an id).
+func oneArg(cmd string, args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: fastctl %s <id>", cmd)
+	}
+	return args[0], nil
+}
+
+// idThenFlags parses "<id> [flags]" (flags may also precede the id).
+func idThenFlags(fs *flag.FlagSet, cmd string, args []string) (string, error) {
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		fs.Parse(args[1:])
+		return args[0], nil
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("usage: fastctl %s <id> [flags]", cmd)
+	}
+	return fs.Arg(0), nil
+}
+
+// loadSpec resolves -spec: inline JSON, @file, or @- for stdin.
+func loadSpec(spec string) (json.RawMessage, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("sweep: -spec is required")
+	}
+	if spec[0] != '@' {
+		return json.RawMessage(spec), nil
+	}
+	if spec == "@-" {
+		raw, err := io.ReadAll(os.Stdin)
+		return json.RawMessage(raw), err
+	}
+	raw, err := os.ReadFile(spec[1:])
+	return json.RawMessage(raw), err
+}

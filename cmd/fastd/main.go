@@ -1,15 +1,20 @@
 // fastd is the simulation-as-a-service daemon: an HTTP job server over the
 // internal/sim engine registry with a bounded queue, a worker pool and a
-// content-addressed result cache (see internal/service for the API).
+// content-addressed result cache (see internal/service for the API), which
+// can persist across restarts (-cache-dir) and scale out into a sharded
+// cluster (-coordinator, see internal/cluster).
 //
-// Usage:
+// Worker / single-node mode:
 //
-//	fastd -addr :8080 -workers 4 -queue 64 -cache 256 -timeout 10m
+//	fastd -addr :8080 -workers 4 -queue 64 -cache 256 -timeout 10m \
+//	      -cache-dir /var/lib/fastd/cache -cache-bytes 1073741824
 //
-//	# submit a job, read its result, watch the cache work
-//	curl -s localhost:8080/v1/jobs -d '{"engine":"fast","params":{"workload":"164.gzip","max_instructions":50000}}'
-//	curl -s localhost:8080/v1/jobs/job-000001/result
-//	curl -s localhost:8080/metrics | grep service_
+//	fastctl submit -engine fast -params '{"workload":"164.gzip"}' -wait
+//
+// Coordinator mode (shards the same /v1 API across worker nodes by
+// result-cache key; no local simulation):
+//
+//	fastd -coordinator -addr :9090 -nodes http://h1:8080,http://h2:8080
 //
 // SIGINT/SIGTERM drains gracefully: the listener stops accepting, queued
 // and in-flight jobs finish (bounded by -drain), and the final metrics
@@ -23,11 +28,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/service/diskcache"
 )
 
 func main() {
@@ -39,19 +47,41 @@ func main() {
 		timeout = flag.Duration("timeout", 10*time.Minute, "default per-job deadline (overridable per request via timeout_ms)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before in-flight jobs are cancelled")
 		dump    = flag.String("metrics-dump", "", "write the final Prometheus metrics dump to this file on exit (\"-\" = stderr)")
+
+		cacheDir   = flag.String("cache-dir", "", "disk-backed result store directory (empty = memory only); survives restarts, shareable between nodes")
+		cacheBytes = flag.Int64("cache-bytes", 0, "disk store size budget in bytes (0 = unbounded), LRU-evicted")
+
+		coordinator   = flag.Bool("coordinator", false, "run as a cluster coordinator instead of a worker (requires -nodes)")
+		nodes         = flag.String("nodes", "", "comma-separated worker base URLs (coordinator mode)")
+		probeInterval = flag.Duration("probe-interval", time.Second, "coordinator health-probe interval")
+		stealAfter    = flag.Duration("steal-after", 3*time.Second, "coordinator: steal sweep children still queued after this long")
 	)
 	flag.Parse()
 	log.SetPrefix("fastd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	tel := obs.New()
-	srv := service.New(service.Config{
+	if *coordinator {
+		runCoordinator(tel, *addr, *nodes, *probeInterval, *stealAfter, *drain, *dump)
+		return
+	}
+
+	cfg := service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
 		Telemetry:      tel,
-	})
+	}
+	if *cacheDir != "" {
+		store, err := diskcache.New(*cacheDir, *cacheBytes, tel)
+		if err != nil {
+			log.Fatalf("open disk cache %s: %v", *cacheDir, err)
+		}
+		cfg.Store = store
+		log.Printf("disk cache at %s (%d blobs, %d bytes resident)", *cacheDir, store.Len(), store.Bytes())
+	}
+	srv := service.New(cfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -85,6 +115,57 @@ func main() {
 		log.Printf("drained cleanly")
 	}
 	if err := flushMetrics(tel, *dump); err != nil {
+		log.Printf("metrics dump: %v", err)
+	}
+}
+
+// runCoordinator is the -coordinator main: same signal handling, but the
+// work being drained lives on the nodes — shutdown here only stops the
+// listener and the prober.
+func runCoordinator(tel *obs.Telemetry, addr, nodes string, probeInterval, stealAfter, drain time.Duration, dump string) {
+	var nodeList []string
+	for _, n := range strings.Split(nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodeList = append(nodeList, n)
+		}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Nodes:         nodeList,
+		ProbeInterval: probeInterval,
+		StealAfter:    stealAfter,
+		Telemetry:     tel,
+	})
+	if err != nil {
+		log.Fatalf("coordinator: %v", err)
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("coordinating %d nodes on %s (probe=%s steal-after=%s): %s",
+		len(nodeList), addr, probeInterval, stealAfter, strings.Join(nodeList, ", "))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	coord.Close()
+	if err := flushMetrics(tel, dump); err != nil {
 		log.Printf("metrics dump: %v", err)
 	}
 }

@@ -2,13 +2,30 @@ package service
 
 import (
 	"container/list"
+	"encoding/json"
 	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
-// resultCache is the content-addressed LRU of completed runs. Keys are
+// Store is the persistence interface behind the in-memory result LRU: a
+// content-addressed blob store of canonical result JSON. Puts are
+// write-through and best-effort (the authoritative copy is the completed
+// run in memory; a store that drops a blob only costs a future re-run);
+// Gets back memory misses and their hits are promoted into the LRU.
+//
+// Implementations must be safe for concurrent use and must return the
+// exact bytes previously Put for the key — the byte-identical-replay
+// contract of the cache rides on it. internal/service/diskcache is the
+// disk implementation; a shared directory makes it a cluster-wide store.
+type Store interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, raw []byte)
+}
+
+// resultCache is the content-addressed cache of completed runs: a memory
+// LRU over an optional persistent Store. Keys are
 // "<engine>\x00<Params.Key()>" (see jobKey): runs are deterministic, so a
 // key fully addresses both the sim.Result and its canonical JSON encoding,
 // and a hit is served without simulating.
@@ -20,12 +37,14 @@ import (
 type resultCache struct {
 	mu    sync.Mutex
 	max   int
+	store Store      // nil = memory only
 	ll    *list.List // front = most recently used
 	byKey map[string]*list.Element
 
-	hits    *obs.Counter
-	misses  *obs.Counter
-	entries *obs.Gauge
+	hits     *obs.Counter
+	diskHits *obs.Counter
+	misses   *obs.Counter
+	entries  *obs.Gauge
 }
 
 type cacheEntry struct {
@@ -34,44 +53,70 @@ type cacheEntry struct {
 	raw    []byte // canonical JSON of result; read-only after insertion
 }
 
-// newResultCache builds a cache holding up to max completed results
-// (max <= 0 disables caching: every get misses, every put is dropped).
-func newResultCache(max int, tel *obs.Telemetry) *resultCache {
+// newResultCache builds a cache holding up to max completed results in
+// memory (max <= 0 disables the memory tier) over an optional Store.
+func newResultCache(max int, store Store, tel *obs.Telemetry) *resultCache {
 	return &resultCache{
-		max:     max,
-		ll:      list.New(),
-		byKey:   map[string]*list.Element{},
-		hits:    tel.Counter("service_cache_hits_total"),
-		misses:  tel.Counter("service_cache_misses_total"),
-		entries: tel.Gauge("service_cache_entries"),
+		max:      max,
+		store:    store,
+		ll:       list.New(),
+		byKey:    map[string]*list.Element{},
+		hits:     tel.Counter("service_cache_hits_total"),
+		diskHits: tel.Counter("service_cache_store_hits_total"),
+		misses:   tel.Counter("service_cache_misses_total"),
+		entries:  tel.Gauge("service_cache_entries"),
 	}
 }
 
 // get returns an independent copy of the cached result and its canonical
-// JSON bytes, marking the entry most-recently-used.
+// JSON bytes, marking the entry most-recently-used. A memory miss falls
+// back to the Store; a store hit is decoded, promoted into the memory LRU
+// and counted as both a hit and a store hit.
 func (c *resultCache) get(key string) (sim.Result, []byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
-	if !ok {
-		c.misses.Inc()
-		return sim.Result{}, nil, false
+	if el, ok := c.byKey[key]; ok {
+		c.hits.Inc()
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		return e.result.Clone(), e.raw, true
 	}
-	c.hits.Inc()
-	c.ll.MoveToFront(el)
-	e := el.Value.(*cacheEntry)
-	return e.result.Clone(), e.raw, true
+	if c.store != nil {
+		if raw, ok := c.store.Get(key); ok {
+			var r sim.Result
+			if err := json.Unmarshal(raw, &r); err == nil {
+				c.hits.Inc()
+				c.diskHits.Inc()
+				c.insertLocked(key, r, raw)
+				return r.Clone(), raw, true
+			}
+			// A blob that no longer decodes is treated as absent; the run
+			// recomputes and the put overwrites it.
+		}
+	}
+	c.misses.Inc()
+	return sim.Result{}, nil, false
 }
 
 // put inserts (or refreshes) a completed result, evicting from the LRU tail
-// past capacity. Deterministic runs make refreshes idempotent: a racing
-// duplicate run computes the identical result, so last-writer-wins is safe.
+// past capacity, and writes through to the Store. Deterministic runs make
+// refreshes idempotent: a racing duplicate run computes the identical
+// result, so last-writer-wins is safe.
 func (c *resultCache) put(key string, r sim.Result, raw []byte) {
+	c.mu.Lock()
+	c.insertLocked(key, r, raw)
+	c.mu.Unlock()
+	if c.store != nil {
+		c.store.Put(key, raw)
+	}
+}
+
+// insertLocked is the memory-tier insert shared by put and store-hit
+// promotion. No-op when the memory tier is disabled.
+func (c *resultCache) insertLocked(key string, r sim.Result, raw []byte) {
 	if c.max <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).result = r.Clone()
@@ -87,7 +132,7 @@ func (c *resultCache) put(key string, r sim.Result, raw []byte) {
 	c.entries.Set(int64(c.ll.Len()))
 }
 
-// len reports the resident entry count.
+// len reports the memory-resident entry count.
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -27,7 +27,7 @@ func mustJSON(t *testing.T, r sim.Result) []byte {
 // (including use via get) is the one that falls off.
 func TestResultCacheLRU(t *testing.T) {
 	tel := obs.New()
-	c := newResultCache(2, tel)
+	c := newResultCache(2, nil, tel)
 	c.put("a", testResult(1), mustJSON(t, testResult(1)))
 	c.put("b", testResult(2), mustJSON(t, testResult(2)))
 	if _, _, ok := c.get("a"); !ok { // refresh a → b becomes LRU
@@ -55,7 +55,7 @@ func TestResultCacheLRU(t *testing.T) {
 // TestResultCacheDisabled: max <= 0 means every put drops and every get
 // misses — the service runs uncached but correct.
 func TestResultCacheDisabled(t *testing.T) {
-	c := newResultCache(0, obs.New())
+	c := newResultCache(0, nil, obs.New())
 	c.put("a", testResult(1), mustJSON(t, testResult(1)))
 	if _, _, ok := c.get("a"); ok {
 		t.Error("disabled cache returned a hit")
@@ -69,7 +69,7 @@ func TestResultCacheDisabled(t *testing.T) {
 // sweep capacity pre-check, not a read.
 func TestResultCacheContains(t *testing.T) {
 	tel := obs.New()
-	c := newResultCache(2, tel)
+	c := newResultCache(2, nil, tel)
 	c.put("a", testResult(1), mustJSON(t, testResult(1)))
 	c.put("b", testResult(2), mustJSON(t, testResult(2)))
 	if !c.contains("a") || c.contains("z") {
@@ -96,7 +96,7 @@ func TestResultCacheContains(t *testing.T) {
 // stay the canonical encoding throughout.
 func TestResultCacheConcurrentReaders(t *testing.T) {
 	tel := obs.New()
-	c := newResultCache(8, tel)
+	c := newResultCache(8, nil, tel)
 	want := testResult(42)
 	wantRaw := mustJSON(t, want)
 	c.put("k", want, wantRaw)

@@ -1,0 +1,226 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// stubServer answers each request with the next scripted (status, body)
+// pair, repeating the last one forever.
+type stubServer struct {
+	t       *testing.T
+	calls   atomic.Int64
+	replies []reply
+}
+
+type reply struct {
+	status int
+	body   string
+	header map[string]string
+}
+
+func (s *stubServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	i := int(s.calls.Add(1)) - 1
+	if i >= len(s.replies) {
+		i = len(s.replies) - 1
+	}
+	rp := s.replies[i]
+	for k, v := range rp.header {
+		w.Header().Set(k, v)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(rp.status)
+	w.Write([]byte(rp.body))
+}
+
+func newStub(t *testing.T, replies ...reply) (*stubServer, *Client) {
+	t.Helper()
+	s := &stubServer{t: t, replies: replies}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	c.RetryCap = 5 * time.Millisecond // keep backoff test-speed
+	c.Poll = time.Millisecond
+	return s, c
+}
+
+// TestAPIErrorDecoding: a non-2xx envelope becomes a typed *APIError with
+// the stable code, and ErrorCode extracts it.
+func TestAPIErrorDecoding(t *testing.T) {
+	_, c := newStub(t, reply{status: 404, body: `{"code":"not_found","message":"no job \"job-9\""}`})
+	c.RetryMax = 0
+	_, err := c.Job(context.Background(), "job-9")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.Status != 404 || ae.Code != service.CodeNotFound {
+		t.Fatalf("APIError = %+v", ae)
+	}
+	if ErrorCode(err) != service.CodeNotFound {
+		t.Fatalf("ErrorCode = %q", ErrorCode(err))
+	}
+	if ErrorCode(errors.New("plain")) != "" {
+		t.Fatal("ErrorCode on non-APIError should be empty")
+	}
+}
+
+// TestRetryBackpressure: 429 responses are retried up to RetryMax, honoring
+// retry_after_sec capped at RetryCap, then succeed.
+func TestRetryBackpressure(t *testing.T) {
+	full := reply{status: 429, body: `{"code":"queue_full","message":"full","retry_after_sec":1}`}
+	ok := reply{status: 202, body: `{"id":"job-000001","engine":"fast","status":"queued","submitted_at":"2026-01-01T00:00:00Z","started_at":"0001-01-01T00:00:00Z","finished_at":"0001-01-01T00:00:00Z"}`}
+	s, c := newStub(t, full, full, ok)
+	c.RetryMax = 4
+
+	start := time.Now()
+	v, err := c.SubmitJob(context.Background(), "fast", nil, 0)
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if v.ID != "job-000001" {
+		t.Fatalf("view = %+v", v)
+	}
+	if got := s.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 rejections + success)", got)
+	}
+	// Two backoffs, each capped at RetryCap=5ms despite the 1s hint.
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("backoff ignored RetryCap: took %s", el)
+	}
+}
+
+// TestRetryExhaustion: RetryMax bounds the attempts and the final error is
+// the server's envelope.
+func TestRetryExhaustion(t *testing.T) {
+	full := reply{status: 429, body: `{"code":"queue_full","message":"full","retry_after_sec":0}`}
+	s, c := newStub(t, full)
+	c.RetryMax = 2
+	c.RetryCap = time.Millisecond
+	_, err := c.SubmitJob(context.Background(), "fast", nil, 0)
+	if ErrorCode(err) != service.CodeQueueFull {
+		t.Fatalf("err = %v, want queue_full", err)
+	}
+	if got := s.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// TestNoRetryOn400: client errors are not retried.
+func TestNoRetryOn400(t *testing.T) {
+	s, c := newStub(t, reply{status: 400, body: `{"code":"bad_params","message":"nope"}`})
+	c.RetryMax = 4
+	_, err := c.SubmitJob(context.Background(), "fast", nil, 0)
+	if ErrorCode(err) != service.CodeBadParams {
+		t.Fatalf("err = %v", err)
+	}
+	if got := s.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on 400)", got)
+	}
+}
+
+// TestRetryAfterHeaderFallback: a 503 with only a Retry-After header (no
+// envelope field) still carries the hint.
+func TestRetryAfterHeaderFallback(t *testing.T) {
+	_, c := newStub(t, reply{
+		status: 503,
+		body:   `{"code":"draining","message":"server is draining"}`,
+		header: map[string]string{"Retry-After": "7"},
+	})
+	c.RetryMax = 0
+	_, jerr := c.Job(context.Background(), "job-1")
+	var ae *APIError
+	if !errors.As(jerr, &ae) {
+		t.Fatalf("err = %v", jerr)
+	}
+	if ae.RetryAfterSec != 7 {
+		t.Fatalf("RetryAfterSec = %d, want 7 (from header)", ae.RetryAfterSec)
+	}
+}
+
+// TestWaitResult: 202 polls until the 200 arrives; the newline framing is
+// trimmed so callers hold the canonical bytes.
+func TestWaitResult(t *testing.T) {
+	pending := reply{status: 202, body: `{"id":"job-000001","status":"running"}`}
+	done := reply{status: 200, body: `{"engine":"fast","ipc":0.5}` + "\n"}
+	s, c := newStub(t, pending, pending, done)
+	raw, err := c.WaitResult(context.Background(), "job-000001")
+	if err != nil {
+		t.Fatalf("WaitResult: %v", err)
+	}
+	if string(raw) != `{"engine":"fast","ipc":0.5}` {
+		t.Fatalf("raw = %q", raw)
+	}
+	if got := s.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestWaitResultConflict: a job that terminates failed/canceled surfaces
+// as the server's conflict error, not a hang.
+func TestWaitResultConflict(t *testing.T) {
+	_, c := newStub(t,
+		reply{status: 202, body: `{"id":"job-000001","status":"running"}`},
+		reply{status: 409, body: `{"code":"conflict","message":"job job-000001 failed: boom"}`},
+	)
+	_, err := c.WaitResult(context.Background(), "job-000001")
+	if ErrorCode(err) != service.CodeConflict {
+		t.Fatalf("err = %v, want conflict", err)
+	}
+}
+
+// TestWaitContextCancel: the waits are context-bounded.
+func TestWaitContextCancel(t *testing.T) {
+	_, c := newStub(t, reply{status: 202, body: `{"id":"job-000001","status":"running"}`})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := c.WaitResult(ctx, "job-000001")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestHealthDraining: a draining node's 503 health body is folded into the
+// view instead of surfacing as an error.
+func TestHealthDraining(t *testing.T) {
+	_, c := newStub(t, reply{status: 503, body: `{"status":"draining","queue_depth":3}` + "\n"})
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status != "draining" || h.QueueDepth != 3 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+// TestSubmitSweepRawPreservesSpec: the raw spec bytes pass through without
+// re-marshaling.
+func TestSubmitSweepRawPreservesSpec(t *testing.T) {
+	var seen json.RawMessage
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Sweep json.RawMessage `json:"sweep"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		seen = req.Sweep
+		w.WriteHeader(202)
+		w.Write([]byte(`{"id":"sweep-000001","status":"running"}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	spec := json.RawMessage(`{"engines":["fast"],"base":{"workload":"164.gzip"}}`)
+	if _, err := c.SubmitSweepRaw(context.Background(), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(seen) != string(spec) {
+		t.Fatalf("server saw %s, want %s", seen, spec)
+	}
+}

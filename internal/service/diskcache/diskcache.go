@@ -1,0 +1,246 @@
+// Package diskcache is the disk-backed content-addressed result store
+// behind internal/service's in-memory LRU (service.Store): one JSON blob
+// per key under a root directory, written atomically (temp file + rename),
+// evicted least-recently-used against a total-size budget.
+//
+// Persistence is what turns the result cache from a per-process
+// optimization into infrastructure: a fastd restart no longer forgets
+// every completed run, and a directory shared between worker nodes (NFS,
+// bind mount) makes the store cluster-wide — any node can serve any
+// node's completed result without simulating.
+//
+// Layout and concurrency: a key (engine\x00Params.Key(), opaque bytes) is
+// addressed as sha256(key).json directly under root; writes go to a
+// .tmp-* sibling first and rename into place, so readers — including
+// other processes sharing the directory — only ever observe complete
+// blobs. The eviction index (sizes + LRU order) is per-process, rebuilt
+// from directory mtimes at startup; Get reads the file even when the
+// index has never seen it, so blobs written by other nodes are found.
+// IO failures are swallowed (counted in service_disk_cache_errors_total):
+// the store is best-effort by contract, a lost blob only costs a re-run.
+package diskcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Cache implements service.Store on a directory. Build with New; safe for
+// concurrent use by one process, and safe to share a directory across
+// processes (atomic renames; per-process eviction indexes may briefly
+// disagree, which only skews eviction order, never blob content).
+type Cache struct {
+	root     string
+	maxBytes int64 // <= 0 = unbounded
+
+	mu     sync.Mutex
+	ll     *list.List // front = most recently used; values are *entry
+	byName map[string]*list.Element
+	total  int64
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	writes    *obs.Counter
+	evictions *obs.Counter
+	errors    *obs.Counter
+	entries   *obs.Gauge
+	bytes     *obs.Gauge
+}
+
+type entry struct {
+	name string
+	size int64
+}
+
+// New opens (creating if needed) a disk store rooted at root with a total
+// size budget of maxBytes (<= 0 = unbounded). Existing blobs are indexed
+// by modification time so LRU order approximately survives restarts;
+// leftover temp files from a crashed writer are removed. tel may be nil.
+func New(root string, maxBytes int64, tel *obs.Telemetry) (*Cache, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		root:     root,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		byName:   map[string]*list.Element{},
+	}
+	if tel != nil {
+		c.hits = tel.Counter("service_disk_cache_hits_total")
+		c.misses = tel.Counter("service_disk_cache_misses_total")
+		c.writes = tel.Counter("service_disk_cache_writes_total")
+		c.evictions = tel.Counter("service_disk_cache_evictions_total")
+		c.errors = tel.Counter("service_disk_cache_errors_total")
+		c.entries = tel.Gauge("service_disk_cache_entries")
+		c.bytes = tel.Gauge("service_disk_cache_bytes")
+	}
+	if err := c.scan(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// scan rebuilds the eviction index from the directory: blobs ordered by
+// mtime (oldest = least recently used), crashed temp files removed.
+func (c *Cache) scan() error {
+	dirents, err := os.ReadDir(c.root)
+	if err != nil {
+		return err
+	}
+	type stat struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var stats []stat
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if filepath.Ext(name) != ".json" {
+			// Crashed writers leave .tmp-* files; they are garbage.
+			os.Remove(filepath.Join(c.root, name))
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		stats = append(stats, stat{name: name, size: info.Size(), mtime: info.ModTime()})
+	}
+	sort.Slice(stats, func(i, k int) bool { return stats[i].mtime.Before(stats[k].mtime) })
+	for _, st := range stats {
+		c.byName[st.name] = c.ll.PushFront(&entry{name: st.name, size: st.size})
+		c.total += st.size
+	}
+	c.entries.Set(int64(c.ll.Len()))
+	c.bytes.Set(c.total)
+	c.evict()
+	return nil
+}
+
+// filename addresses a key on disk: keys are opaque bytes (they embed
+// NULs), so the file name is the hex SHA-256 of the key. Get recomputes
+// it, so no reverse map is needed.
+func filename(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".json"
+}
+
+// Get returns the blob stored for key. The file is read even when this
+// process never indexed it (another node may have written it); a hit is
+// indexed, touched most-recently-used, and its mtime refreshed so LRU
+// order survives restarts.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	name := filename(key)
+	path := filepath.Join(c.root, name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if el, ok := c.byName[name]; ok {
+			// Indexed but unreadable: evicted by a sibling process or
+			// damaged — drop it from the index either way.
+			c.removeLocked(el)
+		}
+		c.misses.Inc()
+		return nil, false
+	}
+	c.touchLocked(name, int64(len(raw)))
+	os.Chtimes(path, time.Now(), time.Now()) // best-effort persistent LRU
+	c.hits.Inc()
+	return raw, true
+}
+
+// Put atomically stores raw for key (temp file + rename) and evicts the
+// least-recently-used blobs past the size budget. Errors are swallowed
+// and counted: persistence is best-effort.
+func (c *Cache) Put(key string, raw []byte) {
+	name := filename(key)
+	tmp, err := os.CreateTemp(c.root, ".tmp-*")
+	if err != nil {
+		c.errors.Inc()
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.errors.Inc()
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.root, name)); err != nil {
+		os.Remove(tmp.Name())
+		c.errors.Inc()
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(name, int64(len(raw)))
+	c.writes.Inc()
+	c.evict()
+}
+
+// touchLocked indexes name at most-recently-used with the given size,
+// adjusting the running total if the size changed.
+func (c *Cache) touchLocked(name string, size int64) {
+	if el, ok := c.byName[name]; ok {
+		e := el.Value.(*entry)
+		c.total += size - e.size
+		e.size = size
+		c.ll.MoveToFront(el)
+	} else {
+		c.byName[name] = c.ll.PushFront(&entry{name: name, size: size})
+		c.total += size
+	}
+	c.entries.Set(int64(c.ll.Len()))
+	c.bytes.Set(c.total)
+}
+
+// evict removes least-recently-used blobs until the total fits the
+// budget, always keeping the most recent one. Caller holds mu.
+func (c *Cache) evict() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.total > c.maxBytes && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		os.Remove(filepath.Join(c.root, el.Value.(*entry).name))
+		c.removeLocked(el)
+		c.evictions.Inc()
+	}
+}
+
+// removeLocked drops an index element and updates totals. Caller holds mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.byName, e.name)
+	c.total -= e.size
+	c.entries.Set(int64(c.ll.Len()))
+	c.bytes.Set(c.total)
+}
+
+// Len reports the indexed blob count (tests and topology views).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes reports the indexed total size.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}

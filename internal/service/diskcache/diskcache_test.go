@@ -1,0 +1,183 @@
+package diskcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func mustNew(t *testing.T, root string, maxBytes int64, tel *obs.Telemetry) *Cache {
+	t.Helper()
+	c, err := New(root, maxBytes, tel)
+	if err != nil {
+		t.Fatalf("New(%s): %v", root, err)
+	}
+	return c
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	tel := obs.New()
+	c := mustNew(t, t.TempDir(), 0, tel)
+
+	// Keys are opaque bytes — embed the NUL the service keys carry.
+	key := "fast\x00abc123"
+	blob := []byte(`{"engine":"fast","ipc":0.5}`)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Get on empty store hit")
+	}
+	c.Put(key, blob)
+	got, ok := c.Get(key)
+	if !ok || string(got) != string(blob) {
+		t.Fatalf("Get = %q, %v; want the exact put bytes", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if c.Bytes() != int64(len(blob)) {
+		t.Fatalf("Bytes = %d, want %d", c.Bytes(), len(blob))
+	}
+	if h := tel.Metrics.Counter("service_disk_cache_hits_total").Value(); h != 1 {
+		t.Fatalf("hits = %d, want 1", h)
+	}
+	if m := tel.Metrics.Counter("service_disk_cache_misses_total").Value(); m != 1 {
+		t.Fatalf("misses = %d, want 1", m)
+	}
+
+	// Overwrite: same key, new bytes; byte total tracks the replacement.
+	blob2 := []byte(`{"engine":"fast","ipc":0.75,"extra":true}`)
+	c.Put(key, blob2)
+	got, ok = c.Get(key)
+	if !ok || string(got) != string(blob2) {
+		t.Fatalf("Get after overwrite = %q, %v", got, ok)
+	}
+	if c.Len() != 1 || c.Bytes() != int64(len(blob2)) {
+		t.Fatalf("after overwrite Len=%d Bytes=%d, want 1/%d", c.Len(), c.Bytes(), len(blob2))
+	}
+}
+
+// TestRestartRoundTrip is the persistence contract: a fresh Cache over the
+// same directory serves the exact bytes a previous process put.
+func TestRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := "engine\x00key-1"
+	blob := []byte(`{"target_cycles":12345}`)
+
+	c1 := mustNew(t, dir, 0, nil)
+	c1.Put(key, blob)
+
+	c2 := mustNew(t, dir, 0, nil)
+	if c2.Len() != 1 {
+		t.Fatalf("restart index: Len = %d, want 1", c2.Len())
+	}
+	got, ok := c2.Get(key)
+	if !ok || string(got) != string(blob) {
+		t.Fatalf("restart Get = %q, %v; want original bytes", got, ok)
+	}
+}
+
+// TestSharedDirectory is the cluster-store contract: a blob written by one
+// Cache instance is visible to another instance that never indexed it.
+func TestSharedDirectory(t *testing.T) {
+	dir := t.TempDir()
+	reader := mustNew(t, dir, 0, nil) // opened first: has never seen the key
+	writer := mustNew(t, dir, 0, nil)
+
+	key := "engine\x00shared"
+	blob := []byte(`{"shared":true}`)
+	writer.Put(key, blob)
+	got, ok := reader.Get(key)
+	if !ok || string(got) != string(blob) {
+		t.Fatalf("cross-instance Get = %q, %v", got, ok)
+	}
+}
+
+func TestEvictionBudget(t *testing.T) {
+	tel := obs.New()
+	// Each blob is 10 bytes; budget fits 3.
+	c := mustNew(t, t.TempDir(), 30, tel)
+	blob := []byte("0123456789")
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), blob)
+	}
+	if c.Len() != 3 || c.Bytes() != 30 {
+		t.Fatalf("after 5 puts: Len=%d Bytes=%d, want 3/30", c.Len(), c.Bytes())
+	}
+	// Oldest two evicted, newest three resident.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%d", i)); ok {
+			t.Fatalf("key-%d survived eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%d", i)); !ok {
+			t.Fatalf("key-%d evicted, want resident", i)
+		}
+	}
+	if ev := tel.Metrics.Counter("service_disk_cache_evictions_total").Value(); ev != 2 {
+		t.Fatalf("evictions = %d, want 2", ev)
+	}
+}
+
+// TestEvictionLRUOrder: touching an old key via Get protects it from the
+// next eviction round.
+func TestEvictionLRUOrder(t *testing.T) {
+	c := mustNew(t, t.TempDir(), 30, nil)
+	blob := []byte("0123456789")
+	c.Put("a", blob)
+	c.Put("b", blob)
+	c.Put("c", blob)
+	c.Get("a")       // a is now most recently used
+	c.Put("d", blob) // over budget: evicts b (LRU), not a
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite being most recently used")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived, want evicted as LRU")
+	}
+}
+
+// TestScanCleansTempFiles: crashed-writer leftovers are removed at open,
+// and never counted as blobs.
+func TestScanCleansTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, ".tmp-crashed")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, dir, 0, nil)
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived scan: %v", err)
+	}
+}
+
+// TestRestartBudgetEnforced: reopening over budget evicts oldest-by-mtime
+// down to the budget immediately.
+func TestRestartBudgetEnforced(t *testing.T) {
+	dir := t.TempDir()
+	c1 := mustNew(t, dir, 0, nil)
+	blob := []byte("0123456789")
+	for i := 0; i < 5; i++ {
+		c1.Put(fmt.Sprintf("key-%d", i), blob)
+		// Distinct mtimes so the restart scan sees a strict LRU order even
+		// on coarse filesystem timestamps.
+		name := filepath.Join(dir, filename(fmt.Sprintf("key-%d", i)))
+		mt := time.Now().Add(time.Duration(i-5) * time.Second)
+		os.Chtimes(name, mt, mt)
+	}
+	c2 := mustNew(t, dir, 30, nil)
+	if c2.Len() != 3 || c2.Bytes() != 30 {
+		t.Fatalf("restart over budget: Len=%d Bytes=%d, want 3/30", c2.Len(), c2.Bytes())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := c2.Get(fmt.Sprintf("key-%d", i)); ok {
+			t.Fatalf("key-%d survived restart eviction", i)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package service_test
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/service/diskcache"
+)
+
+// waitResult blocks until id is terminal and returns the exact result
+// response bytes (framing included), for byte-identity assertions.
+func (h *harness) waitResult(id string) []byte {
+	h.t.Helper()
+	h.wait(id)
+	st, raw := h.raw("GET", "/v1/jobs/"+id+"/result", "")
+	if st != http.StatusOK {
+		h.t.Fatalf("result %s: %d %s", id, st, raw)
+	}
+	return raw
+}
+
+// TestDiskStoreRestartRoundTrip is the persistence acceptance test: a
+// result computed before a server restart is served byte-identically after
+// it, from disk, with zero engine runs.
+func TestDiskStoreRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"engine":"svc-stub","params":{"workload":"164.gzip","max_instructions":7777}}`
+
+	// First server: compute and persist.
+	store1, err := diskcache.New(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := newHarness(t, service.Config{Workers: 1, Store: store1})
+	st, m, _ := h1.do("POST", "/v1/jobs", body)
+	if st != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", st, m)
+	}
+	raw1 := h1.waitResult(m["id"].(string))
+	if h1.counter("service_engine_runs_total") != 1 {
+		t.Fatalf("first server engine runs = %d, want 1", h1.counter("service_engine_runs_total"))
+	}
+
+	// Second server: fresh process state, same directory. The submission
+	// must resolve at admit time from the disk store — no engine run, no
+	// queue slot — and return the exact bytes.
+	tel2 := obs.New()
+	store2, err := diskcache.New(dir, 0, tel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := newHarness(t, service.Config{Workers: 1, Store: store2, Telemetry: tel2})
+	st, m, _ = h2.do("POST", "/v1/jobs", body)
+	if st != http.StatusAccepted {
+		t.Fatalf("resubmit: %d %v", st, m)
+	}
+	if m["cached"] != true || m["status"] != "done" {
+		t.Fatalf("restart submission not served from store: %v", m)
+	}
+	raw2 := h2.waitResult(m["id"].(string))
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("restart result bytes differ:\n first %s\nsecond %s", raw1, raw2)
+	}
+	if runs := h2.counter("service_engine_runs_total"); runs != 0 {
+		t.Fatalf("second server engine runs = %d, want 0", runs)
+	}
+	if hits := h2.counter("service_cache_store_hits_total"); hits != 1 {
+		t.Fatalf("store hits = %d, want 1", hits)
+	}
+	if hits := h2.counter("service_cache_hits_total"); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+
+	// Third submission on the same server: now memory-resident, the disk
+	// tier is not consulted again.
+	st, m, _ = h2.do("POST", "/v1/jobs", body)
+	if st != http.StatusAccepted || m["cached"] != true {
+		t.Fatalf("memory-tier resubmit: %d %v", st, m)
+	}
+	if hits := h2.counter("service_cache_store_hits_total"); hits != 1 {
+		t.Fatalf("store hits after memory hit = %d, want still 1", hits)
+	}
+}

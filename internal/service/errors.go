@@ -1,0 +1,91 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Stable machine-readable error codes. Every non-2xx /v1 response carries
+// exactly one of these in its ErrorBody; clients dispatch on the code, the
+// message is for humans. Codes are part of the API contract (DESIGN.md
+// §11): add freely, never rename or repurpose.
+const (
+	// CodeBadParams: the request body failed strict decoding or parameter
+	// validation (unknown fields, trailing data, out-of-range values,
+	// unknown workloads, malformed query parameters).
+	CodeBadParams = "bad_params"
+	// CodeUnknownEngine: the engine name is not in the registry.
+	CodeUnknownEngine = "unknown_engine"
+	// CodeQueueFull: the bounded job queue has no free slot (or not enough
+	// free slots for a whole sweep). Retry after RetryAfterSec.
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the server is shutting down and refuses new work.
+	CodeDraining = "draining"
+	// CodeNotFound: no job/sweep with that id.
+	CodeNotFound = "not_found"
+	// CodeConflict: the request is valid but the resource's state forbids
+	// it (cancelling a terminal job, reading the result of a failed one).
+	CodeConflict = "conflict"
+	// CodeInternal: the server broke; the message says how.
+	CodeInternal = "internal"
+	// CodeNodeUnavailable (cluster only): the worker node owning the
+	// resource is unreachable and the coordinator has no replacement yet.
+	CodeNodeUnavailable = "node_unavailable"
+)
+
+// ErrorBody is the single error envelope of the /v1 API: every non-2xx
+// response body is exactly this shape. Code is stable and machine-readable
+// (the Code* constants); RetryAfterSec, when non-zero, mirrors the
+// Retry-After header on 429/503 responses.
+type ErrorBody struct {
+	Code          string `json:"code"`
+	Message       string `json:"message"`
+	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
+}
+
+// Error makes ErrorBody usable as a Go error (the typed client returns it
+// wrapped in client.APIError; the server side uses httpError internally).
+func (e ErrorBody) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// WriteAPIError writes the envelope with its status code (and Retry-After
+// header when the body carries a retry hint). Exported so the cluster
+// coordinator emits the exact same wire shape as a single node.
+func WriteAPIError(w http.ResponseWriter, status int, body ErrorBody) {
+	if body.Code == "" {
+		body.Code = CodeInternal
+	}
+	if body.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", body.RetryAfterSec))
+	}
+	WriteJSON(w, status, body)
+}
+
+// WriteJSON writes v as a compact JSON body with a trailing newline — the
+// canonical response framing of the whole /v1 surface (shared with the
+// cluster coordinator so proxied and local responses are byte-identical).
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// httpError carries a status code, a stable error code and an optional
+// Retry-After hint out of the submit path to the handler layer.
+type httpError struct {
+	status     int
+	code       string // one of the Code* constants
+	retryAfter int    // seconds; 0 = no header
+	msg        string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	he, ok := err.(*httpError)
+	if !ok {
+		he = &httpError{status: 500, code: CodeInternal, msg: err.Error()}
+	}
+	WriteAPIError(w, he.status, ErrorBody{Code: he.code, Message: he.msg, RetryAfterSec: he.retryAfter})
+}

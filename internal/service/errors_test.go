@@ -1,0 +1,291 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// envelope reads the code/retry_after_sec fields of an error body map.
+func envelopeCode(t *testing.T, m map[string]any) string {
+	t.Helper()
+	code, _ := m["code"].(string)
+	if code == "" {
+		t.Fatalf("response is not an error envelope: %v", m)
+	}
+	if msg, _ := m["message"].(string); msg == "" {
+		t.Errorf("envelope %q has no message: %v", code, m)
+	}
+	return code
+}
+
+// TestErrorEnvelopeCodes drives every /v1 failure path and asserts the
+// (HTTP status, stable code) pair of the envelope — the contract clients
+// and the cluster coordinator dispatch on.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	resetGate()
+	h := newHarness(t, service.Config{Workers: 1, QueueDepth: 1})
+
+	// A terminal (canceled) job for the conflict paths: cancel it while
+	// the queue is still free.
+	st, m, _ := h.do("POST", "/v1/jobs", `{"engine":"svc-block","params":{"workload":"164.gzip"}}`)
+	if st != http.StatusAccepted {
+		t.Fatalf("seed submit: %d %v", st, m)
+	}
+	blockID := m["id"].(string)
+	// Park the worker on it, then cancel a second queued job so it
+	// terminates without ever running.
+	for {
+		_, jm, _ := h.do("GET", "/v1/jobs/"+blockID, "")
+		if jm["status"] == "running" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, m, _ = h.do("POST", "/v1/jobs", `{"engine":"svc-block","params":{"workload":"176.gcc"}}`)
+	if st != http.StatusAccepted {
+		t.Fatalf("queued submit: %d %v", st, m)
+	}
+	canceledID := m["id"].(string)
+	if st, m, _ = h.do("DELETE", "/v1/jobs/"+canceledID, ""); st != http.StatusOK {
+		t.Fatalf("cancel: %d %v", st, m)
+	}
+
+	cases := []struct {
+		name         string
+		method, path string
+		body         string
+		wantStatus   int
+		wantCode     string
+	}{
+		{"malformed body", "POST", "/v1/jobs", `{`, 400, service.CodeBadParams},
+		{"unknown request field", "POST", "/v1/jobs", `{"engine":"fast","bogus":1}`, 400, service.CodeBadParams},
+		{"trailing data", "POST", "/v1/jobs", `{"engine":"fast","params":{"workload":"164.gzip"}} {}`, 400, service.CodeBadParams},
+		{"unknown params field", "POST", "/v1/jobs", `{"engine":"fast","params":{"frobnicate":1}}`, 400, service.CodeBadParams},
+		{"unknown engine", "POST", "/v1/jobs", `{"engine":"warp-drive","params":{"workload":"164.gzip"}}`, 400, service.CodeUnknownEngine},
+		{"invalid params", "POST", "/v1/jobs", `{"engine":"fast","params":{"workload":"no-such-workload"}}`, 400, service.CodeBadParams},
+		{"queue full", "POST", "/v1/jobs", `{"engine":"svc-block","params":{"workload":"186.crafty"}}`, 429, service.CodeQueueFull},
+		{"job not found", "GET", "/v1/jobs/job-999999", "", 404, service.CodeNotFound},
+		{"result not found", "GET", "/v1/jobs/job-999999/result", "", 404, service.CodeNotFound},
+		{"cancel not found", "DELETE", "/v1/jobs/job-999999", "", 404, service.CodeNotFound},
+		{"result of canceled job", "GET", "/v1/jobs/" + canceledID + "/result", "", 409, service.CodeConflict},
+		{"cancel terminal job", "DELETE", "/v1/jobs/" + canceledID, "", 409, service.CodeConflict},
+		{"sweep not found", "GET", "/v1/sweeps/sweep-999999", "", 404, service.CodeNotFound},
+		{"sweep invalid point", "POST", "/v1/sweeps", `{"sweep":{"workloads":["no-such-workload"],"base":{}}}`, 400, service.CodeBadParams},
+		{"sweep unknown engine", "POST", "/v1/sweeps", `{"sweep":{"engines":["warp-drive"],"base":{"workload":"164.gzip"}}}`, 400, service.CodeUnknownEngine},
+		{"sweep over capacity", "POST", "/v1/sweeps", `{"sweep":{"engines":["svc-block"],"workloads":["164.gzip","176.gcc","186.crafty"],"base":{}}}`, 429, service.CodeQueueFull},
+		{"list bad status", "GET", "/v1/jobs?status=zombie", "", 400, service.CodeBadParams},
+		{"list bad limit", "GET", "/v1/jobs?limit=-1", "", 400, service.CodeBadParams},
+		{"list bad cursor", "GET", "/v1/jobs?after=nonsense", "", 400, service.CodeBadParams},
+		{"sweep list bad status", "GET", "/v1/sweeps?status=queued", "", 400, service.CodeBadParams},
+	}
+	// The canceled job still occupies the single queue slot (the parked
+	// worker never dequeued it), so the queue-full rows reject naturally.
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, m, hdr := h.do(tc.method, tc.path, tc.body)
+			if st != tc.wantStatus {
+				t.Fatalf("%s %s: status %d, want %d (%v)", tc.method, tc.path, st, tc.wantStatus, m)
+			}
+			if code := envelopeCode(t, m); code != tc.wantCode {
+				t.Fatalf("%s %s: code %q, want %q", tc.method, tc.path, code, tc.wantCode)
+			}
+			if tc.wantStatus == 429 {
+				if hdr.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After header")
+				}
+				if ra, _ := m["retry_after_sec"].(float64); ra <= 0 {
+					t.Errorf("429 envelope without retry_after_sec: %v", m)
+				}
+			}
+		})
+	}
+	openGate()
+}
+
+// TestErrorEnvelopeDraining covers the draining rejection, which needs a
+// dedicated server mid-shutdown.
+func TestErrorEnvelopeDraining(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 1, QueueDepth: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/jobs", `{"engine":"fast","params":{"workload":"164.gzip"}}`},
+		{"/v1/sweeps", `{"sweep":{"engines":["fast"],"base":{"workload":"164.gzip"}}}`},
+	} {
+		st, m, _ := h.do("POST", tc.path, tc.body)
+		if st != 503 {
+			t.Fatalf("POST %s while draining: status %d (%v)", tc.path, st, m)
+		}
+		if code := envelopeCode(t, m); code != service.CodeDraining {
+			t.Fatalf("POST %s while draining: code %q, want %q", tc.path, code, service.CodeDraining)
+		}
+	}
+}
+
+// TestListPagination exercises the cursor walk over /v1/jobs and
+// /v1/sweeps: newest-first order, page boundaries, exhaustion, and the
+// status filter.
+func TestListPagination(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 2, QueueDepth: 32})
+
+	// 5 instantly-completing jobs with distinct params, submitted in order.
+	var ids []string
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"engine":"svc-stub","params":{"workload":"164.gzip","max_instructions":%d}}`, 1000+i)
+		st, m, _ := h.do("POST", "/v1/jobs", body)
+		if st != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %v", i, st, m)
+		}
+		ids = append(ids, m["id"].(string))
+	}
+	waitDone := func(id string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			_, m, _ := h.do("GET", "/v1/jobs/"+id, "")
+			if m["status"] == "done" {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("job %s never finished", id)
+	}
+	for _, id := range ids {
+		waitDone(id)
+	}
+
+	listIDs := func(path string) ([]string, string) {
+		t.Helper()
+		st, raw := h.raw("GET", path, "")
+		if st != 200 {
+			t.Fatalf("GET %s: %d %s", path, st, raw)
+		}
+		var out struct {
+			Jobs []struct {
+				ID string `json:"id"`
+			} `json:"jobs"`
+			NextAfter string `json:"next_after"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		var got []string
+		for _, j := range out.Jobs {
+			got = append(got, j.ID)
+		}
+		return got, out.NextAfter
+	}
+
+	// Full listing: newest first = reverse submission order.
+	got, next := listIDs("/v1/jobs")
+	if next != "" {
+		t.Fatalf("full listing set next_after=%q", next)
+	}
+	if len(got) != 5 {
+		t.Fatalf("full listing: %d jobs, want 5", len(got))
+	}
+	for i := range got {
+		if want := ids[len(ids)-1-i]; got[i] != want {
+			t.Fatalf("listing[%d] = %s, want %s (newest first)", i, got[i], want)
+		}
+	}
+
+	// Page with limit=2: 2+2+1, cursors chaining, no overlap.
+	var pages [][]string
+	after := ""
+	for {
+		path := "/v1/jobs?limit=2"
+		if after != "" {
+			path += "&after=" + after
+		}
+		page, na := listIDs(path)
+		pages = append(pages, page)
+		if na == "" {
+			break
+		}
+		after = na
+	}
+	if len(pages) != 3 || len(pages[0]) != 2 || len(pages[1]) != 2 || len(pages[2]) != 1 {
+		t.Fatalf("page shape %v, want [2 2 1]", pages)
+	}
+	var walked []string
+	for _, p := range pages {
+		walked = append(walked, p...)
+	}
+	for i := range walked {
+		if want := ids[len(ids)-1-i]; walked[i] != want {
+			t.Fatalf("cursor walk[%d] = %s, want %s", i, walked[i], want)
+		}
+	}
+
+	// Boundary: limit exactly the population → one page, no cursor (the
+	// cursor only appears when more entries remain).
+	got, next = listIDs("/v1/jobs?limit=5")
+	if len(got) != 5 || next != "" {
+		t.Fatalf("limit=5: %d jobs next_after=%q, want 5 and empty", len(got), next)
+	}
+
+	// Cursor past the oldest: empty page, no next_after.
+	got, next = listIDs("/v1/jobs?after=" + ids[0])
+	if len(got) != 0 || next != "" {
+		t.Fatalf("after oldest: %v next=%q, want empty", got, next)
+	}
+
+	// Status filter: all done, none failed.
+	if got, _ = listIDs("/v1/jobs?status=done"); len(got) != 5 {
+		t.Fatalf("status=done: %d jobs, want 5", len(got))
+	}
+	if got, _ = listIDs("/v1/jobs?status=failed"); len(got) != 0 {
+		t.Fatalf("status=failed: %v, want none", got)
+	}
+
+	// Sweeps listing: 3 sweeps, newest first, paginated at 2.
+	var sweepIDs []string
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"sweep":{"engines":["svc-stub"],"base":{"workload":"164.gzip","max_instructions":%d}}}`, 2000+i)
+		st, m, _ := h.do("POST", "/v1/sweeps", body)
+		if st != http.StatusAccepted {
+			t.Fatalf("sweep %d: %d %v", i, st, m)
+		}
+		sweepIDs = append(sweepIDs, m["id"].(string))
+	}
+	st, raw := h.raw("GET", "/v1/sweeps?limit=2", "")
+	if st != 200 {
+		t.Fatalf("GET /v1/sweeps: %d %s", st, raw)
+	}
+	var sl struct {
+		Sweeps []struct {
+			ID string `json:"id"`
+		} `json:"sweeps"`
+		NextAfter string `json:"next_after"`
+	}
+	if err := json.Unmarshal(raw, &sl); err != nil {
+		t.Fatal(err)
+	}
+	if len(sl.Sweeps) != 2 || sl.Sweeps[0].ID != sweepIDs[2] || sl.Sweeps[1].ID != sweepIDs[1] {
+		t.Fatalf("sweep page %v, want [%s %s]", sl.Sweeps, sweepIDs[2], sweepIDs[1])
+	}
+	if sl.NextAfter != sweepIDs[1] {
+		t.Fatalf("sweep next_after %q, want %q", sl.NextAfter, sweepIDs[1])
+	}
+	st, raw = h.raw("GET", "/v1/sweeps?limit=2&after="+sl.NextAfter, "")
+	if st != 200 {
+		t.Fatalf("GET /v1/sweeps page 2: %d %s", st, raw)
+	}
+	sl.Sweeps, sl.NextAfter = nil, ""
+	if err := json.Unmarshal(raw, &sl); err != nil {
+		t.Fatal(err)
+	}
+	if len(sl.Sweeps) != 1 || sl.Sweeps[0].ID != sweepIDs[0] || sl.NextAfter != "" {
+		t.Fatalf("sweep page 2 %v next=%q, want [%s] and no cursor", sl.Sweeps, sl.NextAfter, sweepIDs[0])
+	}
+}

@@ -13,19 +13,41 @@ import (
 
 // Job states. A job is terminal in done, failed or canceled; cached jobs
 // are born terminal (done with Cached=true) and never occupy a queue slot.
+// Exported: the typed client and the cluster coordinator dispatch on them.
 const (
-	statusQueued   = "queued"
-	statusRunning  = "running"
-	statusDone     = "done"
-	statusFailed   = "failed"
-	statusCanceled = "canceled"
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
 )
+
+// Terminal reports whether status is a resting state (done, failed or
+// canceled) from which a job never moves again.
+func Terminal(status string) bool {
+	switch status {
+	case StatusDone, StatusFailed, StatusCanceled:
+		return true
+	}
+	return false
+}
+
+// KnownStatus reports whether status names a job state at all — the guard
+// behind the ?status= list filter.
+func KnownStatus(status string) bool {
+	switch status {
+	case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled:
+		return true
+	}
+	return false
+}
 
 // job is one accepted simulation. Mutable fields are guarded by the
 // server's mu; done closes exactly once, at the terminal transition, so
 // waiters can block without polling.
 type job struct {
 	id      string
+	seq     uint64 // admission order; the pagination cursor
 	engine  string
 	params  sim.Params
 	key     string // content address ("" when uncacheable); see jobKey
@@ -48,7 +70,9 @@ type job struct {
 
 // jobKey combines the engine name with the Params content address into the
 // cache key. Engines model different cost structures over the same target,
-// so the same Params under two engines are two different results.
+// so the same Params under two engines are two different results. The
+// cluster coordinator uses the same key as its shard address, so a point
+// always lands on the node whose cache can already hold it.
 func jobKey(engine string, p sim.Params) string {
 	if !p.Cacheable() {
 		return ""
@@ -56,8 +80,13 @@ func jobKey(engine string, p sim.Params) string {
 	return engine + "\x00" + p.Key()
 }
 
-// jobView is the stable JSON shape of GET /v1/jobs/{id}.
-type jobView struct {
+// JobKey is jobKey for external callers (the cluster coordinator shards on
+// it). Empty means the params are not content-addressable.
+func JobKey(engine string, p sim.Params) string { return jobKey(engine, p) }
+
+// JobView is the stable JSON shape of GET /v1/jobs/{id} and the elements
+// of GET /v1/jobs.
+type JobView struct {
 	ID          string    `json:"id"`
 	Engine      string    `json:"engine"`
 	Status      string    `json:"status"`
@@ -70,14 +99,14 @@ type jobView struct {
 }
 
 // view snapshots a job under the server lock.
-func (s *Server) view(j *job) jobView {
+func (s *Server) view(j *job) JobView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.viewLocked(j)
 }
 
-func (s *Server) viewLocked(j *job) jobView {
-	return jobView{
+func (s *Server) viewLocked(j *job) JobView {
+	return JobView{
 		ID:          j.id,
 		Engine:      j.engine,
 		Status:      j.status,
@@ -90,16 +119,6 @@ func (s *Server) viewLocked(j *job) jobView {
 	}
 }
 
-// httpError carries a status code (and optional Retry-After) out of the
-// submit path to the handler layer.
-type httpError struct {
-	code       int
-	retryAfter int // seconds; 0 = no header
-	msg        string
-}
-
-func (e *httpError) Error() string { return e.msg }
-
 // submitJob validates, resolves the cache, and either completes the job
 // instantly (hit) or enqueues it (miss). The whole step holds mu, so a
 // sweep's batch of submissions is atomic with respect to draining and
@@ -107,11 +126,12 @@ func (e *httpError) Error() string { return e.msg }
 func (s *Server) submitJob(engine string, p sim.Params, timeout time.Duration) (*job, error) {
 	if !sim.Registered(engine) {
 		s.rejected("invalid").Inc()
-		return nil, &httpError{code: 400, msg: fmt.Sprintf("unknown engine %q (registered: %v)", engine, sim.Names())}
+		return nil, &httpError{status: 400, code: CodeUnknownEngine,
+			msg: fmt.Sprintf("unknown engine %q (registered: %v)", engine, sim.Names())}
 	}
 	if err := p.Validate(); err != nil {
 		s.rejected("invalid").Inc()
-		return nil, &httpError{code: 400, msg: err.Error()}
+		return nil, &httpError{status: 400, code: CodeBadParams, msg: err.Error()}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -127,7 +147,7 @@ func (s *Server) submitJob(engine string, p sim.Params, timeout time.Duration) (
 func (s *Server) admitLocked(engine string, p sim.Params, timeout time.Duration) (*job, error) {
 	if s.draining {
 		s.rejected("draining").Inc()
-		return nil, &httpError{code: 503, retryAfter: 10, msg: "server is draining"}
+		return nil, &httpError{status: 503, code: CodeDraining, retryAfter: 10, msg: "server is draining"}
 	}
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -135,6 +155,7 @@ func (s *Server) admitLocked(engine string, p sim.Params, timeout time.Duration)
 	s.seq++
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", s.seq),
+		seq:       s.seq,
 		engine:    engine,
 		params:    p,
 		key:       jobKey(engine, p),
@@ -145,7 +166,7 @@ func (s *Server) admitLocked(engine string, p sim.Params, timeout time.Duration)
 	}
 	if j.key != "" {
 		if res, raw, ok := s.cache.get(j.key); ok {
-			j.status = statusDone
+			j.status = StatusDone
 			j.cached = true
 			j.result, j.raw = res, raw
 			j.finished = j.submitted
@@ -156,12 +177,12 @@ func (s *Server) admitLocked(engine string, p sim.Params, timeout time.Duration)
 			return j, nil
 		}
 	}
-	j.status = statusQueued
+	j.status = StatusQueued
 	select {
 	case s.queue <- j:
 	default:
 		s.rejected("queue_full").Inc()
-		return nil, &httpError{code: 429, retryAfter: s.retryAfterSeconds(), msg: "job queue is full"}
+		return nil, &httpError{status: 429, code: CodeQueueFull, retryAfter: s.retryAfterSeconds(), msg: "job queue is full"}
 	}
 	s.jobs[j.id] = j
 	s.jobsSubmitted.Inc()
@@ -202,13 +223,13 @@ func (s *Server) worker() {
 // first) is served from cache without an engine run.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
-	if j.status != statusQueued {
+	if j.status != StatusQueued {
 		s.mu.Unlock()
 		return
 	}
 	if j.key != "" {
 		if res, raw, ok := s.cache.get(j.key); ok {
-			j.status = statusDone
+			j.status = StatusDone
 			j.cached = true
 			j.result, j.raw = res, raw
 			j.finished = time.Now()
@@ -218,7 +239,7 @@ func (s *Server) runJob(j *job) {
 			return
 		}
 	}
-	j.status = statusRunning
+	j.status = StatusRunning
 	j.started = time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), j.timeout)
 	j.cancel = cancel
@@ -243,23 +264,23 @@ func (s *Server) runJob(j *job) {
 	case err == nil:
 		raw, merr := json.Marshal(res)
 		if merr != nil {
-			j.status = statusFailed
+			j.status = StatusFailed
 			j.errMsg = fmt.Sprintf("encode result: %v", merr)
 			break
 		}
-		j.status = statusDone
+		j.status = StatusDone
 		j.result, j.raw = res, raw
 		if j.key != "" {
 			s.cache.put(j.key, res, raw)
 		}
 	case errors.Is(err, context.DeadlineExceeded):
-		j.status = statusFailed
+		j.status = StatusFailed
 		j.errMsg = fmt.Sprintf("deadline exceeded after %s: %v", j.timeout, err)
 	case errors.Is(err, context.Canceled):
-		j.status = statusCanceled
+		j.status = StatusCanceled
 		j.errMsg = err.Error()
 	default:
-		j.status = statusFailed
+		j.status = StatusFailed
 		j.errMsg = err.Error()
 	}
 	s.jobsByStatus(j.status).Inc()
@@ -272,14 +293,14 @@ func (s *Server) runJob(j *job) {
 // left alone (reported false).
 func (s *Server) cancelLocked(j *job) bool {
 	switch j.status {
-	case statusQueued:
-		j.status = statusCanceled
+	case StatusQueued:
+		j.status = StatusCanceled
 		j.errMsg = "canceled while queued"
 		j.finished = time.Now()
-		s.jobsByStatus(statusCanceled).Inc()
+		s.jobsByStatus(StatusCanceled).Inc()
 		close(j.done)
 		return true
-	case statusRunning:
+	case StatusRunning:
 		if j.cancel != nil {
 			j.cancel()
 		}
@@ -293,13 +314,15 @@ func (s *Server) cancelLocked(j *job) bool {
 // aggregates back in spec order.
 type sweepJob struct {
 	id        string
+	seq       uint64 // admission order; the pagination cursor
 	submitted time.Time
 	points    []sim.Point
 	children  []*job
 }
 
-// sweepView is the stable JSON shape of GET /v1/sweeps/{id}.
-type sweepView struct {
+// SweepView is the stable JSON shape of GET /v1/sweeps/{id} and the
+// elements of GET /v1/sweeps.
+type SweepView struct {
 	ID          string         `json:"id"`
 	Status      string         `json:"status"` // running until every child is terminal
 	Total       int            `json:"total"`
@@ -309,8 +332,8 @@ type sweepView struct {
 	SubmittedAt time.Time      `json:"submitted_at"`
 }
 
-func (s *Server) sweepViewLocked(sw *sweepJob) sweepView {
-	v := sweepView{
+func (s *Server) sweepViewLocked(sw *sweepJob) SweepView {
+	v := SweepView{
 		ID:          sw.id,
 		Total:       len(sw.children),
 		ByStatus:    map[string]int{},
@@ -324,14 +347,13 @@ func (s *Server) sweepViewLocked(sw *sweepJob) sweepView {
 		if j.cached {
 			v.Cached++
 		}
-		switch j.status {
-		case statusDone, statusFailed, statusCanceled:
+		if Terminal(j.status) {
 			terminal++
 		}
 	}
-	v.Status = statusRunning
+	v.Status = StatusRunning
 	if terminal == len(sw.children) {
-		v.Status = statusDone
+		v.Status = StatusDone
 	}
 	return v
 }
@@ -342,23 +364,24 @@ func (s *Server) sweepViewLocked(sw *sweepJob) sweepView {
 func (s *Server) submitSweep(spec sim.Sweep, timeout time.Duration) (*sweepJob, error) {
 	points := spec.Points()
 	if len(points) == 0 {
-		return nil, &httpError{code: 400, msg: "sweep expands to zero points"}
+		return nil, &httpError{status: 400, code: CodeBadParams, msg: "sweep expands to zero points"}
 	}
 	for i, pt := range points {
 		if !sim.Registered(pt.Engine) {
 			s.rejected("invalid").Inc()
-			return nil, &httpError{code: 400, msg: fmt.Sprintf("point %d: unknown engine %q", i, pt.Engine)}
+			return nil, &httpError{status: 400, code: CodeUnknownEngine,
+				msg: fmt.Sprintf("point %d: unknown engine %q", i, pt.Engine)}
 		}
 		if err := pt.Params.Validate(); err != nil {
 			s.rejected("invalid").Inc()
-			return nil, &httpError{code: 400, msg: fmt.Sprintf("point %d (%s): %v", i, pt, err)}
+			return nil, &httpError{status: 400, code: CodeBadParams, msg: fmt.Sprintf("point %d (%s): %v", i, pt, err)}
 		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.rejected("draining").Inc()
-		return nil, &httpError{code: 503, retryAfter: 10, msg: "server is draining"}
+		return nil, &httpError{status: 503, code: CodeDraining, retryAfter: 10, msg: "server is draining"}
 	}
 	// All-or-nothing capacity check: points not already resident must all
 	// fit in the queue's free space right now.
@@ -371,12 +394,13 @@ func (s *Server) submitSweep(spec sim.Sweep, timeout time.Duration) (*sweepJob, 
 	}
 	if free := cap(s.queue) - len(s.queue); need > free {
 		s.rejected("queue_full").Inc()
-		return nil, &httpError{code: 429, retryAfter: s.retryAfterSeconds(),
+		return nil, &httpError{status: 429, code: CodeQueueFull, retryAfter: s.retryAfterSeconds(),
 			msg: fmt.Sprintf("sweep needs %d queue slots, %d free", need, free)}
 	}
 	s.seq++
 	sw := &sweepJob{
 		id:        fmt.Sprintf("sweep-%06d", s.seq),
+		seq:       s.seq,
 		submitted: time.Now(),
 		points:    points,
 		children:  make([]*job, len(points)),
@@ -401,6 +425,8 @@ func (s *Server) submitSweep(spec sim.Sweep, timeout time.Duration) (*sweepJob, 
 
 // contains reports residency without touching hit/miss accounting or LRU
 // order — the sweep capacity pre-check must not distort cache metrics.
+// Memory-resident entries only: a disk-store hit still resolves at admit
+// time, the pre-check just stays conservative about queue slots.
 func (c *resultCache) contains(key string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Collection listing: GET /v1/jobs and GET /v1/sweeps enumerate accepted
+// work newest-first with cursor pagination, so operators can inspect the
+// backlog without scraping metrics.
+//
+// Query parameters (shared by both endpoints):
+//
+//	status= filter to one job/sweep state (jobs: queued|running|done|
+//	        failed|canceled; sweeps: running|done). Empty = all.
+//	limit=  page size, 1..MaxListLimit; 0/absent = DefaultListLimit.
+//	after=  cursor: return entries strictly older than this id (the
+//	        next_after value of the previous page). Absent = newest.
+//
+// The response carries next_after only while older matching entries
+// remain, so a client pages with `after = next_after` until it is empty.
+const (
+	DefaultListLimit = 50
+	MaxListLimit     = 500
+)
+
+// JobList is the GET /v1/jobs body.
+type JobList struct {
+	Jobs      []JobView `json:"jobs"`
+	NextAfter string    `json:"next_after,omitempty"`
+}
+
+// SweepList is the GET /v1/sweeps body.
+type SweepList struct {
+	Sweeps    []SweepView `json:"sweeps"`
+	NextAfter string      `json:"next_after,omitempty"`
+}
+
+// listQuery is the parsed ?status=&limit=&after= triple. afterSeq is the
+// cursor id's admission sequence number; 0 means "start at newest".
+type listQuery struct {
+	status   string
+	limit    int
+	afterSeq uint64
+}
+
+// ParseListQuery validates the shared listing parameters. knownStatus
+// guards the status filter (job and sweep states differ); the after cursor
+// is any well-formed id — it need not name a live entry, so a page cursor
+// stays valid even if its last entry is gone by the next request.
+// Exported so the cluster coordinator lists with identical semantics.
+func ParseListQuery(q url.Values, knownStatus func(string) bool) (status string, limit int, afterSeq uint64, err error) {
+	status = q.Get("status")
+	if status != "" && !knownStatus(status) {
+		return "", 0, 0, fmt.Errorf("unknown status %q", status)
+	}
+	limit = DefaultListLimit
+	if raw := q.Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit < 0 {
+			return "", 0, 0, fmt.Errorf("limit must be a non-negative integer, got %q", raw)
+		}
+		if limit == 0 {
+			limit = DefaultListLimit
+		}
+		if limit > MaxListLimit {
+			limit = MaxListLimit
+		}
+	}
+	if after := q.Get("after"); after != "" {
+		afterSeq, err = idSeq(after)
+		if err != nil {
+			return "", 0, 0, err
+		}
+	}
+	return status, limit, afterSeq, nil
+}
+
+// idSeq recovers the admission sequence number from a job/sweep id
+// ("job-000123" → 123). Ordering by the numeric suffix instead of the id
+// string keeps newest-first correct past the %06d formatting width.
+func idSeq(id string) (uint64, error) {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0, fmt.Errorf("malformed id %q", id)
+	}
+	n, err := strconv.ParseUint(id[i+1:], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed id %q", id)
+	}
+	return n, nil
+}
+
+func (s *Server) parseListQuery(w http.ResponseWriter, r *http.Request, knownStatus func(string) bool) (listQuery, bool) {
+	status, limit, afterSeq, err := ParseListQuery(r.URL.Query(), knownStatus)
+	if err != nil {
+		s.writeError(w, &httpError{status: 400, code: CodeBadParams, msg: err.Error()})
+		return listQuery{}, false
+	}
+	return listQuery{status: status, limit: limit, afterSeq: afterSeq}, true
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.parseListQuery(w, r, KnownStatus)
+	if !ok {
+		return
+	}
+	type row struct {
+		seq  uint64
+		view JobView
+	}
+	s.mu.Lock()
+	rows := make([]row, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if q.afterSeq != 0 && j.seq >= q.afterSeq {
+			continue
+		}
+		if q.status != "" && j.status != q.status {
+			continue
+		}
+		rows = append(rows, row{seq: j.seq, view: s.viewLocked(j)})
+	}
+	s.mu.Unlock()
+	sort.Slice(rows, func(i, k int) bool { return rows[i].seq > rows[k].seq })
+
+	out := JobList{Jobs: []JobView{}}
+	for i, rw := range rows {
+		if i == q.limit {
+			out.NextAfter = out.Jobs[len(out.Jobs)-1].ID
+			break
+		}
+		out.Jobs = append(out.Jobs, rw.view)
+	}
+	WriteJSON(w, http.StatusOK, out)
+}
+
+// knownSweepStatus guards the sweep list filter: a sweep is only ever
+// running (some child not terminal) or done.
+func knownSweepStatus(status string) bool {
+	return status == StatusRunning || status == StatusDone
+}
+
+func (s *Server) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.parseListQuery(w, r, knownSweepStatus)
+	if !ok {
+		return
+	}
+	type row struct {
+		seq  uint64
+		view SweepView
+	}
+	s.mu.Lock()
+	rows := make([]row, 0, len(s.sweeps))
+	for _, sw := range s.sweeps {
+		if q.afterSeq != 0 && sw.seq >= q.afterSeq {
+			continue
+		}
+		v := s.sweepViewLocked(sw)
+		if q.status != "" && v.Status != q.status {
+			continue
+		}
+		rows = append(rows, row{seq: sw.seq, view: v})
+	}
+	s.mu.Unlock()
+	sort.Slice(rows, func(i, k int) bool { return rows[i].seq > rows[k].seq })
+
+	out := SweepList{Sweeps: []SweepView{}}
+	for i, rw := range rows {
+		if i == q.limit {
+			out.NextAfter = out.Sweeps[len(out.Sweeps)-1].ID
+			break
+		}
+		out.Sweeps = append(out.Sweeps, rw.view)
+	}
+	WriteJSON(w, http.StatusOK, out)
+}

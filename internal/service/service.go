@@ -6,27 +6,32 @@
 // internal/sim) — serves repeated submissions from a content-addressed
 // result cache keyed by engine name + sim.Params.Key() without simulating.
 //
-// API (all request/response bodies are JSON; unknown fields are rejected):
+// API (all request/response bodies are JSON; unknown fields are rejected;
+// every non-2xx response is an ErrorBody envelope with a stable code):
 //
 //	POST   /v1/jobs             {"engine","params","timeout_ms"} → 202 job view
+//	GET    /v1/jobs             list, newest first (?status=&limit=&after=)
 //	GET    /v1/jobs/{id}        job view (status, cache flag, timestamps)
 //	GET    /v1/jobs/{id}/result 200 canonical sim.Result | 202 while pending
 //	GET    /v1/jobs/{id}/metrics per-job Prometheus dump
 //	DELETE /v1/jobs/{id}        cancel (queued → skipped, running → ctx cancel)
 //	POST   /v1/sweeps           {"sweep","timeout_ms"} → 202 sweep view
+//	GET    /v1/sweeps           list, newest first (?status=&limit=&after=)
 //	GET    /v1/sweeps/{id}      sweep view (per-status child counts)
 //	GET    /v1/sweeps/{id}/result spec-order aggregation of child results
 //	GET    /v1/engines          registry names + descriptions
 //	GET    /metrics             server-wide Prometheus dump (service_* series
 //	                            plus every per-run series of runs that
 //	                            inherited the server telemetry)
-//	GET    /healthz             liveness + drain state
+//	GET    /healthz             liveness + drain state + queue depth
 //
 // Production behaviors: a full queue answers 429 with a Retry-After
 // estimated from recent job wall times; every job runs under a deadline
 // enforced through Engine.RunContext; Shutdown drains gracefully (stop
 // accepting, finish queued and in-flight work, or cancel it when the drain
-// context expires).
+// context expires). The in-memory result LRU can be backed by a Store
+// (internal/service/diskcache) so the cache survives restarts and can be
+// shared cluster-wide; internal/cluster shards this API across many nodes.
 package service
 
 import (
@@ -49,9 +54,13 @@ type Config struct {
 	// QueueDepth bounds the backlog of accepted-but-not-started jobs;
 	// <= 0 means 64. A full queue rejects submissions with 429.
 	QueueDepth int
-	// CacheEntries caps the content-addressed result cache; 0 means 256,
-	// negative disables caching.
+	// CacheEntries caps the in-memory content-addressed result cache;
+	// 0 means 256, negative disables the memory tier.
 	CacheEntries int
+	// Store, when non-nil, persistently backs the memory cache: puts are
+	// written through, memory misses fall back to it (and promote). See
+	// internal/service/diskcache for the disk implementation.
+	Store Store
 	// DefaultTimeout is the per-job deadline applied when a submission
 	// carries no timeout_ms; <= 0 means 10 minutes.
 	DefaultTimeout time.Duration
@@ -98,7 +107,7 @@ func New(cfg Config) *Server {
 	case cfg.CacheEntries == 0:
 		cfg.CacheEntries = 256
 	case cfg.CacheEntries < 0:
-		cfg.CacheEntries = 0 // disabled
+		cfg.CacheEntries = 0 // memory tier disabled
 	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 10 * time.Minute
@@ -109,7 +118,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:           cfg,
 		tel:           cfg.Telemetry,
-		cache:         newResultCache(cfg.CacheEntries, cfg.Telemetry),
+		cache:         newResultCache(cfg.CacheEntries, cfg.Store, cfg.Telemetry),
 		queue:         make(chan *job, cfg.QueueDepth),
 		jobs:          map[string]*job{},
 		sweeps:        map[string]*sweepJob{},
@@ -144,11 +153,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
@@ -160,30 +171,31 @@ func (s *Server) routes() {
 // a sweep spec a few KB long; anything bigger is a client bug or abuse.
 const maxBodyBytes = 1 << 20
 
-// jobRequest is the POST /v1/jobs body. Params stays raw here so the
-// strict decode (sim.DecodeParams — unknown fields, trailing data) is the
-// single authority for the overlay schema.
-type jobRequest struct {
+// JobRequest is the POST /v1/jobs body. Params stays raw so the strict
+// decode (sim.DecodeParams — unknown fields, trailing data) is the single
+// authority for the overlay schema. Exported: the typed client and the
+// cluster coordinator assemble the exact same body.
+type JobRequest struct {
 	Engine    string          `json:"engine"`
 	Params    json.RawMessage `json:"params"`
-	TimeoutMS int64           `json:"timeout_ms"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 }
 
-// sweepRequest is the POST /v1/sweeps body.
-type sweepRequest struct {
+// SweepRequest is the POST /v1/sweeps body.
+type SweepRequest struct {
 	Sweep     sim.Sweep `json:"sweep"`
-	TimeoutMS int64     `json:"timeout_ms"`
+	TimeoutMS int64     `json:"timeout_ms,omitempty"`
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	var req jobRequest
+	var req JobRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	p, err := sim.DecodeParams(req.Params)
 	if err != nil {
 		s.rejected("invalid").Inc()
-		s.writeError(w, &httpError{code: 400, msg: err.Error()})
+		s.writeError(w, &httpError{status: 400, code: CodeBadParams, msg: err.Error()})
 		return
 	}
 	j, err := s.submitJob(req.Engine, p, time.Duration(req.TimeoutMS)*time.Millisecond)
@@ -191,11 +203,11 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusAccepted, s.view(j))
+	WriteJSON(w, http.StatusAccepted, s.view(j))
 }
 
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
-	var req sweepRequest
+	var req SweepRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
@@ -207,7 +219,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	v := s.sweepViewLocked(sw)
 	s.mu.Unlock()
-	s.writeJSON(w, http.StatusAccepted, v)
+	WriteJSON(w, http.StatusAccepted, v)
 }
 
 func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
@@ -215,7 +227,7 @@ func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) 
 	j, ok := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if !ok {
-		s.writeError(w, &httpError{code: 404, msg: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		s.writeError(w, &httpError{status: 404, code: CodeNotFound, msg: fmt.Sprintf("no job %q", r.PathValue("id"))})
 	}
 	return j, ok
 }
@@ -225,7 +237,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.writeJSON(w, http.StatusOK, s.view(j))
+	WriteJSON(w, http.StatusOK, s.view(j))
 }
 
 // handleJobResult serves the canonical result JSON — the exact bytes
@@ -240,15 +252,16 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	status, raw, errMsg := j.status, j.raw, j.errMsg
 	s.mu.Unlock()
 	switch status {
-	case statusDone:
+	case StatusDone:
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		w.Write(raw)
 		w.Write([]byte("\n"))
-	case statusFailed, statusCanceled:
-		s.writeJSON(w, http.StatusConflict, map[string]string{"status": status, "error": errMsg})
+	case StatusFailed, StatusCanceled:
+		s.writeError(w, &httpError{status: 409, code: CodeConflict,
+			msg: fmt.Sprintf("job %s %s: %s", j.id, status, errMsg)})
 	default:
-		s.writeJSON(w, http.StatusAccepted, s.view(j))
+		WriteJSON(w, http.StatusAccepted, s.view(j))
 	}
 }
 
@@ -271,10 +284,10 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	v := s.viewLocked(j)
 	s.mu.Unlock()
 	if !changed {
-		s.writeError(w, &httpError{code: 409, msg: fmt.Sprintf("job %s already %s", j.id, v.Status)})
+		s.writeError(w, &httpError{status: 409, code: CodeConflict, msg: fmt.Sprintf("job %s already %s", j.id, v.Status)})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, v)
+	WriteJSON(w, http.StatusOK, v)
 }
 
 func (s *Server) lookupSweep(w http.ResponseWriter, r *http.Request) (*sweepJob, bool) {
@@ -282,7 +295,7 @@ func (s *Server) lookupSweep(w http.ResponseWriter, r *http.Request) (*sweepJob,
 	sw, ok := s.sweeps[r.PathValue("id")]
 	s.mu.Unlock()
 	if !ok {
-		s.writeError(w, &httpError{code: 404, msg: fmt.Sprintf("no sweep %q", r.PathValue("id"))})
+		s.writeError(w, &httpError{status: 404, code: CodeNotFound, msg: fmt.Sprintf("no sweep %q", r.PathValue("id"))})
 	}
 	return sw, ok
 }
@@ -295,17 +308,25 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	v := s.sweepViewLocked(sw)
 	s.mu.Unlock()
-	s.writeJSON(w, http.StatusOK, v)
+	WriteJSON(w, http.StatusOK, v)
 }
 
-// sweepResult is one spec-order slot of GET /v1/sweeps/{id}/result.
-type sweepResult struct {
+// SweepResult is one spec-order slot of GET /v1/sweeps/{id}/result.
+type SweepResult struct {
 	Index  int             `json:"index"`
 	JobID  string          `json:"job_id"`
 	Point  string          `json:"point"`
 	Cached bool            `json:"cached"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+}
+
+// SweepResults is the GET /v1/sweeps/{id}/result body: every expanded
+// point in spec order. The cluster coordinator emits the identical shape,
+// so a sharded sweep aggregates byte-identically to a single-node one.
+type SweepResults struct {
+	ID      string        `json:"id"`
+	Results []SweepResult `json:"results"`
 }
 
 func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
@@ -315,14 +336,14 @@ func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	v := s.sweepViewLocked(sw)
-	if v.Status != statusDone {
+	if v.Status != StatusDone {
 		s.mu.Unlock()
-		s.writeJSON(w, http.StatusAccepted, v)
+		WriteJSON(w, http.StatusAccepted, v)
 		return
 	}
-	out := make([]sweepResult, len(sw.children))
+	out := SweepResults{ID: sw.id, Results: make([]SweepResult, len(sw.children))}
 	for i, j := range sw.children {
-		out[i] = sweepResult{
+		out.Results[i] = SweepResult{
 			Index:  i,
 			JobID:  j.id,
 			Point:  sw.points[i].String(),
@@ -332,29 +353,37 @@ func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
-	s.writeJSON(w, http.StatusOK, map[string]any{"id": sw.id, "results": out})
+	WriteJSON(w, http.StatusOK, out)
+}
+
+// EngineView is one element of GET /v1/engines.
+type EngineView struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
 }
 
 func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
-	type engineView struct {
-		Name        string `json:"name"`
-		Description string `json:"description"`
-	}
-	var out []engineView
+	var out []EngineView
 	for _, name := range sim.Names() {
 		eng, err := sim.New(name, sim.Params{Workload: "164.gzip"})
 		if err != nil {
-			s.writeError(w, &httpError{code: 500, msg: err.Error()})
+			s.writeError(w, &httpError{status: 500, code: CodeInternal, msg: err.Error()})
 			return
 		}
-		out = append(out, engineView{Name: name, Description: eng.Describe()})
+		out = append(out, EngineView{Name: name, Description: eng.Describe()})
 	}
-	s.writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.tel.Metrics.WritePrometheus(w)
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status     string `json:"status"` // "ok" | "draining"
+	QueueDepth int    `json:"queue_depth"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -366,7 +395,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	s.writeJSON(w, code, map[string]any{"status": status, "queue_depth": len(s.queue)})
+	WriteJSON(w, code, Health{Status: status, QueueDepth: len(s.queue)})
 }
 
 // decodeBody strictly decodes a bounded JSON request body into dst.
@@ -375,33 +404,15 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) boo
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		s.rejected("invalid").Inc()
-		s.writeError(w, &httpError{code: 400, msg: fmt.Sprintf("decode request: %v", err)})
+		s.writeError(w, &httpError{status: 400, code: CodeBadParams, msg: fmt.Sprintf("decode request: %v", err)})
 		return false
 	}
 	if dec.More() {
 		s.rejected("invalid").Inc()
-		s.writeError(w, &httpError{code: 400, msg: "trailing data after JSON body"})
+		s.writeError(w, &httpError{status: 400, code: CodeBadParams, msg: "trailing data after JSON body"})
 		return false
 	}
 	return true
-}
-
-func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
-}
-
-func (s *Server) writeError(w http.ResponseWriter, err error) {
-	he, ok := err.(*httpError)
-	if !ok {
-		he = &httpError{code: 500, msg: err.Error()}
-	}
-	if he.retryAfter > 0 {
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", he.retryAfter))
-	}
-	s.writeJSON(w, he.code, map[string]string{"error": he.msg})
 }
 
 // Shutdown drains the server: new submissions are refused with 503, the
@@ -429,7 +440,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Lock()
 	for _, j := range s.jobs {
-		if j.status == statusQueued || j.status == statusRunning {
+		if j.status == StatusQueued || j.status == StatusRunning {
 			s.cancelLocked(j)
 		}
 	}

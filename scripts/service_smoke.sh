@@ -1,19 +1,20 @@
 #!/usr/bin/env sh
 # End-to-end smoke of the fastd job service, driven the way an operator
-# would: boot the daemon, submit one Figure-4 point (fast engine, 164.gzip,
+# would — through fastctl (cmd/fastctl), the CLI over the typed Go client:
+# boot the daemon, submit one Figure-4 point (fast engine, 164.gzip,
 # gshare) twice, and assert
 #   1. both jobs finish "done" with byte-identical result JSON,
 #   2. the second is served from the content-addressed cache
 #      (cached=true, service_cache_hits_total=1, exactly one engine run),
-#   3. SIGTERM drains gracefully (clean exit, final metrics dump written).
-# Needs only a built Go toolchain plus curl; jq is optional (falls back to
-# grep-level checks without it).
+#   3. rejections carry the typed error envelope (stable machine codes),
+#   4. the collection endpoint lists and paginates,
+#   5. SIGTERM drains gracefully (clean exit, final metrics dump written).
+# Needs only the Go toolchain: fastctl replaces curl+jq.
 set -eu
 
 PORT="${FASTD_PORT:-18080}"
 BASE="http://127.0.0.1:${PORT}"
 TMP="$(mktemp -d)"
-BIN="${TMP}/fastd"
 PID=""
 
 fail() {
@@ -28,64 +29,74 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-echo "== build fastd"
-go build -o "${BIN}" ./cmd/fastd
+echo "== build fastd + fastctl"
+go build -o "${TMP}/fastd" ./cmd/fastd
+go build -o "${TMP}/fastctl" ./cmd/fastctl
+ctl() { "${TMP}/fastctl" -addr "${BASE}" "$@"; }
 
 echo "== boot on :${PORT}"
-"${BIN}" -addr "127.0.0.1:${PORT}" -workers 2 -queue 8 \
+"${TMP}/fastd" -addr "127.0.0.1:${PORT}" -workers 2 -queue 8 \
     -metrics-dump "${TMP}/final-metrics.prom" >"${TMP}/fastd.log" 2>&1 &
 PID=$!
 
 i=0
-until curl -fsS "${BASE}/healthz" >/dev/null 2>&1; do
+until ctl health >/dev/null 2>&1; do
     i=$((i + 1))
     [ "$i" -gt 100 ] && fail "server never became healthy"
     kill -0 "${PID}" 2>/dev/null || fail "fastd exited during startup"
     sleep 0.1
 done
 
-BODY='{"engine":"fast","params":{"workload":"164.gzip","predictor":"gshare","max_instructions":50000}}'
-
-submit_and_wait() {
-    # $1: file to store the result bytes in. Echoes the job's cached flag.
-    resp="$(curl -fsS -d "${BODY}" "${BASE}/v1/jobs")" || fail "submit rejected: ${resp:-no response}"
-    if command -v jq >/dev/null 2>&1; then
-        id="$(echo "${resp}" | jq -r .id)"
-    else
-        id="$(echo "${resp}" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
-    fi
-    [ -n "${id}" ] || fail "no job id in response: ${resp}"
-    i=0
-    while :; do
-        view="$(curl -fsS "${BASE}/v1/jobs/${id}")"
-        case "${view}" in
-        *'"status":"done"'*) break ;;
-        *'"status":"failed"'* | *'"status":"canceled"'*) fail "job ${id} did not complete: ${view}" ;;
-        esac
-        i=$((i + 1))
-        [ "$i" -gt 300 ] && fail "job ${id} never finished: ${view}"
-        sleep 0.1
-    done
-    curl -fsS "${BASE}/v1/jobs/${id}/result" >"$1"
-    case "${view}" in
-    *'"cached":true'*) echo true ;;
-    *) echo false ;;
-    esac
-}
+PARAMS='{"workload":"164.gzip","predictor":"gshare","max_instructions":50000}'
 
 echo "== submit the Figure-4 point (cold)"
-first_cached="$(submit_and_wait "${TMP}/result1.json")"
-[ "${first_cached}" = false ] || fail "first submission claims to be cached"
+id1="$(ctl submit -engine fast -params "${PARAMS}" -id-only)" || fail "cold submit rejected"
+ctl result "${id1}" -wait >"${TMP}/result1.json" || fail "cold job did not finish"
+case "$(ctl job "${id1}")" in
+*'"cached":false'*) ;;
+*) fail "first submission claims to be cached" ;;
+esac
 
 echo "== submit the identical point again (must hit the cache)"
-second_cached="$(submit_and_wait "${TMP}/result2.json")"
-[ "${second_cached}" = true ] || fail "second submission was not served from cache"
+id2="$(ctl submit -engine fast -params "${PARAMS}" -id-only)" || fail "warm submit rejected"
+ctl result "${id2}" -wait >"${TMP}/result2.json" || fail "warm job did not finish"
+case "$(ctl job "${id2}")" in
+*'"cached":true'*) ;;
+*) fail "second submission was not served from cache" ;;
+esac
 
 cmp -s "${TMP}/result1.json" "${TMP}/result2.json" ||
     fail "cache hit is not byte-identical to the original result"
 
+echo "== rejections carry the typed error envelope"
+if ctl submit -engine warp-drive -params '{}' >/dev/null 2>"${TMP}/err.json"; then
+    fail "unknown engine was accepted"
+fi
+grep -q '"code":"unknown_engine"' "${TMP}/err.json" ||
+    fail "unknown-engine rejection lacks its envelope code: $(cat "${TMP}/err.json")"
+if ctl submit -engine fast -params '{"frobnicate":1}' >/dev/null 2>"${TMP}/err.json"; then
+    fail "bad params were accepted"
+fi
+grep -q '"code":"bad_params"' "${TMP}/err.json" ||
+    fail "bad-params rejection lacks its envelope code: $(cat "${TMP}/err.json")"
+
+echo "== collection endpoint lists and paginates"
+page="$(ctl jobs -limit 1)"
+case "${page}" in
+*"${id2}"*) ;;
+*) fail "newest-first listing missing ${id2}: ${page}" ;;
+esac
+case "${page}" in
+*'"next_after"'*) ;;
+*) fail "first page of two jobs has no cursor: ${page}" ;;
+esac
+case "$(ctl jobs -status done)" in
+*"${id1}"*) ;;
+*) fail "status=done listing missing ${id1}" ;;
+esac
+
 echo "== check the /metrics scrape"
-metrics="$(curl -fsS "${BASE}/metrics")"
+metrics="$(ctl metrics)"
 echo "${metrics}" | grep -q '^service_cache_hits_total 1$' ||
     fail "expected exactly one cache hit, got: $(echo "${metrics}" | grep service_cache || true)"
 echo "${metrics}" | grep -q '^service_engine_runs_total 1$' ||
@@ -106,4 +117,4 @@ PID=""
 grep -q '^service_cache_hits_total 1$' "${TMP}/final-metrics.prom" ||
     fail "final metrics dump missing or wrong"
 
-echo "SMOKE OK: cold run + byte-identical cache hit + graceful drain"
+echo "SMOKE OK: cold run + byte-identical cache hit + typed errors + listing + graceful drain"
