@@ -241,9 +241,10 @@ func BenchmarkFMExecution(b *testing.B) {
 
 // BenchmarkFMDecodeLoop isolates the fetch/decode/crack path the predecode
 // cache targets: the same instruction mix as BenchmarkFMExecution, run
-// FM-only with the cache on (the CLI default) and off. The spread between
-// the two sub-benchmarks is the cache's per-instruction win with no TM in
-// the loop to dilute it.
+// FM-only with the cache on (the CLI default) and off, plus the superblock
+// fast path on top of the cache (also the CLI default). The spread between
+// the sub-benchmarks is the per-instruction win with no TM in the loop to
+// dilute it; ns/op is per target instruction in all three.
 func BenchmarkFMDecodeLoop(b *testing.B) {
 	src := `
 		movi r0, 1000000000
@@ -259,17 +260,47 @@ func BenchmarkFMDecodeLoop(b *testing.B) {
 	for _, bc := range []struct {
 		name    string
 		entries int
+		sblen   int
 	}{
-		{"icache", fm.DefaultICacheEntries},
-		{"nocache", 0},
+		{"superblock", fm.DefaultICacheEntries, fm.DefaultSuperblockLen},
+		{"icache", fm.DefaultICacheEntries, 0},
+		{"nocache", 0, 0},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			m := fm.New(fm.Config{DisableInterrupts: true, ICacheEntries: bc.entries})
+			m := fm.New(fm.Config{
+				DisableInterrupts: true,
+				ICacheEntries:     bc.entries,
+				SuperblockLen:     bc.sblen,
+			})
 			m.LoadProgram(isa.MustAssemble(src, 0x1000))
+			// Commit at the TM's default chunk cadence: an uncommitted
+			// journal grows without bound and its growslice cost would
+			// swamp the decode/dispatch spread this benchmark isolates.
+			const commitStride = 64
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, ok := m.Step(); !ok {
-					b.Fatal("halted early")
+			if bc.sblen > 0 {
+				// Block-at-a-time with an always-continue sink, the way the
+				// coupled pump drives it with budget to spare.
+				sink := func(trace.Entry) bool { return true }
+				for produced, lastCommit := 0, 0; produced < b.N; {
+					n := m.StepBlock(sink)
+					if n == 0 {
+						b.Fatal("halted early")
+					}
+					produced += n
+					if produced-lastCommit >= commitStride {
+						m.Commit(m.IN() - 1)
+						lastCommit = produced
+					}
+				}
+			} else {
+				for i := 0; i < b.N; i++ {
+					if _, ok := m.Step(); !ok {
+						b.Fatal("halted early")
+					}
+					if i%commitStride == commitStride-1 {
+						m.Commit(m.IN() - 1)
+					}
 				}
 			}
 			b.ReportMetric(float64(b.N), "target-insts")

@@ -2,8 +2,15 @@
 // and gates pull requests on wall-time regressions against a committed
 // baseline. Two modes:
 //
-//	go test -bench=. -benchtime=1x -json | benchgate -emit bench.json
+//	go test -bench=. -benchtime=1x -count=3 -json | benchgate -emit bench.json
 //	benchgate -compare -baseline BENCH_baseline.json -current bench.json
+//
+// When the input carries repeated runs of a benchmark (`-count=N`), emit
+// keeps the per-benchmark MINIMUM ns/op — the run least disturbed by the
+// host — and records how many runs were folded in `runs`. Comparing minima
+// instead of single samples is what keeps the gate stable on shared CI
+// runners: one noisy stroke can inflate a single sample by far more than
+// the threshold, but it cannot deflate the minimum.
 //
 // Compare fails (exit 1) when any benchmark present in both files is slower
 // than baseline by more than -threshold (fractional, default 0.15). Very
@@ -35,6 +42,10 @@ type Bench struct {
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	// Runs counts the `-count` repetitions folded into this entry (emit
+	// keeps the fastest); 0/absent means a single run (pre-aggregation
+	// files).
+	Runs int `json:"runs,omitempty"`
 }
 
 // File is the bench.json schema.
@@ -86,6 +97,7 @@ func emitMode(path string) error {
 	if len(benches) == 0 {
 		return fmt.Errorf("benchgate: no benchmark results on stdin (pipe `go test -bench -json` output)")
 	}
+	benches = foldRuns(benches)
 	sort.Slice(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
 	out, err := json.MarshalIndent(File{Benchmarks: benches}, "", "  ")
 	if err != nil {
@@ -143,6 +155,31 @@ func parseStream() ([]Bench, error) {
 		partial[key] = s
 	}
 	return benches, sc.Err()
+}
+
+// foldRuns collapses `-count=N` repetitions of the same benchmark into one
+// entry holding the minimum-ns/op run (noise only ever adds time), with
+// Runs recording how many samples were folded. First-appearance order is
+// preserved; single-run input passes through with Runs == 1.
+func foldRuns(benches []Bench) []Bench {
+	index := map[string]int{}
+	var out []Bench
+	for _, b := range benches {
+		b.Runs = 1
+		i, seen := index[b.Name]
+		if !seen {
+			index[b.Name] = len(out)
+			out = append(out, b)
+			continue
+		}
+		if b.NsPerOp < out[i].NsPerOp {
+			b.Runs = out[i].Runs + 1
+			out[i] = b
+		} else {
+			out[i].Runs++
+		}
+	}
+	return out
 }
 
 func parseBenchLine(line string) (Bench, bool) {

@@ -30,6 +30,7 @@ func main() {
 	workers := flag.Int("workers", 0, "sim.Fleet workers for swept experiments (0 = GOMAXPROCS, 1 = sequential)")
 	traceChunk := flag.Int("tracechunk", 0, "FM→TM trace-buffer publish granularity for every run (0 = default; printed numbers are identical for any value ≥ 1)")
 	icacheEnt := flag.Int("icache", fm.DefaultICacheEntries, "FM predecode-cache entries for every run (0 = disable; printed numbers are identical at any value)")
+	superblock := flag.Int("superblock", fm.DefaultSuperblockLen, "FM superblock length cap for every run (0 = disable; printed numbers are identical at any value)")
 	quiet := flag.Bool("quiet", false, "suppress the stderr fleet progress line")
 	flag.Parse()
 
@@ -39,7 +40,7 @@ func main() {
 	runner := experiments.Runner{
 		Ctx:     ctx,
 		Fleet:   sim.Fleet{Workers: *workers},
-		Overlay: sim.Params{TraceChunk: *traceChunk, ICacheEntries: *icacheEnt},
+		Overlay: sim.Params{TraceChunk: *traceChunk, ICacheEntries: *icacheEnt, SuperblockLen: *superblock},
 	}
 	if !*quiet {
 		runner.Fleet.Progress = progressLine

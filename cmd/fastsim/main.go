@@ -49,6 +49,7 @@ func main() {
 		link        = flag.String("link", "drc", "host link: drc, pins, coherent")
 		traceChunk  = flag.Int("tracechunk", 0, "FM→TM trace-buffer publish granularity in entries (0 = default, 1 = per-entry; architectural results are identical for any value)")
 		icacheEnt   = flag.Int("icache", fm.DefaultICacheEntries, "FM predecode-cache entries, rounded up to a power of two (0 = disable; architected results and modeled times are bit-identical at any value)")
+		superblock  = flag.Int("superblock", fm.DefaultSuperblockLen, "FM superblock length cap (0 = disable; requires -icache > 0 and the journal rollback engine; architected results and modeled times are bit-identical at any value)")
 		printConfig = flag.Bool("print-config", false, "print the Figure 3 target configuration and exit")
 		printKernel = flag.Bool("print-kernel", false, "print the generated toyOS kernel assembly and exit")
 		disasm      = flag.Bool("disasm", false, "print the workload's kernel and user program disassembly and exit")
@@ -174,6 +175,7 @@ func main() {
 		MaxInstructions:     *maxInst,
 		TraceChunk:          *traceChunk,
 		ICacheEntries:       *icacheEnt,
+		SuperblockLen:       *superblock,
 		Telemetry:           tel,
 	})
 	if err != nil {

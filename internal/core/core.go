@@ -98,8 +98,11 @@ type Config struct {
 // DefaultConfig returns the prototype configuration of §4.
 func DefaultConfig() Config {
 	return Config{
-		TM:                     tm.DefaultConfig(),
-		FM:                     fm.Config{ICacheEntries: fm.DefaultICacheEntries},
+		TM: tm.DefaultConfig(),
+		FM: fm.Config{
+			ICacheEntries: fm.DefaultICacheEntries,
+			SuperblockLen: fm.DefaultSuperblockLen,
+		},
 		TBCapacity:             512,
 		Link:                   hostlink.DRC(),
 		Clock:                  fpga.DefaultClock,
@@ -176,6 +179,11 @@ type Sim struct {
 	committed     uint64
 	lastHost      uint64
 
+	// sink is the bound pumpSink handed to FM.StepBlock, created once at
+	// construction (a fresh method value per call would allocate). nil
+	// when superblocks are off — pump then takes the plain Step path.
+	sink func(trace.Entry) bool
+
 	err error
 }
 
@@ -216,6 +224,9 @@ func New(cfg Config) (*Sim, error) {
 		link: hostlink.New(cfg.Link),
 	}
 	s.link.Attach(cfg.Telemetry)
+	if s.FM.SuperblocksEnabled() {
+		s.sink = s.pumpSink
+	}
 	s.app = s.TB.NewAppender(cfg.TraceChunk)
 	s.app.OnFlush = s.onFlush
 	s.viewBuf = make([]trace.Entry, s.app.ChunkSize())
@@ -250,7 +261,9 @@ func (s *Sim) terminal() bool {
 // producing trace entries (running ahead speculatively, §3). Entries land
 // in the appender's local chunk; the trailing Flush publishes the partial
 // chunk so the TM.Step that follows sees exactly what per-entry coupling
-// would have shown it.
+// would have shown it. The FM runs a superblock at a time (StepBlock);
+// pumpSink re-checks the loop predicates after every entry, so the block
+// path stops at exactly the instruction per-instruction stepping would.
 func (s *Sim) pump() {
 	for {
 		if s.terminal() {
@@ -267,21 +280,37 @@ func (s *Sim) pump() {
 		if s.budget < s.cfg.FMNanosPerInst {
 			break
 		}
+		if s.sink != nil {
+			if s.FM.StepBlock(s.sink) == 0 {
+				break
+			}
+			continue
+		}
+		// Superblocks off: plain per-instruction stepping, no sink
+		// indirection on the hot path.
 		e, ok := s.FM.Step()
 		if !ok {
 			break
 		}
-		cost := s.entryCost(e)
-		s.budget -= cost
-		s.fmNanos += cost
-		if s.wrongPath {
-			s.wrongProduced++
-		}
-		if !s.app.TryAppend(e) {
-			panic("core: trace buffer overflow despite occupancy check")
-		}
+		s.pumpSink(e)
 	}
 	s.app.Flush()
+}
+
+// pumpSink accounts one produced entry and reports whether the current
+// superblock may keep running: the same budget and occupancy predicates
+// the pump loop checks between instructions.
+func (s *Sim) pumpSink(e trace.Entry) bool {
+	cost := s.entryCost(e)
+	s.budget -= cost
+	s.fmNanos += cost
+	if s.wrongPath {
+		s.wrongProduced++
+	}
+	if !s.app.TryAppend(e) {
+		panic("core: trace buffer overflow despite occupancy check")
+	}
+	return s.budget >= s.cfg.FMNanosPerInst && s.app.Live() < s.TB.Cap()
 }
 
 // onFlush observes every published chunk: the accumulated words of its

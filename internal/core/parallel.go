@@ -207,6 +207,23 @@ func (p *ParallelSim) producer() {
 	// the stream is declared over.
 	const idleLimit = 50_000_000
 	idleTicks := uint64(0)
+	// sink accounts one block-produced entry and parks the first that does
+	// not fit, stopping the block. Hoisted out of the loop (one closure for
+	// the goroutine's lifetime) and parking a fresh copy so the parameter
+	// itself never escapes — the hot path stays allocation-free.
+	sink := func(e trace.Entry) bool {
+		p.fmNanos += p.entryCost(e)
+		if p.wrongPath {
+			p.wrongProduced++
+		}
+		if !p.app.TryAppend(e) {
+			parked := e
+			pending = &parked
+			return false
+		}
+		return true
+	}
+	blocks := p.FM.SuperblocksEnabled()
 	for {
 		// Drain pending commands first — they may roll the FM back and
 		// invalidate the pending entry.
@@ -274,6 +291,17 @@ func (p *ParallelSim) producer() {
 			continue
 		}
 		idleTicks = 0
+		if blocks {
+			// Run a superblock at a time. The sink parks the first entry
+			// that does not fit and stops the block — the loop top then
+			// flushes and blocks on commands exactly as the
+			// per-instruction path did. Commands are drained once per
+			// block rather than per instruction; fast-parallel coupling
+			// is asynchronous by design (§3.3), so command latency is a
+			// performance knob, not an architectural one.
+			p.FM.StepBlock(sink)
+			continue
+		}
 		e, ok := p.FM.Step()
 		if !ok {
 			continue

@@ -52,7 +52,7 @@ type rollbackEngine interface {
 	// setPC rolls the model back so the next instruction is in at pc.
 	setPC(m *Model, in uint64, pc uint32) error
 	// window reports the number of uncommitted (rollback-able) instructions.
-	window() int
+	window(m *Model) int
 }
 
 type memUndo struct {
@@ -75,34 +75,52 @@ func undoMem(m *Model, undos []memUndo) {
 // ---------------------------------------------------------------------------
 // journalEngine
 
+// undoRecord captures everything needed to return the model to the state it
+// held when the record opened. A record normally spans one instruction; the
+// superblock executor (superblock.go) opens one record per *block*, so a
+// record spans [startIN, next record's startIN) — or [startIN, m.in) for
+// the open tail record.
 type undoRecord struct {
-	pre    Scalars
-	mem    []memUndo
-	tlbSet bool
-	tlbPre fullsys.TLB
-	busPre []any
-	halted bool
-	idle   uint64
+	startIN uint64 // IN of the first instruction the record covers
+	pre     Scalars
+	mem     []memUndo
+	tlbSet  bool
+	tlbPre  fullsys.TLB
+	busPre  []any
+	halted  bool
+	idle    uint64
 }
 
 type journalEngine struct {
 	journal []undoRecord
-	base    uint64 // IN of journal[0]
 }
 
 func (j *journalEngine) begin(m *Model) {
-	if len(j.journal) == 0 {
-		j.base = m.in
-	}
 	j.journal = append(j.journal, undoRecord{
-		pre:    m.Scalars,
-		halted: m.halted,
-		idle:   m.idle,
+		startIN: m.in,
+		pre:     m.Scalars,
+		halted:  m.halted,
+		idle:    m.idle,
 	})
 }
 
 func (j *journalEngine) abort(m *Model) {
 	j.journal = j.journal[:len(j.journal)-1]
+}
+
+// beginBlock opens one record covering a whole superblock: the snapshot at
+// the block's start plus the memory/TLB/device undo of every instruction
+// inside it. One record per block instead of one per instruction is the
+// superblock executor's "one rollback check per block".
+func (j *journalEngine) beginBlock(m *Model) { j.begin(m) }
+
+// endBlock closes the block record; retired is the number of instructions
+// it ended up covering (a block can end early on faults, SMC splits or a
+// full trace buffer). A record that covers nothing is dropped.
+func (j *journalEngine) endBlock(m *Model, retired int) {
+	if retired == 0 {
+		j.abort(m)
+	}
 }
 
 func (j *journalEngine) current() *undoRecord { return &j.journal[len(j.journal)-1] }
@@ -129,45 +147,92 @@ func (j *journalEngine) noteBus(m *Model) {
 
 func (j *journalEngine) noteIdle(*Model, uint64) {}
 
+// commit trims records from the front while they are fully committed: a
+// record is releasable only once every instruction it covers is <= in (for
+// one-instruction records this reduces to startIN <= in, the pre-superblock
+// behaviour).
 func (j *journalEngine) commit(m *Model, in uint64) {
-	if in < j.base {
-		return
+	k := 0
+	for k < len(j.journal) {
+		end := m.in
+		if k+1 < len(j.journal) {
+			end = j.journal[k+1].startIN
+		}
+		if end > in+1 {
+			break
+		}
+		k++
 	}
-	keep := in + 1 - j.base
-	if keep >= uint64(len(j.journal)) {
-		j.journal = j.journal[:0]
-		j.base = m.in
-		return
+	if k > 0 {
+		n := copy(j.journal, j.journal[k:])
+		j.journal = j.journal[:n]
 	}
-	n := copy(j.journal, j.journal[keep:])
-	j.journal = j.journal[:n]
-	j.base = in + 1
 }
 
+// setPC pops records until the model sits at a record boundary at or below
+// in, then — when in falls *inside* a block record — replays forward to in
+// by re-executing from the restored state. The replay is deterministic: the
+// restored state is bit-identical to the original block entry, and block
+// formation guarantees no device event or interrupt could fire inside the
+// span. Replayed instructions are a host-side artifact of block-granular
+// records, not the paper's §3.1 αBA re-execution, so they are *not* counted
+// in ReExecuted (m.replay suppresses all statistics).
 func (j *journalEngine) setPC(m *Model, in uint64, pc uint32) error {
-	if in < j.base {
-		return fmt.Errorf("fm: set_pc(%d) below committed window (base %d)", in, j.base)
+	base := m.in
+	if len(j.journal) > 0 {
+		base = j.journal[0].startIN
+	}
+	if in < base {
+		return fmt.Errorf("fm: set_pc(%d) below committed window (base %d)", in, base)
 	}
 	for m.in > in {
-		r := &j.journal[len(j.journal)-1]
-		undoMem(m, r.mem)
-		if r.tlbSet {
-			m.TLB.Restore(r.tlbPre)
+		j.undoTop(m)
+	}
+	if m.in < in {
+		m.replay = true
+		defer func() { m.replay = false }()
+		for m.in < in {
+			// Each replayed Step opens a fresh per-instruction record, so
+			// the replayed prefix stays rollback-able.
+			if _, ok := m.Step(); !ok {
+				return fmt.Errorf("fm: journal replay stalled at IN %d (target %d)", m.in, in)
+			}
 		}
-		if r.busPre != nil {
-			m.Bus.Restore(r.busPre)
-		}
-		m.Scalars = r.pre
-		m.halted = r.halted
-		m.idle = r.idle
-		j.journal = j.journal[:len(j.journal)-1]
-		m.in--
 	}
 	m.PC = pc
 	return nil
 }
 
-func (j *journalEngine) window() int { return len(j.journal) }
+// undoTop restores everything the newest record captured — memory, TLB,
+// device, scalar state and the instruction counter — and removes it. This
+// is a real state rewind, unlike abort, which merely discards a record
+// whose instruction never mutated anything (or whose partial effects are
+// deliberately left in place on a fatal stop, matching Step).
+func (j *journalEngine) undoTop(m *Model) {
+	r := &j.journal[len(j.journal)-1]
+	undoMem(m, r.mem)
+	if r.tlbSet {
+		m.TLB.Restore(r.tlbPre)
+	}
+	if r.busPre != nil {
+		m.Bus.Restore(r.busPre)
+	}
+	m.Scalars = r.pre
+	m.halted = r.halted
+	m.idle = r.idle
+	m.in = r.startIN
+	j.journal = j.journal[:len(j.journal)-1]
+}
+
+// window reports uncommitted instructions. With block-granularity records
+// len(journal) undercounts, so the span is measured in INs — identical to
+// the record count in the per-instruction case.
+func (j *journalEngine) window(m *Model) int {
+	if len(j.journal) == 0 {
+		return 0
+	}
+	return int(m.in - j.journal[0].startIN)
+}
 
 // ---------------------------------------------------------------------------
 // checkpointEngine
@@ -317,7 +382,7 @@ func (c *checkpointEngine) setPC(m *Model, in uint64, pc uint32) error {
 	return nil
 }
 
-func (c *checkpointEngine) window() int {
+func (c *checkpointEngine) window(*Model) int {
 	if len(c.segs) == 0 {
 		return 0
 	}
@@ -338,7 +403,7 @@ func (m *Model) Commit(in uint64) { m.engine.commit(m, in) }
 
 // JournalLen reports the number of uncommitted instructions (rollback
 // window size).
-func (m *Model) JournalLen() int { return m.engine.window() }
+func (m *Model) JournalLen() int { return m.engine.window(m) }
 
 // ReExecuted returns instructions replayed by checkpoint rollbacks (0 for
 // the journal engine) — §3.1's αBA extra work.
@@ -363,7 +428,7 @@ func (m *Model) SetPC(in uint64, pc uint32) error {
 	}
 	m.Rollbacks++
 	m.obs.rollbacks.Inc()
-	m.obs.journalDepth.Observe(float64(m.engine.window()))
+	m.obs.journalDepth.Observe(float64(m.engine.window(m)))
 	m.obs.rollbackDist.Observe(float64(m.in - in))
 	// A fatal condition reached on the speculative path dies with the
 	// re-steer: the faulting instruction was aborted (neither state nor IN

@@ -64,6 +64,16 @@ type Config struct {
 	// bit-identical at any value — the knob trades host memory for FM
 	// speed only.
 	ICacheEntries int
+	// SuperblockLen caps superblock length (superblock.go): straight-line
+	// runs of predecoded instructions executed as a fused closure chain
+	// with one rollback/interrupt/device check per block. 0 disables
+	// superblocks; they also require the predecode cache (ICacheEntries >
+	// 0) and the journal rollback engine — under RollbackCheckpoint,
+	// block-granular accounting would move checkpoint placement and hence
+	// the modeled re-execution cost, so the knob is ignored there. Like
+	// ICacheEntries, architected state and the emitted trace are
+	// bit-identical at any value.
+	SuperblockLen int
 	// Encoding selects the trace compression model for link accounting.
 	Encoding trace.EncodeOptions
 	// DisableInterrupts prevents autonomous interrupt delivery; used by
@@ -100,8 +110,13 @@ type Model struct {
 	Bus *fullsys.Bus
 
 	table  *microcode.Table
-	icache *icache // predecode cache; nil when disabled
-	cfg    Config
+	icache *icache  // predecode cache; nil when disabled
+	sb     *sbCache // superblock cache; nil when disabled
+	// sbEnt is StepBlock's scratch trace entry: its address crosses the
+	// op.run function-pointer boundary, so a loop-local would be forced to
+	// heap-allocate per instruction. execute never retains the pointer.
+	sbEnt trace.Entry
+	cfg   Config
 
 	in     uint64 // next instruction number to produce
 	halted bool
@@ -110,6 +125,7 @@ type Model struct {
 	replay bool   // inside a checkpoint-engine replay: skip statistics
 
 	engine rollbackEngine
+	jeng   *journalEngine // engine when journal mode; nil under checkpoints
 	obs    fmInstruments
 
 	// Statistics.
@@ -151,10 +167,14 @@ func New(cfg Config) *Model {
 	if cfg.Rollback == RollbackCheckpoint {
 		m.engine = newCheckpointEngine(cfg.CheckpointInterval)
 	} else {
-		m.engine = &journalEngine{}
+		m.jeng = &journalEngine{}
+		m.engine = m.jeng
 	}
 	if cfg.ICacheEntries > 0 {
 		m.icache = newICache(cfg.ICacheEntries, cfg.MemBytes)
+		if cfg.SuperblockLen > 0 && m.jeng != nil {
+			m.sb = newSBCache(cfg.SuperblockLen, m.icache)
+		}
 	}
 	cfg.Coherence.attach(m)
 	m.obs.attach(cfg.Telemetry, m.series())
@@ -213,6 +233,12 @@ func (m *Model) PublishTelemetry(tel *obs.Telemetry) {
 		tel.Counter(series("fm_icache_invalidations_total")).Add(c.invalidations)
 		tel.Counter(series("fm_icache_flushes_total")).Add(c.flushes)
 	}
+	if c := m.sb; c != nil {
+		tel.Counter(series("fm_superblock_hits_total")).Add(c.hits)
+		tel.Counter(series("fm_superblock_misses_total")).Add(c.misses)
+		tel.Counter(series("fm_superblock_splits_total")).Add(c.splits)
+		tel.Counter(series("fm_superblock_invalidations_total")).Add(c.invalidations)
+	}
 }
 
 // ICacheStats reports the predecode-cache counters (all zero when the
@@ -232,6 +258,9 @@ func (m *Model) Table() *microcode.Table { return m.table }
 func (m *Model) LoadProgram(p *isa.Program) {
 	m.Mem.Load(p.Base, p.Code)
 	m.icache.flush()
+	// Page generations survive an icache flush, so block entries would
+	// still generation-match stale bytes: drop them outright.
+	m.sb.flush()
 	m.PC = p.Entry
 }
 

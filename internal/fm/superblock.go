@@ -1,0 +1,369 @@
+package fm
+
+import (
+	"repro/internal/fullsys"
+	"repro/internal/isa"
+	"repro/internal/microcode"
+	"repro/internal/trace"
+)
+
+// Superblock threaded execution, built on top of the predecode cache
+// (icache.go): straight-line runs of predecoded instructions are formed
+// once and then executed as a chain of pre-bound closures with ONE
+// rollback record, ONE interrupt/device check and ONE translation per
+// block instead of one per instruction. Trace entries are assembled
+// block-at-a-time and handed to the caller's sink, which enforces the
+// coupling loop's per-entry predicates (budget, buffer occupancy) so a
+// block stops at exactly the instruction a per-instruction loop would
+// have stopped at — the property that keeps every architected and
+// modeled number bit-identical at any SuperblockLen.
+//
+// Block formation walks physical memory forward from the entry PC's
+// translation, reusing (and filling) the predecode cache per candidate,
+// and stops at:
+//
+//   - a terminator instruction (included as the block's last op): any
+//     branch/call/ret/trap, HALT, ll/sc (the link register must see
+//     per-boundary semantics, and multicore converge-at-boundary rides
+//     on that), TLB/CR writes (they can change translation), port I/O
+//     and STI (they can change device/interrupt state mid-block);
+//   - a physical page end (blocks never span pages, so ONE page
+//     generation compare validates a whole block — page-crossing
+//     predecode entries are skipped for the same reason);
+//   - a decode failure (the per-instruction path raises the fault);
+//   - the configured length cap.
+//
+// Invalidation rides the predecode cache's per-physical-page generation
+// counters: stores (own, remote-core via Coherence, or rollback memory
+// undo) bump the page generation, and a block whose fill-time generation
+// disagrees re-forms. A store *inside* a running block is caught by a
+// post-instruction generation compare and splits the block (the executed
+// prefix is correct; the stale suffix never runs). LoadProgram flushes
+// the block cache outright — page generations survive an icache flush,
+// so stale blocks would otherwise still generation-match.
+//
+// Entry conditions (checked once per block, replacing the per-instruction
+// Bus.Due/Tick and interrupt-delivery checks of Step):
+//
+//   - no interrupt is deliverable right now, and none can become
+//     deliverable mid-block: pending lines only change via device events
+//     or port I/O, FlagI is only set by terminators, and
+//   - no device event falls due inside the block's device-time span
+//     (Bus.NextDue), so the skipped Bus.Tick calls are state-identical
+//     no-ops. Device `now` fields are not snapshot state and port I/O
+//     re-ticks before touching a device, so skipping them is
+//     unobservable.
+//
+// When any condition fails, StepBlock degrades to a single Step().
+
+// DefaultSuperblockLen is the superblock length cap the CLIs and the
+// direct core.DefaultConfig use. Like ICacheEntries, the knob only trades
+// host memory for FM speed — architected results are identical at any
+// value, including 0 (disabled).
+const DefaultSuperblockLen = 32
+
+// sbOp is one predecoded instruction inside a superblock. Register names
+// and the µop instantiation are copied out of the predecode-cache slot at
+// formation time (slots are direct-mapped and unstable); run is the
+// pre-bound execution closure — the "threaded code" dispatch.
+type sbOp struct {
+	off  isa.Word // byte offset from the block's first instruction
+	size uint8
+	inst isa.Inst
+	pre  microcode.Precracked
+
+	srcA, srcB, dst   isa.Reg
+	readsCC, writesCC bool
+
+	run func(m *Model, nextPC isa.Word, e *trace.Entry) *fault
+}
+
+// sbEntry is one direct-mapped superblock-cache slot. len(ops) == 0 marks
+// an empty slot.
+type sbEntry struct {
+	pa   isa.Word // physical address of the first instruction byte
+	page isa.Word // pa >> PageShift (blocks never span pages)
+	gen  uint32   // the page's store generation at formation time
+	ops  []sbOp
+}
+
+// sbCache is the direct-mapped superblock cache. It shares the predecode
+// cache's per-page generation counters, so every existing invalidation
+// path (stores, coherence fan-out, rollback memory undo) covers blocks
+// for free.
+type sbCache struct {
+	slots  []sbEntry
+	mask   isa.Word
+	maxLen int
+	ic     *icache
+
+	// Statistics, published as fm_superblock_* by Model.PublishTelemetry.
+	hits          uint64
+	misses        uint64
+	splits        uint64 // blocks ended early by an in-block store (SMC)
+	invalidations uint64 // probes rejected by a stale page generation
+}
+
+// newSBCache sizes the block cache to the predecode cache's slot count
+// (already a power of two) and caps blocks at maxLen instructions.
+func newSBCache(maxLen int, ic *icache) *sbCache {
+	return &sbCache{
+		slots:  make([]sbEntry, len(ic.slots)),
+		mask:   isa.Word(len(ic.slots) - 1),
+		maxLen: maxLen,
+		ic:     ic,
+	}
+}
+
+// probe looks up the block starting at physical address pa.
+func (c *sbCache) probe(pa isa.Word) *sbEntry {
+	e := &c.slots[pa&c.mask]
+	if len(e.ops) == 0 || e.pa != pa {
+		c.misses++
+		return nil
+	}
+	if e.gen != c.ic.pageGen[e.page] {
+		c.invalidations++
+		c.misses++
+		return nil
+	}
+	c.hits++
+	return e
+}
+
+// stale reports whether a store has hit the block's page since formation
+// (checked after every executed instruction to catch in-block SMC).
+func (c *sbCache) stale(e *sbEntry) bool { return e.gen != c.ic.pageGen[e.page] }
+
+// flush empties the block cache (program load).
+func (c *sbCache) flush() {
+	if c == nil {
+		return
+	}
+	clear(c.slots)
+}
+
+// blockTerminator reports whether op must end a superblock: anything that
+// redirects the PC, halts, touches the ll/sc link, changes translation
+// state, or can change device/interrupt state mid-block.
+func blockTerminator(op isa.Op) bool {
+	switch op {
+	case isa.OpJmp, isa.OpJz, isa.OpJnz, isa.OpJl, isa.OpJge, isa.OpJg,
+		isa.OpJle, isa.OpJc, isa.OpJnc, isa.OpJmpR, isa.OpCall, isa.OpCallR,
+		isa.OpRet, isa.OpLoop, isa.OpJmpFar, isa.OpCallFar,
+		isa.OpSyscall, isa.OpBreak, isa.OpIret, isa.OpHalt,
+		isa.OpLl, isa.OpSc,
+		isa.OpTlbWr, isa.OpTlbFl, isa.OpMovCR,
+		isa.OpIn, isa.OpOut, isa.OpSti:
+		return true
+	}
+	return false
+}
+
+// form builds, installs and returns the superblock starting at (pc, pa),
+// or nil when not even one instruction qualifies. Candidates come from
+// the predecode cache when present (page-crossing entries stop the walk)
+// and are decoded-and-filled otherwise, so formation leaves the
+// per-instruction path's cache warm too.
+func (c *sbCache) form(m *Model, pc, pa isa.Word) *sbEntry {
+	page := pa >> fullsys.PageShift
+	pageEnd := (page + 1) << fullsys.PageShift
+	paged := !m.Kernel() && m.CR[isa.CRPaging] != 0
+	ops := make([]sbOp, 0, c.maxLen)
+	off := isa.Word(0)
+	for len(ops) < c.maxLen {
+		cur := pa + off
+		if cur >= pageEnd || !m.Mem.InRange(cur, 1) {
+			break
+		}
+		var op sbOp
+		if ce, ok := m.icache.probe(cur, paged); ok {
+			if ce.crosses {
+				break
+			}
+			op = sbOp{
+				off: off, size: ce.size, inst: ce.inst, pre: ce.pre,
+				srcA: ce.srcA, srcB: ce.srcB, dst: ce.dst,
+				readsCC: ce.readsCC, writesCC: ce.writesCC,
+			}
+		} else {
+			// Decode with the byte window capped at the page end: a decode
+			// that succeeds cannot cross, and one that would have crossed
+			// fails here and ends the block instead.
+			n := isa.MaxInstLen
+			if rem := int(pageEnd - cur); rem < n {
+				n = rem
+			}
+			if rem := m.Mem.Size() - int(cur); rem < n {
+				n = rem
+			}
+			inst, derr := isa.Decode(m.Mem.Bytes(cur, n), pc+off)
+			if derr != nil {
+				break
+			}
+			pre := m.table.Precrack(inst)
+			m.icache.fill(cur, inst, false, paged, page, pre)
+			var scratch trace.Entry
+			fillRegs(inst, &scratch)
+			op = sbOp{
+				off: off, size: uint8(inst.Size), inst: inst, pre: pre,
+				srcA: scratch.SrcA, srcB: scratch.SrcB, dst: scratch.Dst,
+				readsCC: scratch.ReadsCC, writesCC: scratch.WritesCC,
+			}
+		}
+		bound := op.inst
+		op.run = func(m *Model, nextPC isa.Word, e *trace.Entry) *fault {
+			return m.execute(bound, nextPC, e)
+		}
+		ops = append(ops, op)
+		if blockTerminator(op.inst.Op) {
+			break
+		}
+		off += isa.Word(op.size)
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	e := &c.slots[pa&c.mask]
+	*e = sbEntry{pa: pa, page: page, gen: c.ic.pageGen[page], ops: ops}
+	return e
+}
+
+// blockReady returns the superblock at the current PC when the block fast
+// path may run right now, nil when the caller must take the
+// per-instruction path: superblocks disabled, target halted/fatal, an
+// interrupt deliverable (or able to become deliverable mid-block), a
+// device event due inside the block's device-time span, a fetch that
+// faults (the per-instruction path raises it), or no formable block.
+func (m *Model) blockReady() *sbEntry {
+	c := m.sb
+	if c == nil || m.halted || m.fatal != nil {
+		return nil
+	}
+	if !m.cfg.DisableInterrupts && m.Flags&isa.FlagI != 0 && m.Bus.Pending() >= 0 {
+		return nil
+	}
+	now := m.Now()
+	if m.Bus.NextDue(now) <= now+uint64(c.maxLen) {
+		return nil
+	}
+	pa, f := m.translate(m.PC, false)
+	if f != nil || !m.Mem.InRange(pa, 1) {
+		return nil
+	}
+	if e := c.probe(pa); e != nil {
+		return e
+	}
+	return c.form(m, m.PC, pa)
+}
+
+// StepBlock executes up to one superblock of dynamic instructions,
+// invoking sink with each produced trace entry in order. sink's return
+// value is the continuation predicate: returning false stops the block
+// after the entry just delivered (the caller's budget or buffer gate),
+// leaving the model at that exact instruction boundary. The return value
+// is the number of entries produced (0 means the target is halted or
+// fatal, exactly like Step's ok == false).
+//
+// When the block path is unavailable StepBlock executes a single Step()
+// — so a caller looping over StepBlock is behaviourally identical to one
+// looping over Step, just faster.
+func (m *Model) StepBlock(sink func(trace.Entry) bool) int {
+	blk := m.blockReady()
+	if blk == nil {
+		e, ok := m.Step()
+		if !ok {
+			return 0
+		}
+		sink(e)
+		return 1
+	}
+	j := m.jeng
+	j.beginBlock(m)
+	retired := 0
+	basePC := m.PC
+	for i := range blk.ops {
+		op := &blk.ops[i]
+		e := &m.sbEnt
+		*e = trace.Entry{IN: m.in, PC: basePC + op.off, Kernel: m.Kernel()}
+		e.PPC = blk.pa + op.off
+		e.Op = op.inst.Op
+		e.Size = op.size
+		e.SrcA, e.SrcB, e.Dst = op.srcA, op.srcB, op.dst
+		e.ReadsCC, e.WritesCC = op.readsCC, op.writesCC
+		nextPC := e.PC + isa.Word(op.size)
+		f := op.run(m, nextPC, e)
+		if f != nil || m.fatal != nil {
+			// Rare slow path: an exception (or a fatal condition) inside the
+			// block. The block journal record cannot undo just the faulting
+			// instruction's partial effects without per-instruction
+			// snapshots, so undo the WHOLE block, re-execute the retired
+			// prefix per-instruction under the replay flag (its entries are
+			// already delivered and its statistics already counted), and let
+			// Step handle the faulting instruction exactly as the
+			// per-instruction path would — including trap delivery, the
+			// Exceptions counter and the fatal abort.
+			return m.replayFault(sink, retired)
+		}
+		ent, _ := m.finishEntry(*e, op.inst, &op.pre)
+		retired++
+		if !sink(ent) {
+			break
+		}
+		if m.halted {
+			break
+		}
+		if m.sb.stale(blk) {
+			// An in-block store hit this block's page: the executed prefix
+			// is correct, the predecoded suffix may not be. Split here; the
+			// next probe re-forms from fresh bytes.
+			m.sb.splits++
+			break
+		}
+	}
+	j.endBlock(m, retired)
+	return retired
+}
+
+// replayFault recovers from an exception or fatal condition raised inside
+// a superblock: the open block record is rolled back wholesale, the
+// already-delivered prefix is re-executed silently, and the faulting
+// instruction re-runs through Step on the per-instruction path. Replay is
+// deterministic — blockReady proved no interrupt or device event falls in
+// the window, and the prefix cannot have patched its own block (the
+// staleness check splits first).
+func (m *Model) replayFault(sink func(trace.Entry) bool, retired int) int {
+	m.jeng.undoTop(m)
+	m.fatal = nil
+	if retired > 0 {
+		m.replay = true
+		for k := 0; k < retired; k++ {
+			if _, ok := m.Step(); !ok {
+				m.replay = false
+				panic("fm: superblock prefix replay diverged")
+			}
+		}
+		m.replay = false
+	}
+	if e, ok := m.Step(); ok {
+		retired++
+		sink(e)
+	}
+	return retired
+}
+
+// SuperblocksEnabled reports whether the block fast path exists at all
+// (Config.SuperblockLen > 0 with the predecode cache and journal engine
+// present). Callers may use it to skip StepBlock's sink indirection and
+// drive Step directly when blocks can never form.
+func (m *Model) SuperblocksEnabled() bool { return m.sb != nil }
+
+// SuperblockStats reports the superblock-cache counters (all zero when
+// disabled): block probe hits, misses, SMC splits and generation-stale
+// probe invalidations.
+func (m *Model) SuperblockStats() (hits, misses, splits, invalidations uint64) {
+	if m.sb == nil {
+		return 0, 0, 0, 0
+	}
+	return m.sb.hits, m.sb.misses, m.sb.splits, m.sb.invalidations
+}

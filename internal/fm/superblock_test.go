@@ -1,0 +1,312 @@
+package fm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// sbModel builds a model with the superblock fast path enabled (small
+// caches, so conflict evictions happen too).
+func sbModel(prog *isa.Program, sblen int) *Model {
+	m := New(Config{
+		MemBytes:          1 << 20,
+		DisableInterrupts: true,
+		ICacheEntries:     64,
+		SuperblockLen:     sblen,
+	})
+	m.LoadProgram(prog)
+	return m
+}
+
+// sbDrain runs m block-at-a-time with an always-continue sink (the way the
+// coupled pump drives it with budget to spare) until the stream ends or
+// max entries have been produced. It returns the entries and the per-call
+// retired counts (the observed block lengths).
+func sbDrain(t *testing.T, m *Model, max int) ([]trace.Entry, []int) {
+	t.Helper()
+	var entries []trace.Entry
+	var blocks []int
+	for len(entries) < max {
+		n := m.StepBlock(func(e trace.Entry) bool {
+			entries = append(entries, e)
+			return true
+		})
+		if n == 0 {
+			if m.Fatal() != nil {
+				t.Fatalf("fatal after %d entries: %v", len(entries), m.Fatal())
+			}
+			break
+		}
+		blocks = append(blocks, n)
+	}
+	return entries, blocks
+}
+
+// sbReference runs src per-instruction on a plain model (no caches) and
+// returns it with its trace.
+func sbReference(t *testing.T, prog *isa.Program, max int) (*Model, []trace.Entry) {
+	t.Helper()
+	m := New(Config{MemBytes: 1 << 20, DisableInterrupts: true})
+	m.LoadProgram(prog)
+	var out []trace.Entry
+	for i := 0; i < max; i++ {
+		e, ok := m.Step()
+		if !ok {
+			if m.Fatal() != nil {
+				t.Fatalf("fatal after %d steps: %v", i, m.Fatal())
+			}
+			break
+		}
+		out = append(out, e)
+	}
+	return m, out
+}
+
+func sbCompare(t *testing.T, name string, got, want []trace.Entry, gotM, wantM *Model) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d entries, reference %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if !entriesEqual(got[i], want[i]) {
+			t.Fatalf("%s: entry %d differs:\n got %+v\nwant %+v", name, i, got[i], want[i])
+		}
+	}
+	if gotM.Scalars != wantM.Scalars {
+		t.Fatalf("%s: final scalar state differs:\n got %+v\nwant %+v", name, gotM.Scalars, wantM.Scalars)
+	}
+}
+
+// TestSuperblockSMCSplitsHotBlock patches an instruction inside the hot
+// loop body itself: the patch store lands on the block's own page while the
+// block is running, so the executor must split the block at the store and
+// re-form from fresh bytes — and the trace must match per-instruction
+// execution exactly.
+func TestSuperblockSMCSplitsHotBlock(t *testing.T) {
+	prog := isa.MustAssemble(`
+		movi r6, 0
+	loop:
+	target:
+		movi r7, 0x11111111
+		movi r0, target
+		addi r0, 2
+		movi r1, 0x22222222
+		stw  r1, [r0]
+		movi r5, 0x1234
+		addi r6, 1
+		cmpi r6, 4
+		jl   loop
+		halt
+	`, 0x1000)
+	ref, want := sbReference(t, prog, 1000)
+	for _, sblen := range []int{1, 8, 64} {
+		m := sbModel(prog, sblen)
+		got, _ := sbDrain(t, m, 1000)
+		sbCompare(t, "smc", got, want, m, ref)
+		if m.GPR[7] != 0x22222222 {
+			t.Errorf("sblen %d: R7 = %#x, want 0x22222222 (patched immediate)", sblen, m.GPR[7])
+		}
+		if sblen > 1 {
+			_, _, splits, _ := m.SuperblockStats()
+			if splits == 0 {
+				t.Errorf("sblen %d: in-block code store caused no split", sblen)
+			}
+		}
+	}
+}
+
+// TestSuperblockRollbackMidBlock re-steers the model to instruction
+// numbers that landed in the middle of executed superblocks, under a
+// randomized rollback/commit schedule over a self-modifying loop. Every
+// replay must reproduce the reference trace bit-exactly: this is the
+// block-granular journal's core obligation (records cover spans, setPC
+// pops whole records then replays forward to the target).
+func TestSuperblockRollbackMidBlock(t *testing.T) {
+	prog := isa.MustAssemble(`
+		movi sp, 0x9000
+		movi r6, 0
+		movi r3, 0x22222222
+		movi r4, 0x33333333
+	loop:
+	target:
+		movi r7, 0x11111111
+		add  r1, r7
+		movi r0, target
+		addi r0, 2
+		stw  r3, [r0]
+		mov  r5, r3
+		mov  r3, r4
+		mov  r4, r5
+		addi r6, 1
+		cmpi r6, 300
+		jl   loop
+		halt
+	`, 0x1000)
+	ref, want := sbReference(t, prog, 100_000)
+
+	m := sbModel(prog, 8)
+	rng := rand.New(rand.NewSource(7))
+	entries := make([]trace.Entry, len(want))
+	produced := 0
+	midBlock := 0
+	for {
+		n := m.StepBlock(func(e trace.Entry) bool {
+			if int(e.IN) < len(entries) {
+				entries[e.IN] = e
+			}
+			produced++
+			return true
+		})
+		if n == 0 {
+			if m.Fatal() != nil {
+				t.Fatalf("fatal: %v", m.Fatal())
+			}
+			break
+		}
+		// Re-steers target the same PC the instruction already had, so the
+		// replayed path is the original path and the final trace must equal
+		// a straight run's.
+		if rng.Intn(4) == 0 && m.JournalLen() > 1 {
+			back := rng.Intn(min(20, m.JournalLen()-1)) + 1
+			target := m.IN() - uint64(back)
+			if back < n {
+				midBlock++ // target lands inside the block just executed
+			}
+			if err := m.SetPC(target, entries[target].PC); err != nil {
+				t.Fatalf("SetPC(%d): %v", target, err)
+			}
+		}
+		if rng.Intn(13) == 0 && m.IN() > 40 {
+			m.Commit(m.IN() - 40)
+		}
+	}
+	sbCompare(t, "rollback", entries, want, m, ref)
+	if m.Rollbacks == 0 || midBlock == 0 {
+		t.Fatalf("schedule exercised %d rollbacks (%d mid-block), want both > 0",
+			m.Rollbacks, midBlock)
+	}
+	if produced <= len(want) {
+		t.Errorf("produced %d entries total, want > %d (re-steers must replay work)",
+			produced, len(want))
+	}
+}
+
+// TestSuperblockLLSCTerminatesBlock pins the block-boundary rule for the
+// atomics: both LL and SC end the block they appear in, so the multicore
+// converge-at-boundary semantics around the link register see exactly the
+// same instruction boundaries as per-instruction stepping.
+func TestSuperblockLLSCTerminatesBlock(t *testing.T) {
+	prog := isa.MustAssemble(`
+		movi r7, 0x5000
+		movi r0, 5
+		stw  r0, [r7]
+		ll   r1, [r7]
+		addi r1, 1
+		sc   r1, [r7]
+		ldw  r2, [r7]
+		halt
+	`, 0x1000)
+	ref, want := sbReference(t, prog, 100)
+	m := sbModel(prog, 64)
+	got, blocks := sbDrain(t, m, 100)
+	sbCompare(t, "llsc", got, want, m, ref)
+	// movi/movi/stw/ll | addi/sc | ldw/halt: LL and SC are terminators even
+	// with a 64-deep cap.
+	wantBlocks := []int{4, 2, 2}
+	if len(blocks) != len(wantBlocks) {
+		t.Fatalf("block lengths %v, want %v", blocks, wantBlocks)
+	}
+	for i := range blocks {
+		if blocks[i] != wantBlocks[i] {
+			t.Fatalf("block lengths %v, want %v", blocks, wantBlocks)
+		}
+	}
+	if m.GPR[1] != 1 || m.GPR[2] != 6 {
+		t.Errorf("sc outcome r1=%d r2=%d, want 1, 6", m.GPR[1], m.GPR[2])
+	}
+}
+
+// FuzzSuperblockForm is the differential property behind every superblock
+// test: executing arbitrary byte soup block-at-a-time must produce exactly
+// the per-instruction model's trace and final state — faults, fatal stops
+// and all — and never panic. Block formation over garbage exercises decode
+// failures, length caps, page-end clipping and terminator detection.
+func FuzzSuperblockForm(f *testing.F) {
+	for _, src := range []string{
+		`movi r0, 3
+	loop:	addi r1, 3
+		stw  r1, [r2+0x4000]
+		ldw  r3, [r2+0x4000]
+		dec  r0
+		jnz  loop
+		halt`,
+		`movi r7, 0x5000
+		ll   r1, [r7]
+		addi r1, 1
+		sc   r1, [r7]
+		halt`,
+		`movi r0, 0x1000
+		movi r1, 0x22222222
+		stw  r1, [r0]
+		halt`,
+	} {
+		f.Add(isa.MustAssemble(src, 0x1000).Code)
+	}
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) > 4096 {
+			code = code[:4096]
+		}
+		prog := &isa.Program{Base: 0x1000, Code: code, Entry: 0x1000}
+		const max = 500
+
+		ref := New(Config{MemBytes: 1 << 20, DisableInterrupts: true})
+		ref.LoadProgram(prog)
+		var want []trace.Entry
+		for i := 0; i < max; i++ {
+			e, ok := ref.Step()
+			if !ok {
+				break
+			}
+			want = append(want, e)
+		}
+
+		m := New(Config{MemBytes: 1 << 20, DisableInterrupts: true,
+			ICacheEntries: 16, SuperblockLen: 8})
+		m.LoadProgram(prog)
+		var got []trace.Entry
+		for len(got) < max {
+			n := m.StepBlock(func(e trace.Entry) bool {
+				got = append(got, e)
+				return true
+			})
+			if n == 0 {
+				break
+			}
+		}
+		// The reference may have stopped at max mid-stream; compare the
+		// common prefix and the stop state only when both streams ended.
+		limit := min(len(got), len(want))
+		for i := 0; i < limit; i++ {
+			if !entriesEqual(got[i], want[i]) {
+				t.Fatalf("entry %d differs:\n got %+v\nwant %+v", i, got[i], want[i])
+			}
+		}
+		if len(want) < max && len(got) < max {
+			if len(got) != len(want) {
+				t.Fatalf("stream lengths differ: block %d, reference %d", len(got), len(want))
+			}
+			if m.Scalars != ref.Scalars {
+				t.Fatalf("final scalar state differs:\n got %+v\nwant %+v", m.Scalars, ref.Scalars)
+			}
+			if (m.Fatal() != nil) != (ref.Fatal() != nil) {
+				t.Fatalf("fatal mismatch: block %v, reference %v", m.Fatal(), ref.Fatal())
+			}
+		}
+	})
+}

@@ -191,6 +191,41 @@ func (b *Bus) Due(now uint64) bool {
 // Pending returns the pending interrupt line, or -1.
 func (b *Bus) Pending() int { return b.PIC.Pending() }
 
+// NoNextEvent is NextDue's "no event scheduled" sentinel.
+const NoNextEvent = ^uint64(0)
+
+// eventScheduler is the optional device extension behind Bus.NextDue: a
+// device that knows the absolute time of its next state change implements
+// it; one that does not (e.g. a test fake) is treated conservatively.
+type eventScheduler interface {
+	// NextDue returns the earliest absolute device time at or after which a
+	// Tick would change device state, or NoNextEvent when nothing is
+	// scheduled. Returning now (or less) means "assume something could
+	// happen immediately".
+	NextDue(now uint64) uint64
+}
+
+// NextDue returns the earliest absolute time at which any device's state
+// would change, or NoNextEvent when nothing is scheduled anywhere. The
+// functional model's superblock executor uses it to prove that a whole
+// straight-line block can run without a device event (and therefore
+// without per-instruction Bus.Tick calls) falling inside it. A device that
+// does not implement eventScheduler contributes now — conservatively
+// disabling any event-free window.
+func (b *Bus) NextDue(now uint64) uint64 {
+	min := uint64(NoNextEvent)
+	for _, d := range b.Devices {
+		t := now
+		if s, ok := d.(eventScheduler); ok {
+			t = s.NextDue(now)
+		}
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
 // Snapshot captures the whole bus (controller + every device) for rollback.
 func (b *Bus) Snapshot() []any {
 	out := make([]any, 0, len(b.Devices)+1)

@@ -42,7 +42,7 @@ func prepare(p Params) (*isa.Program, *workload.Boot, fm.Config, error) {
 	if p.Program != nil {
 		// Bare metal: no toyOS underneath, so nothing can service
 		// interrupts.
-		return p.Program, nil, fm.Config{DisableInterrupts: true, ICacheEntries: p.ICacheEntries}, nil
+		return p.Program, nil, fm.Config{DisableInterrupts: true, ICacheEntries: p.ICacheEntries, SuperblockLen: p.SuperblockLen}, nil
 	}
 	spec, err := p.workloadSpec()
 	if err != nil {
@@ -64,7 +64,7 @@ func prepare(p Params) (*isa.Program, *workload.Boot, fm.Config, error) {
 	if err != nil {
 		return nil, nil, fm.Config{}, err
 	}
-	return boot.Kernel, boot, fm.Config{Devices: boot.Devices(), ICacheEntries: p.ICacheEntries}, nil
+	return boot.Kernel, boot, fm.Config{Devices: boot.Devices(), ICacheEntries: p.ICacheEntries, SuperblockLen: p.SuperblockLen}, nil
 }
 
 // fastEngine runs the FAST simulator proper in either coupling mode.

@@ -118,6 +118,9 @@ func Merge(base, v Params) Params {
 	if v.ICacheEntries != 0 {
 		p.ICacheEntries = v.ICacheEntries
 	}
+	if v.SuperblockLen != 0 {
+		p.SuperblockLen = v.SuperblockLen
+	}
 	if v.Rollback != "" {
 		p.Rollback = v.Rollback
 	}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/fm"
 	"repro/internal/sim"
 )
 
@@ -145,6 +146,36 @@ func TestFastEngineTraceChunkInvariance(t *testing.T) {
 				for _, d := range diffs {
 					t.Error(d)
 				}
+			}
+		})
+	}
+}
+
+// TestFastEngineSuperblockInvariance is the superblock acceptance bar: any
+// superblock length — disabled, degenerate single-instruction blocks, short
+// or CLI-default-exceeding — must yield the identical Result as the
+// superblock-free configuration the seed goldens pin. This is what lets
+// Params.Key() omit SuperblockLen.
+func TestFastEngineSuperblockInvariance(t *testing.T) {
+	for _, w := range []string{"164.gzip", "Linux-2.4"} {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			base := runFast(t, sim.Params{Workload: w, MaxInstructions: 50_000})
+			for _, sblen := range []int{1, 8, 64} {
+				sblen := sblen
+				t.Run(fmt.Sprintf("superblock%d", sblen), func(t *testing.T) {
+					got := runFast(t, sim.Params{
+						Workload:        w,
+						MaxInstructions: 50_000,
+						ICacheEntries:   fm.DefaultICacheEntries,
+						SuperblockLen:   sblen,
+					})
+					if diffs := diffMaps("", base, got); len(diffs) != 0 {
+						for _, d := range diffs {
+							t.Error(d)
+						}
+					}
+				})
 			}
 		})
 	}

@@ -48,6 +48,9 @@ const (
 //   - ICacheEntries: the FM predecode cache is bit-invariant at every size
 //     including disabled (TestFastEngineICacheInvariance), so two
 //     submissions differing only in cache size are the same simulation.
+//   - SuperblockLen: the superblock fast path is likewise bit-invariant at
+//     every length including disabled
+//     (TestFastEngineSuperblockInvariance).
 //   - Telemetry: instrumentation reads the run, it never steers it.
 //   - Mutate: an opaque code hook cannot be hashed — Cacheable reports
 //     such Params as unaddressable and callers must not cache them.

@@ -96,6 +96,16 @@ type Params struct {
 	// value — the knob trades host memory for FM speed only.
 	ICacheEntries int `json:"icache_entries,omitempty"`
 
+	// SuperblockLen caps the functional model's superblock length:
+	// straight-line runs of predecoded instructions executed as a fused
+	// closure chain with one rollback/interrupt/device check per block.
+	// 0 disables superblocks; they additionally require the predecode
+	// cache (ICacheEntries > 0) and are ignored under Rollback
+	// "checkpoint". Like ICacheEntries the knob is bit-invariant:
+	// architected state, the emitted trace and every modeled number are
+	// identical at any value. FAST engines only.
+	SuperblockLen int `json:"superblock_len,omitempty"`
+
 	// Rollback selects the FM recovery mechanism: "" or "journal" (the
 	// per-instruction undo journal), "checkpoint" (periodic register-file
 	// checkpoints, ablation A7). FAST engines only.
@@ -147,6 +157,9 @@ func (p Params) validate() error {
 	}
 	if p.ICacheEntries < 0 {
 		return fmt.Errorf("sim: negative icache entries %d", p.ICacheEntries)
+	}
+	if p.SuperblockLen < 0 {
+		return fmt.Errorf("sim: negative superblock length %d", p.SuperblockLen)
 	}
 	if p.Cores < 0 || p.Cores > 64 {
 		return fmt.Errorf("sim: cores %d out of range (want 0..64)", p.Cores)
