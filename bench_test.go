@@ -24,6 +24,8 @@ import (
 	"repro/internal/fm"
 	"repro/internal/fpga"
 	"repro/internal/isa"
+	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/tm"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -390,6 +392,52 @@ func BenchmarkMulticoreCoupledSimulator(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkWarmStartSweep measures what the snapshot tier buys a
+// parameter sweep sharing one boot prefix: a 4-point instruction-cap
+// sweep over 253.perlbmk run cold (every point boots from reset) and
+// warm (the first point captures a boot snapshot, the rest resume from
+// it). ns/op is the full cold+warm pair, so the gate still catches
+// regressions on either path; warm-speedup-x is the wall-time ratio for
+// the second-and-later points — the number the warm-start tier exists
+// for — and resumed-points counts how many of them actually resumed.
+func BenchmarkWarmStartSweep(b *testing.B) {
+	caps := []uint64{16_500, 17_000, 17_500, 18_000}
+	runPoint := func(cap uint64, snaps sim.SnapshotStore) bool {
+		p := sim.Params{Workload: "253.perlbmk", MaxInstructions: cap, Snapshots: snaps}
+		eng, err := sim.New("fast", p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		_, resumed := eng.(sim.WarmStarted).ResumedFrom()
+		return resumed
+	}
+	var coldTail, warmTail time.Duration
+	var resumedPoints int
+	for i := 0; i < b.N; i++ {
+		runPoint(caps[0], nil)
+		mark := time.Now()
+		for _, c := range caps[1:] {
+			runPoint(c, nil)
+		}
+		coldTail += time.Since(mark)
+
+		snaps := service.NewSnapshotStore(nil, nil)
+		runPoint(caps[0], snaps) // capture
+		mark = time.Now()
+		for _, c := range caps[1:] {
+			if runPoint(c, snaps) {
+				resumedPoints++
+			}
+		}
+		warmTail += time.Since(mark)
+	}
+	b.ReportMetric(float64(coldTail)/float64(warmTail), "warm-speedup-x")
+	b.ReportMetric(float64(resumedPoints)/float64(b.N), "resumed-points")
 }
 
 // BenchmarkParallelCoupledSimulator is the same workload through the

@@ -22,6 +22,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fm"
+	"repro/internal/service"
+	"repro/internal/service/diskcache"
 	"repro/internal/sim"
 )
 
@@ -31,16 +33,24 @@ func main() {
 	traceChunk := flag.Int("tracechunk", 0, "FM→TM trace-buffer publish granularity for every run (0 = default; printed numbers are identical for any value ≥ 1)")
 	icacheEnt := flag.Int("icache", fm.DefaultICacheEntries, "FM predecode-cache entries for every run (0 = disable; printed numbers are identical at any value)")
 	superblock := flag.Int("superblock", fm.DefaultSuperblockLen, "FM superblock length cap for every run (0 = disable; printed numbers are identical at any value)")
+	snapshotDir := flag.String("snapshot-dir", "", "warm-start boot-snapshot directory shared by every run (empty = disabled; printed numbers are identical either way)")
 	quiet := flag.Bool("quiet", false, "suppress the stderr fleet progress line")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var snaps sim.SnapshotStore
+	if *snapshotDir != "" {
+		store, err := diskcache.New(*snapshotDir, 0, nil)
+		check(err)
+		snaps = service.NewSnapshotStore(store, nil)
+	}
+
 	runner := experiments.Runner{
 		Ctx:     ctx,
 		Fleet:   sim.Fleet{Workers: *workers},
-		Overlay: sim.Params{TraceChunk: *traceChunk, ICacheEntries: *icacheEnt, SuperblockLen: *superblock},
+		Overlay: sim.Params{TraceChunk: *traceChunk, ICacheEntries: *icacheEnt, SuperblockLen: *superblock, Snapshots: snaps},
 	}
 	if !*quiet {
 		runner.Fleet.Progress = progressLine

@@ -16,6 +16,7 @@
 //	sweep-result <id> [-wait] [-results-only]
 //	jobs         [-status S] [-limit N] [-after ID]
 //	sweeps       [-status S] [-limit N] [-after ID]
+//	snapshots
 //	engines
 //	health
 //	metrics
@@ -88,6 +89,7 @@ commands:
   sweep-result <id>                   (-wait, -results-only)
   jobs          list jobs, newest first   (-status, -limit, -after)
   sweeps        list sweeps, newest first (-status, -limit, -after)
+  snapshots     warm-start snapshot index (prefix, instructions, bytes)
   engines       engine registry
   health        node liveness + queue depth
   metrics       Prometheus dump
@@ -279,6 +281,13 @@ func run(ctx context.Context, cli *client.Client, cmd string, args []string) err
 			return print(v)
 		}
 		v, err := cli.ListSweeps(ctx, *status, *limit, *after)
+		if err != nil {
+			return err
+		}
+		return print(v)
+
+	case "snapshots":
+		v, err := cli.Snapshots(ctx)
 		if err != nil {
 			return err
 		}

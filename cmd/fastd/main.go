@@ -9,6 +9,12 @@
 //	fastd -addr :8080 -workers 4 -queue 64 -cache 256 -timeout 10m \
 //	      -cache-dir /var/lib/fastd/cache -cache-bytes 1073741824
 //
+// Warm-start is on by default: boot snapshots are captured at
+// boot-complete and resumed for any later run sharing the boot prefix,
+// stored alongside results in -cache-dir (or a dedicated -snapshot-dir).
+// -resume=false boots every run cold. -pprof-addr serves net/http/pprof
+// on a separate listener for profiling (off by default).
+//
 //	fastctl submit -engine fast -params '{"workload":"164.gzip"}' -wait
 //
 // Coordinator mode (shards the same /v1 API across worker nodes by
@@ -26,6 +32,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // handlers on DefaultServeMux, exposed only via -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -51,6 +58,10 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "disk-backed result store directory (empty = memory only); survives restarts, shareable between nodes")
 		cacheBytes = flag.Int64("cache-bytes", 0, "disk store size budget in bytes (0 = unbounded), LRU-evicted")
 
+		snapshotDir = flag.String("snapshot-dir", "", "disk directory for warm-start boot snapshots (empty = share -cache-dir, or memory only without one)")
+		resume      = flag.Bool("resume", true, "warm-start runs from boot snapshots when one matches; false boots every run cold")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+
 		coordinator   = flag.Bool("coordinator", false, "run as a cluster coordinator instead of a worker (requires -nodes)")
 		nodes         = flag.String("nodes", "", "comma-separated worker base URLs (coordinator mode)")
 		probeInterval = flag.Duration("probe-interval", time.Second, "coordinator health-probe interval")
@@ -61,17 +72,26 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	tel := obs.New()
+	if *pprofAddr != "" {
+		// The DefaultServeMux carries the pprof handlers via the blank
+		// import; a dedicated listener keeps them off the public API port.
+		go func() {
+			log.Printf("pprof on %s", *pprofAddr)
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 	if *coordinator {
 		runCoordinator(tel, *addr, *nodes, *probeInterval, *stealAfter, *drain, *dump)
 		return
 	}
 
 	cfg := service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		DefaultTimeout: *timeout,
-		Telemetry:      tel,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cache,
+		DefaultTimeout:   *timeout,
+		Telemetry:        tel,
+		DisableWarmStart: !*resume,
 	}
 	if *cacheDir != "" {
 		store, err := diskcache.New(*cacheDir, *cacheBytes, tel)
@@ -80,6 +100,16 @@ func main() {
 		}
 		cfg.Store = store
 		log.Printf("disk cache at %s (%d blobs, %d bytes resident)", *cacheDir, store.Len(), store.Bytes())
+	}
+	// A dedicated snapshot directory splits the warm-start tier from the
+	// result store; without one, snapshots ride cfg.Store (if any).
+	if *snapshotDir != "" && *resume {
+		snaps, err := diskcache.New(*snapshotDir, 0, tel)
+		if err != nil {
+			log.Fatalf("open snapshot store %s: %v", *snapshotDir, err)
+		}
+		cfg.Snapshots = snaps
+		log.Printf("snapshot store at %s (%d blobs, %d bytes resident)", *snapshotDir, snaps.Len(), snaps.Bytes())
 	}
 	srv := service.New(cfg)
 	httpSrv := &http.Server{

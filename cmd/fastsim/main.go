@@ -29,10 +29,18 @@ import (
 	"repro/internal/fpga"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/service/diskcache"
 	"repro/internal/sim"
 	"repro/internal/tm"
 	"repro/internal/workload"
 )
+
+// captureOnly (-resume=false) keeps the capture path live while never
+// resuming: every run boots cold and overwrites the stored snapshot.
+type captureOnly struct{ sim.SnapshotStore }
+
+func (captureOnly) GetSnapshot(string) (sim.Snapshot, bool) { return sim.Snapshot{}, false }
 
 func main() {
 	var (
@@ -57,6 +65,8 @@ func main() {
 		power       = flag.Bool("power", false, "print the relative power estimate (§6 extension; serial fast engine only)")
 		traceN      = flag.Int("trace", 0, "dump the first N committed trace entries")
 		connectors  = flag.Bool("connectors", false, "print Connector statistics (serial fast engine only)")
+		snapshotDir = flag.String("snapshot-dir", "", "disk directory for warm-start boot snapshots: capture at boot-complete, resume later runs sharing the boot prefix (empty = disabled)")
+		resume      = flag.Bool("resume", true, "with -snapshot-dir: resume from a matching snapshot; false boots cold and (re)captures")
 		metricsPath = flag.String("metrics", "", "write Prometheus-style metrics to this file after the run (\"-\" = stdout)")
 		tracePath   = flag.String("tracefile", "", "write a Chrome trace_event JSON timeline to this file (open in chrome://tracing or ui.perfetto.dev)")
 		jsonOut     = flag.Bool("json", false, "print the run result as one JSON object instead of text")
@@ -165,6 +175,20 @@ func main() {
 		tel = obs.New()
 	}
 
+	// -snapshot-dir attaches the warm-start tier: boot once, then every
+	// later invocation sharing the boot prefix skips straight past boot.
+	var snaps sim.SnapshotStore
+	if *snapshotDir != "" {
+		store, serr := diskcache.New(*snapshotDir, 0, nil)
+		if serr != nil {
+			fatal(fmt.Errorf("open snapshot dir: %w", serr))
+		}
+		snaps = service.NewSnapshotStore(store, nil)
+		if !*resume {
+			snaps = captureOnly{snaps}
+		}
+	}
+
 	eng, err := sim.New(engine, sim.Params{
 		Workload:            *name,
 		Predictor:           *predictor,
@@ -177,6 +201,7 @@ func main() {
 		ICacheEntries:       *icacheEnt,
 		SuperblockLen:       *superblock,
 		Telemetry:           tel,
+		Snapshots:           snaps,
 	})
 	if err != nil {
 		fatal(err)
@@ -203,6 +228,11 @@ func main() {
 		return
 	}
 	fmt.Println(result)
+	if ws, ok := eng.(sim.WarmStarted); ok {
+		if in, resumed := ws.ResumedFrom(); resumed {
+			fmt.Printf("warm-start: resumed from snapshot at instruction %d (boot skipped)\n", in)
+		}
+	}
 	if c, ok := eng.(sim.Coupled); ok {
 		fmt.Printf("fm: %.1fms ∥ tm: %.1fms  wrong-path: %d  rollbacks: %d\n",
 			result.FMNanos/1e6, result.TMNanos/1e6, result.WrongPath, result.Rollbacks)

@@ -87,6 +87,13 @@ type Config struct {
 	// MaxCycles bounds target cycles as a safety net.
 	MaxCycles uint64
 
+	// SnapshotHook, when non-nil, arms a one-shot warm-start capture: at
+	// the first quiescent boundary at or after the FM's first user-mode
+	// instruction (boot complete), the coupled state is serialized and the
+	// hook receives the committed instruction count and the blob. Arming
+	// it changes no modeled quantity — capture is pure observation.
+	SnapshotHook func(in uint64, blob []byte)
+
 	// Telemetry, when non-nil, receives the run's metrics (fm_*, tm_*,
 	// hostlink_*, core_* series) and — when it carries a TraceLog — a
 	// Chrome trace_event timeline of the FM/TM/link phases: re-steer
@@ -179,6 +186,14 @@ type Sim struct {
 	committed     uint64
 	lastHost      uint64
 
+	// Warm-start capture: trackUser latches sawUser at the FM's first
+	// user-mode instruction; snapHook is the armed one-shot capture
+	// callback (serial runs own theirs, multicore containers keep it at
+	// the container and arm only the tracking on the boot core).
+	trackUser bool
+	sawUser   bool
+	snapHook  func(in uint64, blob []byte)
+
 	// sink is the bound pumpSink handed to FM.StepBlock, created once at
 	// construction (a fresh method value per call would allocate). nil
 	// when superblocks are off — pump then takes the plain Step path.
@@ -236,6 +251,8 @@ func New(cfg Config) (*Sim, error) {
 		s.tlog, s.pid = tlog, obs.NextPID()
 		openTraceTracks(tlog, s.pid, "serial")
 	}
+	s.snapHook = cfg.SnapshotHook
+	s.trackUser = s.snapHook != nil
 	t, err := tm.New(cfg.TM, (*serialSource)(s), (*serialControl)(s))
 	if err != nil {
 		return nil, err
@@ -393,6 +410,9 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 // loop and the multicore quantum scheduler share this body, so a one-core
 // multicore run is cycle-for-cycle the serial simulation.
 func (s *Sim) stepCycle() {
+	if s.trackUser {
+		s.observeBoot()
+	}
 	h := s.TM.HostCycles()
 	s.budget += s.cfg.Clock.Nanos(h - s.lastHost)
 	s.lastHost = h

@@ -39,12 +39,17 @@ type MulticoreConfig struct {
 //     whole schedule is a deterministic function of the configuration —
 //     byte-identical results at any host parallelism, by construction.
 type Multicore struct {
-	cfg     Config
-	mc      MulticoreConfig
-	cores   []*Sim
-	shared  *cache.Coherent
-	quantum uint64
-	err     error
+	cfg       Config
+	mc        MulticoreConfig
+	cores     []*Sim
+	shared    *cache.Coherent
+	sharedMem *fullsys.Memory
+	quantum   uint64
+	// snapHook is the container-owned warm-start capture: it fires at the
+	// first round boundary where the boot core has reached user mode and
+	// every core is quiescent (state.go).
+	snapHook func(in uint64, blob []byte)
+	err      error
 }
 
 // MulticoreResult is the run summary: the aggregate view plus each core's
@@ -76,9 +81,13 @@ func NewMulticore(cfg Config, mc MulticoreConfig) (*Multicore, error) {
 		InterconnectLatency: mc.InterconnectLatency,
 		Cores:               mc.Cores,
 	})
-	m := &Multicore{cfg: cfg, mc: mc, shared: shared}
+	m := &Multicore{cfg: cfg, mc: mc, shared: shared, sharedMem: sharedMem}
+	m.snapHook = cfg.SnapshotHook
 	for i := 0; i < mc.Cores; i++ {
 		ci := cfg
+		// Capture is a whole-target decision: the container owns the hook
+		// and arms only boot-completion tracking on core 0.
+		ci.SnapshotHook = nil
 		ci.FM.SharedMem = sharedMem
 		ci.FM.Coherence = coh
 		ci.FM.CoreID = i
@@ -105,6 +114,9 @@ func NewMulticore(cfg Config, mc MulticoreConfig) (*Multicore, error) {
 	if m.quantum == 0 {
 		m.quantum = uint64(m.cores[0].app.ChunkSize())
 	}
+	if m.snapHook != nil {
+		m.cores[0].trackUser = true
+	}
 	return m, nil
 }
 
@@ -126,6 +138,9 @@ func (m *Multicore) Run() (MulticoreResult, error) { return m.RunContext(context
 func (m *Multicore) RunContext(ctx context.Context) (MulticoreResult, error) {
 	var ticks uint64
 	for m.err == nil {
+		if m.snapHook != nil {
+			m.maybeCapture()
+		}
 		live := false
 		for _, s := range m.cores {
 			if s.TM.Done() || s.err != nil {

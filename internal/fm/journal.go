@@ -86,7 +86,7 @@ type undoRecord struct {
 	mem     []memUndo
 	tlbSet  bool
 	tlbPre  fullsys.TLB
-	busPre  []any
+	busPre  func()
 	halted  bool
 	idle    uint64
 }
@@ -141,7 +141,7 @@ func (j *journalEngine) noteTLB(m *Model) {
 func (j *journalEngine) noteBus(m *Model) {
 	r := j.current()
 	if r.busPre == nil {
-		r.busPre = m.Bus.Snapshot()
+		r.busPre = m.Bus.CaptureRollback()
 	}
 }
 
@@ -215,7 +215,7 @@ func (j *journalEngine) undoTop(m *Model) {
 		m.TLB.Restore(r.tlbPre)
 	}
 	if r.busPre != nil {
-		m.Bus.Restore(r.busPre)
+		r.busPre()
 	}
 	m.Scalars = r.pre
 	m.halted = r.halted
@@ -242,7 +242,7 @@ type segment struct {
 	startIN uint64
 	pre     Scalars
 	tlb     fullsys.TLB
-	bus     []any
+	bus     func()
 	halted  bool
 	idle    uint64
 
@@ -287,7 +287,7 @@ func (c *checkpointEngine) take(m *Model) {
 		startIN: m.in,
 		pre:     m.Scalars,
 		tlb:     m.TLB.Snapshot(),
-		bus:     m.Bus.Snapshot(),
+		bus:     m.Bus.CaptureRollback(),
 		halted:  m.halted,
 		idle:    m.idle,
 	})
@@ -350,7 +350,7 @@ func (c *checkpointEngine) setPC(m *Model, in uint64, pc uint32) error {
 	s := c.segs[k]
 	m.Scalars = s.pre
 	m.TLB.Restore(s.tlb)
-	m.Bus.Restore(s.bus)
+	s.bus()
 	m.halted = s.halted
 	m.idle = s.idle
 	m.in = s.startIN

@@ -1,6 +1,10 @@
 package fullsys
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/snap"
+)
 
 // Device is a peripheral reachable through port I/O. Devices are
 // deterministic: their "time" is the target's retired-instruction/cycle
@@ -24,9 +28,19 @@ type Device interface {
 	// relative is the caller's concern) or -1. Level-triggered: it stays
 	// pending until the device is acknowledged through its ports.
 	IRQ() int
-	// Snapshot and Restore support functional-model rollback across I/O.
-	Snapshot() any
-	Restore(s any)
+	// SaveState appends the device's versioned, deterministic binary state;
+	// LoadState decodes it, rejecting truncated or corrupt input with an
+	// error. This is the serialization contract warm-start snapshots
+	// persist through the content-addressed store; see state.go.
+	SaveState(w *snap.Writer)
+	LoadState(r *snap.Reader) error
+	// CaptureRollback returns a closure that reinstates the device's
+	// current state. This is the in-memory capture the functional model's
+	// undo journal stores on every device-touching instruction — it
+	// structure-shares immutable internals (e.g. installed disk sectors)
+	// instead of serializing, because it sits on the FM hot path; the
+	// binary SaveState/LoadState form is reserved for persistence.
+	CaptureRollback() func()
 }
 
 // Port map. The PIC occupies 0x00-0x0F, devices follow.
@@ -122,14 +136,6 @@ func (p *PIC) Out(port uint16, v uint32) {
 	// and acknowledged at the device.
 }
 
-type picState struct{ mask uint32 }
-
-// Snapshot captures controller state (device state is captured separately).
-func (p *PIC) Snapshot() any { return picState{mask: p.mask} }
-
-// Restore reinstates controller state.
-func (p *PIC) Restore(s any) { p.mask = s.(picState).mask }
-
 // Bus routes port I/O to the PIC and devices.
 type Bus struct {
 	PIC     *PIC
@@ -191,6 +197,25 @@ func (b *Bus) Due(now uint64) bool {
 // Pending returns the pending interrupt line, or -1.
 func (b *Bus) Pending() int { return b.PIC.Pending() }
 
+// CaptureRollback returns a closure that reinstates the whole bus —
+// controller mask and every device — to its state at the call. This is
+// the undo journal's per-record capture: devices structure-share their
+// immutable internals, so capture and restore cost O(registers + FIFOs),
+// never O(disk image). Persistence goes through Snapshot/Restore instead.
+func (b *Bus) CaptureRollback() func() {
+	mask := b.PIC.mask
+	devs := make([]func(), len(b.Devices))
+	for i, d := range b.Devices {
+		devs[i] = d.CaptureRollback()
+	}
+	return func() {
+		b.PIC.mask = mask
+		for _, f := range devs {
+			f()
+		}
+	}
+}
+
 // NoNextEvent is NextDue's "no event scheduled" sentinel.
 const NoNextEvent = ^uint64(0)
 
@@ -224,22 +249,4 @@ func (b *Bus) NextDue(now uint64) uint64 {
 		}
 	}
 	return min
-}
-
-// Snapshot captures the whole bus (controller + every device) for rollback.
-func (b *Bus) Snapshot() []any {
-	out := make([]any, 0, len(b.Devices)+1)
-	out = append(out, b.PIC.Snapshot())
-	for _, d := range b.Devices {
-		out = append(out, d.Snapshot())
-	}
-	return out
-}
-
-// Restore reinstates a Snapshot.
-func (b *Bus) Restore(s []any) {
-	b.PIC.Restore(s[0])
-	for i, d := range b.Devices {
-		d.Restore(s[i+1])
-	}
 }

@@ -1,8 +1,10 @@
 package fullsys
 
 // Concrete device models. Each is deterministic in target time and small
-// enough that Snapshot/Restore copy the whole state, which is what the
-// functional model's rollback-across-I/O journaling stores.
+// enough that its whole state is capturable two ways: CaptureRollback
+// (structure-sharing closures for the functional model's per-instruction
+// undo journal) and SaveState/LoadState (state.go; the versioned binary
+// form warm-start snapshots persist).
 
 // Console is a character console: an always-ready output port and an input
 // FIFO pre-scripted at construction (a deterministic stand-in for keyboard
@@ -97,30 +99,17 @@ func (c *Console) IRQ() int {
 	return -1
 }
 
-type consoleState struct {
-	outLen  int
-	script  []ScriptedInput
-	rx      []byte
-	irqOnRx bool
-}
-
-// Snapshot implements Device.
-func (c *Console) Snapshot() any {
-	return consoleState{
-		outLen:  len(c.out),
-		script:  append([]ScriptedInput(nil), c.script...),
-		rx:      append([]byte(nil), c.rx...),
-		irqOnRx: c.irqOnRx,
+// CaptureRollback implements Device. Output is append-only, so the capture
+// records only its length and restore truncates.
+func (c *Console) CaptureRollback() func() {
+	outLen := len(c.out)
+	script := append([]ScriptedInput(nil), c.script...)
+	rx := append([]byte(nil), c.rx...)
+	irqOnRx := c.irqOnRx
+	return func() {
+		c.out = c.out[:outLen]
+		c.script, c.rx, c.irqOnRx = script, rx, irqOnRx
 	}
-}
-
-// Restore implements Device.
-func (c *Console) Restore(s any) {
-	st := s.(consoleState)
-	c.out = c.out[:st.outLen]
-	c.script = st.script
-	c.rx = st.rx
-	c.irqOnRx = st.irqOnRx
 }
 
 // Timer raises IRQTimer every interval target time units once programmed.
@@ -201,20 +190,12 @@ func (t *Timer) IRQ() int {
 	return -1
 }
 
-type timerState struct {
-	interval, nextFire uint64
-	pending            bool
-}
-
-// Snapshot implements Device.
-func (t *Timer) Snapshot() any {
-	return timerState{t.interval, t.nextFire, t.pending}
-}
-
-// Restore implements Device.
-func (t *Timer) Restore(s any) {
-	st := s.(timerState)
-	t.interval, t.nextFire, t.pending = st.interval, st.nextFire, st.pending
+// CaptureRollback implements Device.
+func (t *Timer) CaptureRollback() func() {
+	interval, nextFire, pending := t.interval, t.nextFire, t.pending
+	return func() {
+		t.interval, t.nextFire, t.pending = interval, nextFire, pending
+	}
 }
 
 // Disk models a sectored block device with a fixed access latency: a
@@ -227,6 +208,11 @@ type Disk struct {
 
 	sectors map[uint32][]uint32
 	now     uint64
+
+	// secBlob caches the canonical sector-map encoding; secDirty marks it
+	// stale after a sector mutation. See sectorBlob in state.go.
+	secBlob  []byte
+	secDirty bool
 
 	sector  uint32
 	busy    bool
@@ -246,6 +232,7 @@ func NewDisk(sectorWords int, latency uint64) *Disk {
 // Preload fills a sector image before boot (e.g. the "compressed kernel").
 func (d *Disk) Preload(sector uint32, words []uint32) {
 	d.sectors[sector] = append([]uint32(nil), words...)
+	d.secDirty = true
 }
 
 // Sector returns a copy of a sector's current contents.
@@ -271,6 +258,7 @@ func (d *Disk) Tick(now uint64) {
 			sec := make([]uint32, d.SectorWords)
 			copy(sec, d.buf)
 			d.sectors[d.sector] = sec
+			d.secDirty = true
 		}
 	}
 }
@@ -350,48 +338,33 @@ func (d *Disk) IRQ() int {
 	return -1
 }
 
-type diskState struct {
-	dirty   map[uint32][]uint32
-	sector  uint32
-	busy    bool
-	doneAt  uint64
-	done    bool
-	buf     []uint32
-	bufPos  int
-	writing bool
-}
-
-// copySectors shallow-copies the sector map. Sector images are immutable
-// once installed — Tick and Preload always build a fresh slice and reads
-// copy into d.buf — so snapshots may share them; only the map itself needs
-// copying (on both Snapshot and Restore, so a restored snapshot is never
-// aliased by subsequent live writes). The undo journal snapshots the bus
-// on every device-touching instruction, so this is on the FM hot path.
-func copySectors(src map[uint32][]uint32) map[uint32][]uint32 {
-	dst := make(map[uint32][]uint32, len(src))
-	for s, w := range src {
-		dst[s] = w
+// copySectors shallow-copies the sector map. Installed sector slices are
+// never mutated in place (Tick and Preload always install fresh slices), so
+// sharing them between the live map and a rollback capture is safe.
+func copySectors(m map[uint32][]uint32) map[uint32][]uint32 {
+	out := make(map[uint32][]uint32, len(m))
+	for k, v := range m {
+		out[k] = v
 	}
-	return dst
+	return out
 }
 
-// Snapshot implements Device.
-func (d *Disk) Snapshot() any {
-	return diskState{
-		dirty: copySectors(d.sectors), sector: d.sector, busy: d.busy,
-		doneAt: d.doneAt, done: d.done,
-		// buf is appended to in place mid-write, so it does need a copy.
-		buf: append([]uint32(nil), d.buf...), bufPos: d.bufPos,
-		writing: d.writing,
+// CaptureRollback implements Device. The sector map is shallow-copied —
+// O(sectors), not O(disk words) — and restore copies again so a checkpoint
+// capture survives being restored more than once.
+func (d *Disk) CaptureRollback() func() {
+	sectors := copySectors(d.sectors)
+	secBlob, secDirty := d.secBlob, d.secDirty
+	sector, busy, doneAt, done := d.sector, d.busy, d.doneAt, d.done
+	buf := append([]uint32(nil), d.buf...)
+	bufPos, writing := d.bufPos, d.writing
+	return func() {
+		d.sectors = copySectors(sectors)
+		d.secBlob, d.secDirty = secBlob, secDirty
+		d.sector, d.busy, d.doneAt, d.done = sector, busy, doneAt, done
+		d.buf = append([]uint32(nil), buf...)
+		d.bufPos, d.writing = bufPos, writing
 	}
-}
-
-// Restore implements Device.
-func (d *Disk) Restore(s any) {
-	st := s.(diskState)
-	d.sectors = copySectors(st.dirty)
-	d.sector, d.busy, d.doneAt = st.sector, st.busy, st.doneAt
-	d.done, d.buf, d.bufPos, d.writing = st.done, st.buf, st.bufPos, st.writing
 }
 
 // NIC is a network interface with scripted packet arrivals and a tx FIFO.
@@ -480,25 +453,14 @@ func (n *NIC) IRQ() int {
 	return -1
 }
 
-type nicState struct {
-	arrivals []ScriptedInput
-	rx       []uint32
-	txLen    int
-}
-
-// Snapshot implements Device.
-func (n *NIC) Snapshot() any {
-	return nicState{
-		arrivals: append([]ScriptedInput(nil), n.arrivals...),
-		rx:       append([]uint32(nil), n.rx...),
-		txLen:    len(n.tx),
+// CaptureRollback implements Device. The tx FIFO is append-only, so the
+// capture records only its length and restore truncates.
+func (n *NIC) CaptureRollback() func() {
+	arrivals := append([]ScriptedInput(nil), n.arrivals...)
+	rx := append([]uint32(nil), n.rx...)
+	txLen := len(n.tx)
+	return func() {
+		n.arrivals, n.rx = arrivals, rx
+		n.tx = n.tx[:txLen]
 	}
-}
-
-// Restore implements Device.
-func (n *NIC) Restore(s any) {
-	st := s.(nicState)
-	n.arrivals = st.arrivals
-	n.rx = st.rx
-	n.tx = n.tx[:st.txLen]
 }

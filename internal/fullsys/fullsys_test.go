@@ -3,6 +3,8 @@ package fullsys
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/snap"
 )
 
 func TestMemoryReadWrite(t *testing.T) {
@@ -257,13 +259,15 @@ func TestBusSnapshotRestore(t *testing.T) {
 	tm := NewTimer()
 	b := NewBus(con, tm)
 	b.Out(PortTimerInterval, 3, 0)
-	snap := b.Snapshot()
+	blob := b.Snapshot()
 	b.Tick(10) // timer fires, console input arrives
 	b.Out(PortConOut, 'q', 10)
 	if b.Pending() < 0 {
 		t.Fatal("nothing pending before restore")
 	}
-	b.Restore(snap)
+	if err := b.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
 	if b.Pending() != -1 {
 		t.Error("pending IRQ survived restore")
 	}
@@ -291,11 +295,16 @@ func TestDueMatchesTick(t *testing.T) {
 	// the timer.
 	tm := NewTimer()
 	tm.Out(PortTimerInterval, 7)
+	state := func() string {
+		var w snap.Writer
+		tm.SaveState(&w)
+		return string(w.Bytes())
+	}
 	for now := uint64(1); now < 40; now++ {
 		due := tm.Due(now)
-		before := tm.Snapshot().(timerState)
+		before := state()
 		tm.Tick(now)
-		after := tm.Snapshot().(timerState)
+		after := state()
 		changed := before != after
 		if due != changed {
 			t.Fatalf("now=%d: Due=%v changed=%v", now, due, changed)

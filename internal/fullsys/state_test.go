@@ -1,0 +1,230 @@
+package fullsys
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/snap"
+)
+
+// populatedBus builds a bus with every device type carrying non-trivial
+// state derived from a seeded generator, so the round-trip tests cover a
+// different corner of the encoding each iteration.
+func populatedBus(rng *rand.Rand) *Bus {
+	con := NewConsole(ScriptedInput{At: rng.Uint64() % 1000, Data: []byte("scripted")})
+	con.out = append(con.out, []byte("boot banner\n")...)
+	con.rx = append(con.rx, byte(rng.Intn(256)), byte(rng.Intn(256)))
+	con.irqOnRx = rng.Intn(2) == 0
+
+	tim := NewTimer()
+	tim.interval = rng.Uint64() % 50000
+	tim.nextFire = tim.interval + rng.Uint64()%1000
+	tim.pending = rng.Intn(2) == 0
+
+	disk := NewDisk(16, 500)
+	for s := 0; s < rng.Intn(4)+1; s++ {
+		words := make([]uint32, 16)
+		for i := range words {
+			words[i] = rng.Uint32()
+		}
+		disk.Preload(uint32(rng.Intn(64)), words)
+	}
+	disk.sector = uint32(rng.Intn(64))
+	disk.busy = rng.Intn(2) == 0
+	disk.doneAt = rng.Uint64() % 100000
+	disk.done = rng.Intn(2) == 0
+	disk.buf = make([]uint32, 16)
+	disk.bufPos = rng.Intn(17)
+	disk.writing = rng.Intn(2) == 0
+
+	nic := NewNIC(ScriptedInput{At: rng.Uint64() % 2000, Data: []byte{1, 2, 3, 4}})
+	nic.rx = []uint32{rng.Uint32(), rng.Uint32()}
+	nic.tx = []uint32{rng.Uint32()}
+
+	b := NewBus(con, tim, disk, nic)
+	b.PIC.mask = rng.Uint32() & 0xFF
+	return b
+}
+
+// freshBus mirrors populatedBus's device complement with zero state, the
+// shape a restore target has.
+func freshBus() *Bus {
+	return NewBus(NewConsole(), NewTimer(), NewDisk(16, 500), NewNIC())
+}
+
+// TestBusSnapshotRoundTrip is the device-encoding property test: for many
+// seeded device populations, Snapshot → Restore into a fresh bus →
+// re-Snapshot must reproduce the exact bytes (the encoding is canonical),
+// and restoring must be rejected cleanly at every truncation point.
+func TestBusSnapshotRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := populatedBus(rng)
+		blob := src.Snapshot()
+
+		dst := freshBus()
+		if err := dst.Restore(blob); err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		again := dst.Snapshot()
+		if !bytes.Equal(blob, again) {
+			t.Fatalf("seed %d: snapshot not canonical after round trip", seed)
+		}
+		if dst.PIC.mask != src.PIC.mask {
+			t.Fatalf("seed %d: PIC mask %d, want %d", seed, dst.PIC.mask, src.PIC.mask)
+		}
+
+		// Every truncation must error, never panic or succeed.
+		for cut := 0; cut < len(blob); cut += 7 {
+			if err := freshBus().Restore(blob[:cut]); err == nil {
+				t.Fatalf("seed %d: restore of %d/%d bytes succeeded", seed, cut, len(blob))
+			}
+		}
+		if err := freshBus().Restore(append(append([]byte(nil), blob...), 0xAA)); err == nil {
+			t.Fatalf("seed %d: restore with trailing garbage succeeded", seed)
+		}
+	}
+}
+
+// TestBusRestoreRejectsMismatchedShape pins the configuration-vs-state
+// split: blobs only restore onto a bus with the identical device
+// complement and geometry.
+func TestBusRestoreRejectsMismatchedShape(t *testing.T) {
+	blob := freshBus().Snapshot()
+	if err := NewBus(NewConsole(), NewTimer(), NewDisk(16, 500)).Restore(blob); err == nil {
+		t.Error("restore onto a bus missing a device succeeded")
+	}
+	if err := NewBus(NewTimer(), NewConsole(), NewDisk(16, 500), NewNIC()).Restore(blob); err == nil {
+		t.Error("restore onto a bus with reordered devices succeeded")
+	}
+	if err := NewBus(NewConsole(), NewTimer(), NewDisk(32, 500), NewNIC()).Restore(blob); err == nil {
+		t.Error("restore onto a disk with different geometry succeeded")
+	}
+	if err := NewBus(NewConsole(), NewTimer(), NewDisk(16, 900), NewNIC()).Restore(blob); err == nil {
+		t.Error("restore onto a disk with different latency succeeded")
+	}
+}
+
+// TestDiskSnapshotAliasing: a snapshot must be an immutable copy. Mutating
+// the live disk after capture — through Preload or through the slice
+// Sector hands out — must not leak into what the blob restores.
+func TestDiskSnapshotAliasing(t *testing.T) {
+	src := freshBus()
+	var disk *Disk
+	for _, d := range src.Devices {
+		if dd, ok := d.(*Disk); ok {
+			disk = dd
+		}
+	}
+	disk.Preload(3, []uint32{0x11111111, 0x22222222})
+	blob := src.Snapshot()
+
+	// Mutate the live disk every way a caller can.
+	disk.Preload(3, []uint32{0xBAD0BAD0, 0xBAD1BAD1})
+	disk.Preload(5, []uint32{0xFFFFFFFF})
+	disk.Sector(3)[0] = 0xDEADBEEF
+
+	dst := freshBus()
+	if err := dst.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	var got *Disk
+	for _, d := range dst.Devices {
+		if dd, ok := d.(*Disk); ok {
+			got = dd
+		}
+	}
+	sec := got.Sector(3)
+	if len(sec) != 2 || sec[0] != 0x11111111 || sec[1] != 0x22222222 {
+		t.Errorf("restored sector 3 = %#v, want the pre-mutation image", sec)
+	}
+	if got.Sector(5) != nil {
+		t.Error("restored disk has sector 5, preloaded only after the snapshot")
+	}
+}
+
+// TestMemoryStateRoundTrip covers the sparse page encoding: scattered
+// writes survive the round trip, pages absent from the blob come back
+// zero, and geometry mismatches are rejected.
+func TestMemoryStateRoundTrip(t *testing.T) {
+	m := NewMemory(16 * PageSize)
+	m.Write(0, 0xAABBCCDD, 4)                            // first page
+	m.Write(isa.Word(5*PageSize+123), 0x55, 1)           // middle page
+	m.Write(isa.Word(15*PageSize+PageSize-4), 0xFEFE, 2) // last page
+
+	w := snap.NewWriter(64)
+	m.SaveState(w)
+	blob := w.Bytes()
+
+	dst := NewMemory(16 * PageSize)
+	dst.Write(isa.Word(7*PageSize), 0x1234, 4) // must be zeroed by the restore
+	r := snap.NewReader(blob)
+	if err := dst.LoadState(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Read(0, 4); got != 0xAABBCCDD {
+		t.Errorf("page 0 word = %#x", got)
+	}
+	if got := dst.Read(isa.Word(5*PageSize+123), 1); got != 0x55 {
+		t.Errorf("page 5 byte = %#x", got)
+	}
+	if got := dst.Read(isa.Word(15*PageSize+PageSize-4), 2); got != 0xFEFE {
+		t.Errorf("page 15 halfword = %#x", got)
+	}
+	if got := dst.Read(isa.Word(7*PageSize), 4); got != 0 {
+		t.Errorf("untouched page carries %#x after restore, want 0", got)
+	}
+
+	wrong := NewMemory(8 * PageSize)
+	if err := wrong.LoadState(snap.NewReader(blob)); err == nil {
+		t.Error("restore onto differently sized memory succeeded")
+	}
+}
+
+// TestTLBStateRoundTrip round-trips the architectural TLB encoding.
+func TestTLBStateRoundTrip(t *testing.T) {
+	var src TLB
+	src.Insert(TLBEntry{VPN: 0x10, PFN: 0x20, Valid: true, User: true, Write: true})
+	src.Insert(TLBEntry{VPN: 0x11, PFN: 0x21, Valid: true})
+	w := snap.NewWriter(64)
+	src.SaveState(w)
+	blob := w.Bytes()
+
+	var dst TLB
+	r := snap.NewReader(blob)
+	if err := dst.LoadState(r); err != nil {
+		t.Fatal(err)
+	}
+	if dst != src {
+		t.Errorf("TLB round trip mismatch:\n%+v\nvs\n%+v", dst, src)
+	}
+}
+
+// FuzzSnapshotDecode drives Bus.Restore with arbitrary byte soup: it must
+// reject malformed input with an error — never panic — and any blob it
+// accepts must re-encode to the identical bytes (canonical encoding).
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := populatedBus(rand.New(rand.NewSource(1))).Snapshot()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:1])
+	f.Add([]byte{})
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := freshBus()
+		if err := b.Restore(data); err != nil {
+			return
+		}
+		if again := b.Snapshot(); !bytes.Equal(again, data) {
+			t.Fatalf("accepted blob is not canonical: re-encoded %d bytes from %d input", len(again), len(data))
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package hostlink
+
+// Warm-start serialization: the link's dynamic state is exactly its
+// accumulated counters (configuration and histograms are rebuilt by the
+// owning simulator). Nanos is a float accumulator; F64 carries the exact
+// bit pattern so a resumed run's link time is byte-identical.
+
+import "repro/internal/snap"
+
+const linkStateV = 1
+
+// SaveState appends the link's accumulated counters.
+func (l *Link) SaveState(w *snap.Writer) {
+	w.U8(linkStateV)
+	w.U64(l.stats.Reads)
+	w.U64(l.stats.Writes)
+	w.U64(l.stats.BurstWords)
+	w.F64(l.stats.Nanos)
+}
+
+// LoadState decodes counters written by SaveState.
+func (l *Link) LoadState(r *snap.Reader) error {
+	if v := r.U8(); r.Err() == nil && v != linkStateV {
+		return snap.Corruptf("hostlink state version %d, want %d", v, linkStateV)
+	}
+	var st Stats
+	st.Reads, st.Writes, st.BurstWords, st.Nanos = r.U64(), r.U64(), r.U64(), r.F64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	l.stats = st
+	return nil
+}

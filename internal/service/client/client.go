@@ -365,6 +365,12 @@ func (c *Client) Health(ctx context.Context) (service.Health, error) {
 	return h, nil
 }
 
+// Snapshots lists the node's memory-resident warm-start snapshots.
+func (c *Client) Snapshots(ctx context.Context) ([]service.SnapshotView, error) {
+	var v []service.SnapshotView
+	return v, c.do(ctx, "GET", "/v1/snapshots", nil, &v)
+}
+
 // Metrics fetches the node's Prometheus dump.
 func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
 	raw, _, err := c.doRaw(ctx, "GET", "/metrics", nil)

@@ -251,6 +251,13 @@ func (s *Server) runJob(j *job) {
 	if p.Telemetry == nil {
 		p.Telemetry = j.tel
 	}
+	// Warm-start tier: the engine resumes from a stored boot snapshot when
+	// one matches, or captures one for the next run of this boot prefix.
+	// Attached only for cacheable params — an uncacheable run has no
+	// prefix key — and never overriding a caller-supplied store.
+	if p.Snapshots == nil && s.snaps != nil && p.Cacheable() {
+		p.Snapshots = s.snaps
+	}
 	s.engineRuns.Inc()
 	res, err := sim.RunContext(ctx, j.engine, p)
 	finished := time.Now()

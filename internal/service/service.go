@@ -61,6 +61,15 @@ type Config struct {
 	// written through, memory misses fall back to it (and promote). See
 	// internal/service/diskcache for the disk implementation.
 	Store Store
+	// Snapshots, when non-nil, persistently backs the warm-start snapshot
+	// tier; nil falls back to Store, so one shared disk directory carries
+	// both results and boot snapshots cluster-wide.
+	Snapshots Store
+	// DisableWarmStart turns the snapshot tier off entirely: every run
+	// boots cold and captures nothing. Results are bit-identical either
+	// way (the determinism CI matrix locks this); the switch only exists
+	// to trade the snapshot disk/memory footprint back for boot time.
+	DisableWarmStart bool
 	// DefaultTimeout is the per-job deadline applied when a submission
 	// carries no timeout_ms; <= 0 means 10 minutes.
 	DefaultTimeout time.Duration
@@ -77,6 +86,7 @@ type Server struct {
 	tel   *obs.Telemetry
 	mux   *http.ServeMux
 	cache *resultCache
+	snaps *snapshotStore // nil when warm starts are disabled
 	queue chan *job
 
 	mu       sync.Mutex
@@ -129,6 +139,13 @@ func New(cfg Config) *Server {
 		queueWait:     cfg.Telemetry.Histogram("service_queue_wait_seconds", obs.SecondsBuckets),
 		jobSeconds:    cfg.Telemetry.Histogram("service_job_seconds", obs.SecondsBuckets),
 	}
+	if !cfg.DisableWarmStart {
+		backing := cfg.Snapshots
+		if backing == nil {
+			backing = cfg.Store
+		}
+		s.snaps = newSnapshotStore(backing, cfg.Telemetry)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	s.workers.Add(cfg.Workers)
@@ -163,6 +180,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
+	s.mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 }
@@ -373,6 +391,12 @@ func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
 		out = append(out, EngineView{Name: name, Description: eng.Describe()})
 	}
 	WriteJSON(w, http.StatusOK, out)
+}
+
+// handleSnapshots lists the warm-start snapshots resident in this
+// process's memory tier (an empty list when the tier is disabled).
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, s.listSnapshots())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -49,12 +49,15 @@ func prepare(p Params) (*isa.Program, *workload.Boot, fm.Config, error) {
 		return nil, nil, fm.Config{}, err
 	}
 	if p.Cores > 1 {
-		if spec.Name == workload.SMPName {
-			// The SMP workload bakes the core count into the user program
+		switch spec.Name {
+		case workload.SMPName:
+			// The SMP workloads bake the core count into the user program
 			// (each thread must know how many siblings to wait for), so the
 			// spec is rebuilt at the requested width.
 			spec = workload.SMP(p.Cores)
-		} else {
+		case workload.SMPSleepName:
+			spec = workload.SMPSleep(p.Cores)
+		default:
 			// Any other workload boots SMP with idle secondaries: they park
 			// in the kernel after release while core 0 runs the program.
 			spec.Kernel.Cores = p.Cores
@@ -75,6 +78,9 @@ type fastEngine struct {
 	serial   *core.Sim
 	par      *core.ParallelSim
 	multi    *core.Multicore
+
+	resumed   bool   // warm-started from a stored snapshot
+	resumedIN uint64 // committed instructions skipped by the warm start
 }
 
 func (e *fastEngine) Describe() string {
@@ -124,41 +130,90 @@ func (e *fastEngine) Configure(p Params) error {
 		p.Mutate(&cfg)
 	}
 	e.params, e.boot = p, boot
-	if p.Cores > 1 {
-		if e.parallel {
-			// The goroutine-parallel coupling owes its determinism to the
-			// single-core rate-matching protocol; the multicore scheduler is
-			// serial-only (and deterministic by construction).
-			return fmt.Errorf("sim: fast-parallel runs single-core targets only (got %d cores); use the fast engine", p.Cores)
-		}
-		m, err := core.NewMulticore(cfg, core.MulticoreConfig{
-			Cores:               p.Cores,
-			InterconnectLatency: p.InterconnectLatency,
-		})
-		if err != nil {
-			return err
-		}
-		m.LoadProgram(prog)
-		e.multi = m
-		return nil
+	if p.Cores > 1 && e.parallel {
+		// The goroutine-parallel coupling owes its determinism to the
+		// single-core rate-matching protocol; the multicore scheduler is
+		// serial-only (and deterministic by construction).
+		return fmt.Errorf("sim: fast-parallel runs single-core targets only (got %d cores); use the fast engine", p.Cores)
 	}
-	if e.parallel {
-		s, err := core.NewParallel(cfg)
+
+	// Warm-start tier. A stored snapshot whose prefix matches (and whose
+	// capture point sits inside this run's instruction budget) seeds the
+	// simulator past boot; a miss arms the one-shot capture hook instead.
+	// Excluded: fast-parallel (capture rides the serial scheduler), raw
+	// bare-metal programs (no boot to skip) and uncacheable params (an
+	// opaque Mutate hook makes the prefix key blind).
+	var resume *Snapshot
+	var capture func(in uint64, blob []byte)
+	if p.Snapshots != nil && p.Cacheable() && !e.parallel && p.Program == nil {
+		store, prefix := p.Snapshots, p.SnapshotPrefix()
+		capture = func(in uint64, blob []byte) {
+			store.PutSnapshot(Snapshot{Prefix: prefix, IN: in, Blob: blob})
+		}
+		got, ok := store.GetSnapshot(prefix)
+		switch {
+		case ok && (p.MaxInstructions == 0 || got.IN < p.MaxInstructions):
+			resume = &got
+		case !ok:
+			cfg.SnapshotHook = capture
+		}
+	}
+
+	build := func() error {
+		e.serial, e.par, e.multi = nil, nil, nil
+		if p.Cores > 1 {
+			m, err := core.NewMulticore(cfg, core.MulticoreConfig{
+				Cores:               p.Cores,
+				InterconnectLatency: p.InterconnectLatency,
+			})
+			if err != nil {
+				return err
+			}
+			m.LoadProgram(prog)
+			e.multi = m
+			return nil
+		}
+		if e.parallel {
+			s, err := core.NewParallel(cfg)
+			if err != nil {
+				return err
+			}
+			s.LoadProgram(prog)
+			e.par = s
+			return nil
+		}
+		s, err := core.New(cfg)
 		if err != nil {
 			return err
 		}
 		s.LoadProgram(prog)
-		e.par = s
+		e.serial = s
 		return nil
 	}
-	s, err := core.New(cfg)
-	if err != nil {
+	if err := build(); err != nil {
 		return err
 	}
-	s.LoadProgram(prog)
-	e.serial = s
+	if resume != nil {
+		var rerr error
+		if e.multi != nil {
+			rerr = e.multi.Restore(resume.Blob)
+		} else {
+			rerr = e.serial.Restore(resume.Blob)
+		}
+		if rerr != nil {
+			// A corrupt stored snapshot must not fail the run: rebuild cold
+			// with the capture hook armed, so the bad blob is overwritten.
+			cfg.SnapshotHook = capture
+			return build()
+		}
+		e.resumed, e.resumedIN = true, resume.IN
+	}
 	return nil
 }
+
+// ResumedFrom reports whether (and at which committed-instruction count)
+// the configured run was warm-started from a stored snapshot.
+func (e *fastEngine) ResumedFrom() (uint64, bool) { return e.resumedIN, e.resumed }
 
 func (e *fastEngine) Run() (Result, error) { return e.RunContext(context.Background()) }
 

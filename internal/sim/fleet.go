@@ -136,6 +136,9 @@ func Merge(base, v Params) Params {
 	if v.Telemetry != nil {
 		p.Telemetry = v.Telemetry
 	}
+	if v.Snapshots != nil {
+		p.Snapshots = v.Snapshots
+	}
 	if v.Mutate != nil {
 		if base.Mutate != nil {
 			baseMut, varMut := base.Mutate, v.Mutate

@@ -127,6 +127,15 @@ type Params struct {
 	// locked.
 	Telemetry *obs.Telemetry `json:"-"`
 
+	// Snapshots, when non-nil, is the warm-start tier: the FAST engine
+	// resumes from a stored boot snapshot whose SnapshotPrefix matches
+	// (skipping the boot instructions) or, on a miss, captures one at the
+	// first quiescent boundary after boot completion. Results are
+	// bit-identical with the store attached, absent, hitting or missing —
+	// the tier trades host time only — so the field never reaches Key.
+	// Local infrastructure, like Telemetry: it never crosses the wire.
+	Snapshots SnapshotStore `json:"-"`
+
 	// Mutate, when non-nil, is applied to the assembled core.Config just
 	// before construction.
 	//

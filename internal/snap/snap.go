@@ -1,0 +1,288 @@
+// Package snap is the serialization substrate for warm-start snapshots: a
+// tiny, deterministic, versioned binary codec. Every stateful layer of the
+// simulator (devices, functional model, timing model, predictors, caches)
+// writes its state through a Writer in a fixed field order and reads it
+// back through a Reader, so the same state always produces the same bytes
+// — a requirement for content-addressed snapshot storage — and truncated
+// or corrupt blobs fail decode with an error instead of a panic.
+//
+// The encoding is little-endian with no self-description: framing is the
+// responsibility of each layer (each writes a leading version byte and
+// validates it on load). Varints are deliberately avoided; fixed-width
+// fields keep the encoding branch-free and the decode bounds-checks
+// trivial.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated is returned (wrapped) when a Reader runs out of bytes.
+var ErrTruncated = errors.New("snap: truncated blob")
+
+// ErrCorrupt is the sentinel decode layers wrap when content is
+// structurally invalid (bad version, impossible length, failed check).
+var ErrCorrupt = errors.New("snap: corrupt blob")
+
+// Corruptf builds an ErrCorrupt-wrapped error.
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+// Writer accumulates a deterministic binary encoding. The zero value is
+// ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with capacity preallocated.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset truncates the writer for reuse, keeping the allocation.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool writes a bool as one byte (0/1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U16 writes a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 writes an int64 (two's-complement, little-endian).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 writes a float64 bit-exactly (IEEE 754 bits, little-endian).
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes32 writes a length-prefixed byte slice (uint32 length).
+func (w *Writer) Bytes32(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Raw appends bytes with no length prefix; the reader must know the size.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// PatchU32 overwrites a previously written uint32 at byte offset off —
+// used to back-patch counts that are only known after writing the items.
+func (w *Writer) PatchU32(off int, v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[off:], v)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// U32Slice writes a length-prefixed []uint32.
+func (w *Writer) U32Slice(s []uint32) {
+	w.U32(uint32(len(s)))
+	for _, v := range s {
+		w.U32(v)
+	}
+}
+
+// U64Slice writes a length-prefixed []uint64.
+func (w *Writer) U64Slice(s []uint64) {
+	w.U32(uint32(len(s)))
+	for _, v := range s {
+		w.U64(v)
+	}
+}
+
+// Reader decodes a Writer's output with a sticky error: after the first
+// failure every subsequent read returns zero values and Err() reports the
+// failure, so decode layers can read a whole struct and check once.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader wraps blob for decoding.
+func NewReader(blob []byte) *Reader { return &Reader{data: blob} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Close verifies the blob was consumed exactly: trailing bytes are as
+// corrupt as missing ones.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return Corruptf("%d trailing bytes", len(r.data)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.data) || r.off+n < r.off {
+		r.fail(fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.data)))
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool; any byte other than 0/1 is corrupt.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(Corruptf("invalid bool byte"))
+		return false
+	}
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64 bit-exactly.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// length reads a uint32 length prefix and sanity-checks it against the
+// remaining bytes assuming each element costs at least elemSize bytes, so
+// a corrupt length cannot drive a giant allocation.
+func (r *Reader) length(elemSize int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if elemSize > 0 && n > r.Remaining()/elemSize {
+		r.fail(fmt.Errorf("%w: length %d exceeds remaining %d bytes", ErrTruncated, n, r.Remaining()))
+		return 0
+	}
+	return n
+}
+
+// Raw reads n bytes with no length prefix (always a fresh copy).
+func (r *Reader) Raw(n int) []byte {
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// Bytes32 reads a length-prefixed byte slice (always a fresh copy).
+func (r *Reader) Bytes32() []byte {
+	n := r.length(1)
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.length(1)
+	b := r.take(n)
+	return string(b)
+}
+
+// U32Slice reads a length-prefixed []uint32.
+func (r *Reader) U32Slice() []uint32 {
+	n := r.length(4)
+	if n == 0 {
+		return nil
+	}
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = r.U32()
+	}
+	return s
+}
+
+// U64Slice reads a length-prefixed []uint64.
+func (r *Reader) U64Slice() []uint64 {
+	n := r.length(8)
+	if n == 0 {
+		return nil
+	}
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = r.U64()
+	}
+	return s
+}

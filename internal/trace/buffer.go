@@ -300,3 +300,17 @@ func (b *Buffer) MaxOccupancy() int {
 	defer b.mu.Unlock()
 	return b.maxOccupancy
 }
+
+// ResetDrained reinitializes the buffer to the drained state at instruction
+// number in — commit == next == in, nothing live — restoring the occupancy
+// high-water mark. Warm-start restore only: the snapshot contract
+// guarantees the buffer it describes was drained at capture, so no entry
+// contents need to survive.
+func (b *Buffer) ResetDrained(in uint64, maxOccupancy int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.commit, b.next = in, in
+	b.maxOccupancy = maxOccupancy
+	b.closed = false
+	b.cond.Broadcast()
+}

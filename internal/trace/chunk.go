@@ -140,6 +140,17 @@ func (a *Appender) Flush() bool {
 	return true
 }
 
+// Rebase re-synchronizes the appender with its buffer after an external
+// reset (warm-start restore): the local chunk is dropped, the production
+// frontier and commit estimate are re-read from the buffer, and the
+// publish counters are restored to the snapshot's values.
+func (a *Appender) Rebase(flushes, entries uint64) {
+	a.chunk = a.chunk[:0]
+	a.next = a.b.Produced()
+	a.commitCache = a.b.Committed()
+	a.flushes, a.entries = flushes, entries
+}
+
 // Rewind discards entries at and above in so that in is the next IN to be
 // produced — the chunk-aware Figure 2 re-steer. A target inside the
 // unpublished chunk truncates it locally with no synchronization at all; a

@@ -280,12 +280,23 @@ func KernelSource(k KernelConfig) string {
 	p("	tlbwr r11, r12")
 	p("	iret")
 
-	// Timer: tick, ack.
+	// Timer: tick, ack. On SMP every core has its own timer device, so the
+	// tick counter lives in the per-CPU area (PCPU + CPUID*32 + 8) — a
+	// shared counter would mix independent per-core clocks.
 	p("timerh:")
-	p("	movi r12, vTICKS")
-	p("	ldw  r11, [r12]")
-	p("	inc  r11")
-	p("	stw  r11, [r12]")
+	if k.Cores > 1 {
+		p("	movrc r12, cr8")
+		p("	shli r12, 5")
+		p("	addi r12, PCPU")
+		p("	ldw  r11, [r12+8]")
+		p("	inc  r11")
+		p("	stw  r11, [r12+8]")
+	} else {
+		p("	movi r12, vTICKS")
+		p("	ldw  r11, [r12]")
+		p("	inc  r11")
+		p("	stw  r11, [r12]")
+	}
 	p("	movi r11, 1")
 	p("	out  r11, 0x22")
 	p("	iret")
@@ -350,18 +361,33 @@ func KernelSource(k KernelConfig) string {
 	// sleep(r1 ticks): HALT until the tick counter advances far enough —
 	// the perlbmk behaviour ("the default QEMU behavior stops the
 	// processor until the timer interrupt fires", §4.4).
+	// On SMP the tick counter and sleep target are per-CPU (slots +8/+12
+	// of the 32-byte PCPU stride): each core sleeps against its own timer.
 	p("syssleep:")
-	p("	movi r12, vTICKS")
-	p("	ldw  r11, [r12]")
-	p("	add  r11, r1")
-	p("	stw  r11, [r12+4] ; vSLEEP")
+	if k.Cores > 1 {
+		pcpuSlot()
+		p("	ldw  r11, [r12+8]")
+		p("	add  r11, r1")
+		p("	stw  r11, [r12+12]")
+	} else {
+		p("	movi r12, vTICKS")
+		p("	ldw  r11, [r12]")
+		p("	add  r11, r1")
+		p("	stw  r11, [r12+4] ; vSLEEP")
+	}
 	p("sleeploop:")
 	p("	sti")
 	p("	halt")
 	p("	cli")
-	p("	movi r12, vTICKS")
-	p("	ldw  r11, [r12]")
-	p("	ldw  r12, [r12+4]")
+	if k.Cores > 1 {
+		pcpuSlot()
+		p("	ldw  r11, [r12+8]")
+		p("	ldw  r12, [r12+12]")
+	} else {
+		p("	movi r12, vTICKS")
+		p("	ldw  r11, [r12]")
+		p("	ldw  r12, [r12+4]")
+	}
 	p("	cmp  r11, r12")
 	p("	jl   sleeploop")
 	p("	jmp  sysret")
@@ -384,6 +410,12 @@ func KernelSource(k KernelConfig) string {
 		p("	cmpi r4, 0")
 		p("	jz   mpspin")
 		if k.SMPUser {
+			if k.TimerInterval > 0 {
+				// Each core owns a timer device; arm it so syssleep can
+				// wake this core (the boot core armed only its own).
+				p("	movi r0, %d", k.TimerInterval)
+				p("	out  r0, 0x20")
+			}
 			p("	movi r0, 1")
 			p("	movcr r0, cr1     ; enable user paging")
 			p("	movi r0, %#x", UserVA)

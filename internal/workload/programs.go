@@ -169,6 +169,81 @@ func SMPProgram(iters, cores int) string {
 	return e.b.String()
 }
 
+// SMPSleepProgram is SMPProgram with a sleep system call in every
+// iteration of each core's work loop, outside the critical section. All
+// cores spend most of each timer interval halted in syssleep, so the whole
+// target is periodically simultaneously quiescent — the boundary the
+// warm-start snapshot capture of a multicore run needs.
+func SMPSleepProgram(iters, cores int) string {
+	e := &emitter{}
+	e.p("start:")
+	e.p("	mov  r9, r1      ; CPUID")
+	e.p("	movi r8, %d", iters)
+	e.p("	movi r6, %#x", dataVA)
+	e.p("	mov  r7, r9")
+	e.p("	shli r7, 12")
+	e.p("	addi r7, %#x", dataVA2)
+	e.p("	movi r5, 48271")
+	e.p("	add  r5, r9      ; per-core RNG stream")
+	e.p("work:")
+	e.lcg("r5")
+	e.p("	mov  r2, r5")
+	e.p("	shri r2, 10")
+	e.p("	andi r2, 0x3FC")
+	e.p("	add  r2, r7")
+	e.p("	ldw  r3, [r2]")
+	e.p("	inc  r3")
+	e.p("	stw  r3, [r2]")
+	e.p("acq:")
+	e.p("	ll   r4, [r6]")
+	e.p("	cmpi r4, 0")
+	e.p("	jnz  spinw       ; held: back off")
+	e.p("	movi r4, 1")
+	e.p("	sc   r4, [r6]")
+	e.p("	jz   acq         ; lost the race: retry")
+	e.p("	ldw  r3, [r6+4]")
+	e.p("	inc  r3")
+	e.p("	stw  r3, [r6+4]  ; shared counter")
+	e.p("	movi r4, 0")
+	e.p("	stw  r4, [r6]    ; release (plain store)")
+	// Sleep outside the lock: every core halts until its timer fires,
+	// giving the target its simultaneous quiescent windows.
+	e.p("	movi r0, 4")
+	e.p("	movi r1, 1       ; sleep one tick")
+	e.p("	syscall")
+	e.p("	dec  r8")
+	e.p("	jnz  work")
+	e.p("	jmp  fin")
+	e.p("spinw:")
+	e.p("	pause")
+	e.p("	jmp  acq")
+	e.p("fin:")
+	e.p("	ll   r4, [r6+8]")
+	e.p("	inc  r4")
+	e.p("	sc   r4, [r6+8]")
+	e.p("	jz   fin")
+	e.p("	cmpi r9, 0")
+	e.p("	jnz  bye         ; secondaries exit")
+	e.p("waitall:")
+	e.p("	movi r0, 4")
+	e.p("	movi r1, 1       ; sleep while waiting for the siblings")
+	e.p("	syscall")
+	e.p("	ldw  r4, [r6+8]")
+	e.p("	cmpi r4, %d", cores)
+	e.p("	jl   waitall")
+	e.p("	ldw  r3, [r6+4]")
+	e.p("	movi r1, 'K'")
+	e.p("	cmpi r3, %d", cores*iters)
+	e.p("	jz   verified")
+	e.p("	movi r1, 'X'     ; lost update")
+	e.p("verified:")
+	e.p("	movi r0, 1")
+	e.p("	syscall          ; putc verdict")
+	e.p("bye:")
+	e.exit()
+	return e.b.String()
+}
+
 // GzipProgram: LZ-style compression — window scans with byte compares,
 // predictable inner loops, heavy byte loads (µops/inst ≈ 1.34, BP ≈ 90%).
 func GzipProgram(iters int) string {

@@ -118,13 +118,38 @@ func SMP(cores int) Spec {
 	}
 }
 
-// ByName finds a spec (including WindowsXP and smp-lock) by name.
+// SMPSleepName is the sleeping multicore workload's name — SMPProgram's
+// structure with a sleep system call per work iteration, so every core
+// periodically idles in syssleep. It exists for the warm-start path: the
+// all-cores-quiescent boundaries a multicore snapshot capture needs never
+// occur under the pause-spinning smp-lock workload.
+const SMPSleepName = "smp-sleep"
+
+// SMPSleep builds the sleeping multicore workload for a core count; like
+// SMP, the count is baked into the user program, so the spec must be
+// rebuilt when it changes.
+func SMPSleep(cores int) Spec {
+	k := FastBoot()
+	k.Cores = cores
+	k.SMPUser = true
+	return Spec{
+		Name:    SMPSleepName,
+		Kernel:  k,
+		UserAsm: func() string { return SMPSleepProgram(200, cores) },
+	}
+}
+
+// ByName finds a spec (including WindowsXP, smp-lock and smp-sleep) by
+// name.
 func ByName(name string) (Spec, bool) {
 	if name == "WindowsXP" {
 		return WindowsXP(), true
 	}
 	if name == SMPName {
 		return SMP(1), true
+	}
+	if name == SMPSleepName {
+		return SMPSleep(1), true
 	}
 	for _, s := range All() {
 		if s.Name == name {

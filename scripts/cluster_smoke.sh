@@ -8,7 +8,11 @@
 #   2. after BOTH workers restart (fresh processes, same store directory),
 #      the repeated sweep is served entirely from the disk cache — zero
 #      engine runs on either worker — with identical per-point results,
-#   3. the coordinator's topology view and cluster_* metrics are live.
+#   3. the coordinator's topology view and cluster_* metrics are live,
+#   4. warm-start survives the restart: a NEW sweep point sharing the
+#      boot prefix of a pre-restart run (so it misses the result cache
+#      and must simulate) resumes from the boot snapshot in the shared
+#      store — zero boot instructions re-executed on either worker.
 # Needs only the Go toolchain.
 set -eu
 
@@ -93,6 +97,11 @@ sweep_id="$(ctl "${P_COORD}" sweeps -limit 1 | sed -n 's/.*"id":"\(sweep-[0-9]*\
 ctl "${P_COORD}" sweep-result "${sweep_id}" -results-only >"${TMP}/run1.points" ||
     fail "sweep-result -results-only failed"
 
+echo "== capture a boot snapshot into the shared store (253.perlbmk point)"
+ctl "${P_COORD}" submit -engine fast \
+    -params '{"workload":"253.perlbmk","max_instructions":60000}' -wait >/dev/null ||
+    fail "perlbmk capture point failed"
+
 echo "== topology view reports both workers healthy"
 view="$(ctl "${P_COORD}" cluster)"
 case "${view}" in
@@ -126,4 +135,21 @@ for port in "${P_W1}" "${P_W2}"; do
         fail "worker :${port} simulated after restart (want 0 engine runs, disk-cache serves)"
 done
 
-echo "CLUSTER SMOKE OK: byte-identical sharded aggregation + disk-cache restart serve"
+echo "== a new point sharing the boot prefix warm-starts: no boot re-execution"
+# Different cap = different result key (must simulate), same boot prefix =
+# the snapshot captured before the restart resumes it from the shared dir.
+ctl "${P_COORD}" submit -engine fast \
+    -params '{"workload":"253.perlbmk","max_instructions":80000}' -wait >/dev/null ||
+    fail "post-restart perlbmk point failed"
+hits=0
+resumed=0
+for port in "${P_W1}" "${P_W2}"; do
+    h="$(ctl "${port}" metrics | awk '$1 == "service_snapshot_hits_total" {print $2}')"
+    r="$(ctl "${port}" metrics | awk '$1 == "service_snapshot_resumed_instructions_total" {print $2}')"
+    hits=$((hits + ${h:-0}))
+    resumed=$((resumed + ${r:-0}))
+done
+[ "${hits}" -ge 1 ] || fail "no snapshot hit after restart: the boot was re-executed"
+[ "${resumed}" -ge 1 ] || fail "no instructions resumed from the shared snapshot store"
+
+echo "CLUSTER SMOKE OK: byte-identical sharded aggregation + disk-cache restart serve + warm-start across restart"

@@ -8,14 +8,22 @@
 #      (cached=true, service_cache_hits_total=1, exactly one engine run),
 #   3. rejections carry the typed error envelope (stable machine codes),
 #   4. the collection endpoint lists and paginates,
-#   5. SIGTERM drains gracefully (clean exit, final metrics dump written).
+#   5. warm-start: on a second fastd (result cache disabled so engines
+#      really run), the same instruction-cap sweep twice — the second run
+#      resumes every point from the boot snapshot captured by the first
+#      (snapshot hits +N, resumed-instruction counter grows, the snapshot
+#      index lists the prefix),
+#   6. SIGTERM drains gracefully (clean exit, final metrics dump written).
 # Needs only the Go toolchain: fastctl replaces curl+jq.
 set -eu
 
 PORT="${FASTD_PORT:-18080}"
 BASE="http://127.0.0.1:${PORT}"
+PORT2="${FASTD_SNAP_PORT:-18081}"
+BASE2="http://127.0.0.1:${PORT2}"
 TMP="$(mktemp -d)"
 PID=""
+PID2=""
 
 fail() {
     echo "SMOKE FAIL: $*" >&2
@@ -25,6 +33,7 @@ fail() {
 
 cleanup() {
     [ -n "${PID}" ] && kill "${PID}" 2>/dev/null || true
+    [ -n "${PID2}" ] && kill "${PID2}" 2>/dev/null || true
     rm -rf "${TMP}"
 }
 trap cleanup EXIT INT TERM
@@ -104,6 +113,52 @@ echo "${metrics}" | grep -q '^service_engine_runs_total 1$' ||
 echo "${metrics}" | grep -q '^service_jobs_submitted_total 2$' ||
     fail "expected two submitted jobs"
 
+echo "== warm-start: the same sweep twice on a cache-less fastd"
+# Result cache disabled (-cache -1, no -cache-dir) so the repeated sweep
+# re-executes every engine run; only the snapshot tier can speed it up.
+"${TMP}/fastd" -addr "127.0.0.1:${PORT2}" -workers 2 -queue 16 -cache -1 \
+    >"${TMP}/fastd2.log" 2>&1 &
+PID2=$!
+ctl2() { "${TMP}/fastctl" -addr "${BASE2}" "$@"; }
+i=0
+until ctl2 health >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "snapshot fastd never became healthy"
+    kill -0 "${PID2}" 2>/dev/null || fail "snapshot fastd exited during startup"
+    sleep 0.1
+done
+
+# Three sweep points sharing one boot prefix, differing only in the cap.
+SWEEP='{"workloads":["253.perlbmk"],"variants":[{"max_instructions":60000},{"max_instructions":80000},{"max_instructions":100000}]}'
+metric() { ctl2 metrics | awk -v n="$1" '$1 == n {print $2}' | head -1; }
+
+sid1="$(ctl2 sweep -spec "${SWEEP}" -id-only)" || fail "first sweep rejected"
+ctl2 sweep-result "${sid1}" -wait -results-only >"${TMP}/sweep1.json" || fail "first sweep did not finish"
+hits1="$(metric service_snapshot_hits_total)"; hits1="${hits1:-0}"
+resumed1="$(metric service_snapshot_resumed_instructions_total)"; resumed1="${resumed1:-0}"
+ctl2 metrics | grep -q '^service_snapshot_misses_total' ||
+    fail "first sweep recorded no snapshot miss (capture path never ran)"
+
+sid2="$(ctl2 sweep -spec "${SWEEP}" -id-only)" || fail "second sweep rejected"
+ctl2 sweep-result "${sid2}" -wait -results-only >"${TMP}/sweep2.json" || fail "second sweep did not finish"
+hits2="$(metric service_snapshot_hits_total)"; hits2="${hits2:-0}"
+resumed2="$(metric service_snapshot_resumed_instructions_total)"; resumed2="${resumed2:-0}"
+
+[ "$((hits2 - hits1))" -eq 3 ] ||
+    fail "second sweep should warm-start all 3 points: hits ${hits1} -> ${hits2}"
+[ "${resumed2}" -gt "${resumed1}" ] ||
+    fail "second sweep resumed no instructions (boot re-executed): ${resumed1} -> ${resumed2}"
+case "$(ctl2 snapshots)" in
+*'"prefix"'*) ;;
+*) fail "snapshot index is empty after a captured sweep" ;;
+esac
+
+# The warm-started sweep must aggregate byte-identically to the cold one.
+cmp -s "${TMP}/sweep1.json" "${TMP}/sweep2.json" ||
+    fail "warm-started sweep is not byte-identical to the cold sweep"
+kill -TERM "${PID2}" && wait "${PID2}" 2>/dev/null || true
+PID2=""
+
 echo "== SIGTERM drains gracefully"
 kill -TERM "${PID}"
 i=0
@@ -117,4 +172,4 @@ PID=""
 grep -q '^service_cache_hits_total 1$' "${TMP}/final-metrics.prom" ||
     fail "final metrics dump missing or wrong"
 
-echo "SMOKE OK: cold run + byte-identical cache hit + typed errors + listing + graceful drain"
+echo "SMOKE OK: cold run + byte-identical cache hit + typed errors + listing + warm-start sweep + graceful drain"
