@@ -31,7 +31,7 @@ race:
 	$(GO) test -race -timeout 30m ./internal/obs/... ./internal/core/... \
 		./internal/sim/... ./internal/trace/... ./internal/fm ./internal/tm \
 		./internal/fullsys ./internal/service/... ./internal/cluster \
-		./internal/cache ./internal/workload
+		./internal/cache ./internal/workload ./internal/workload/fs
 
 # Run the simulation-as-a-service daemon locally (ctrl-C drains gracefully).
 serve:

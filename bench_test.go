@@ -214,6 +214,21 @@ func BenchmarkAblations(b *testing.B) {
 	}
 }
 
+// BenchmarkServerWorkloads regenerates the server-class workload study:
+// the three toyFS workloads (shell-fork, logwrite, nicserv) swept over the
+// disk-latency grid on the fast engine.
+func BenchmarkServerWorkloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Servers()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(out)
+		}
+	}
+}
+
 // --- Genuine Go performance benchmarks of the simulator itself ---
 
 // BenchmarkFMExecution measures raw functional-model interpretation speed

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1|table2|table3|fig4|fig6|analytic|bottleneck|ablations|smp)")
+	only := flag.String("only", "", "run a single experiment (table1|table2|table3|fig4|fig6|analytic|bottleneck|ablations|smp|servers)")
 	workers := flag.Int("workers", 0, "sim.Fleet workers for swept experiments (0 = GOMAXPROCS, 1 = sequential)")
 	traceChunk := flag.Int("tracechunk", 0, "FM→TM trace-buffer publish granularity for every run (0 = default; printed numbers are identical for any value ≥ 1)")
 	icacheEnt := flag.Int("icache", fm.DefaultICacheEntries, "FM predecode-cache entries for every run (0 = disable; printed numbers are identical at any value)")
@@ -108,6 +108,12 @@ func main() {
 	}
 	if want("smp") {
 		out, err := runner.SMP()
+		check(err)
+		fmt.Println(out)
+		bar()
+	}
+	if want("servers") {
+		out, err := runner.Servers()
 		check(err)
 		fmt.Println(out)
 	}

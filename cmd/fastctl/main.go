@@ -91,6 +91,7 @@ commands:
   sweeps        list sweeps, newest first (-status, -limit, -after)
   snapshots     warm-start snapshot index (prefix, instructions, bytes)
   engines       engine registry
+  workloads     workload registry (names params.workload accepts)
   health        node liveness + queue depth
   metrics       Prometheus dump
   cluster       coordinator topology (coordinator nodes only)
@@ -295,6 +296,13 @@ func run(ctx context.Context, cli *client.Client, cmd string, args []string) err
 
 	case "engines":
 		v, err := cli.Engines(ctx)
+		if err != nil {
+			return err
+		}
+		return print(v)
+
+	case "workloads":
+		v, err := cli.Workloads(ctx)
 		if err != nil {
 			return err
 		}

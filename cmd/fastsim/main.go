@@ -5,7 +5,10 @@
 // Usage:
 //
 //	fastsim -list
+//	fastsim -list-workloads
 //	fastsim -engines
+//	fastsim -workload nicserv -console
+//	fastsim -workload logwrite -disk-latency 1000
 //	fastsim -workload 164.gzip [-predictor gshare] [-max 250000]
 //	fastsim -workload Linux-2.4 -parallel
 //	fastsim -workload 176.gcc -simulator monolithic
@@ -44,7 +47,8 @@ func (captureOnly) GetSnapshot(string) (sim.Snapshot, bool) { return sim.Snapsho
 
 func main() {
 	var (
-		list        = flag.Bool("list", false, "list workloads")
+		list        = flag.Bool("list", false, "list workload names")
+		listLong    = flag.Bool("list-workloads", false, "list the workload registry with descriptions")
 		engines     = flag.Bool("engines", false, "list registered simulator engines")
 		name        = flag.String("workload", "Linux-2.4", "workload name (see -list)")
 		predictor   = flag.String("predictor", "gshare", "branch predictor: gshare, 2bit, 97%, 95%, perfect")
@@ -54,6 +58,7 @@ func main() {
 		issueWidth  = flag.Int("issue", 2, "target issue width")
 		cores       = flag.Int("cores", 1, "target core count (1 = the single-core target; >1 = N coupled FM/TM pairs over the modeled coherent interconnect, fast engine only)")
 		hopLatency  = flag.Int("interconnect-latency", 0, "per-hop core↔L2 interconnect delay in target cycles (0 = default; only meaningful with -cores > 1)")
+		diskLatency = flag.Int("disk-latency", 0, "disk device latency in target time units (0 = workload default; only meaningful for booted workloads)")
 		link        = flag.String("link", "drc", "host link: drc, pins, coherent")
 		traceChunk  = flag.Int("tracechunk", 0, "FM→TM trace-buffer publish granularity in entries (0 = default, 1 = per-entry; architectural results are identical for any value)")
 		icacheEnt   = flag.Int("icache", fm.DefaultICacheEntries, "FM predecode-cache entries, rounded up to a power of two (0 = disable; architected results and modeled times are bit-identical at any value)")
@@ -79,9 +84,13 @@ func main() {
 		fmt.Printf("\nFPGA footprint: %s\n", cfg.AreaReport(fpga.Virtex4LX200))
 		return
 	}
-	if *list {
-		for _, s := range append(workload.All(), workload.WindowsXP(), workload.SMP(1)) {
-			fmt.Println(s.Name)
+	if *list || *listLong {
+		for _, e := range workload.Registry() {
+			if *listLong {
+				fmt.Printf("%-14s %s\n", e.Name, e.Description)
+			} else {
+				fmt.Println(e.Name)
+			}
 		}
 		return
 	}
@@ -195,6 +204,7 @@ func main() {
 		IssueWidth:          *issueWidth,
 		Cores:               *cores,
 		InterconnectLatency: *hopLatency,
+		DiskLatency:         *diskLatency,
 		Link:                *link,
 		MaxInstructions:     *maxInst,
 		TraceChunk:          *traceChunk,

@@ -460,6 +460,44 @@ func (r Runner) SMP() (string, error) {
 	return b.String(), nil
 }
 
+// Servers runs the server-class workload study with package defaults.
+func Servers() (string, error) { return Runner{}.Servers() }
+
+// Servers is the toyFS/server-workload study: the three server-class
+// workloads (shell-fork, logwrite, nicserv) swept over a disk-latency
+// grid on the fast engine. Every workload runs to completion (each
+// powers off well under InstCap), so the instruction count itself moves
+// with the disk knob — the FS kernel polls the disk status port, and a
+// slower disk is paid for in polled instructions as well as in target
+// cycles. Only deterministic fields are printed, so the table is
+// byte-identical at any fleet width.
+func (r Runner) Servers() (string, error) {
+	lats := []int{50, 200, 1000}
+	var variants []sim.Params
+	for _, lat := range lats {
+		variants = append(variants, sim.Params{DiskLatency: lat})
+	}
+	results := r.sweep(sim.Sweep{
+		Workloads: []string{workload.ShellForkName, workload.LogWriteName, workload.NICServName},
+		Variants:  variants,
+		Base:      sim.Params{MaxInstructions: InstCap},
+	})
+	if err := sim.FirstErr(results); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Server workloads — toyFS + process syscalls on the fast engine\n")
+	fmt.Fprintf(&b, "%-10s %8s %10s %10s %6s\n",
+		"workload", "disklat", "inst", "cycles", "IPC")
+	for _, pr := range results {
+		res := pr.Result
+		p := pr.Point.Params
+		fmt.Fprintf(&b, "%-10s %8d %10d %10d %6.3f\n",
+			p.Workload, p.DiskLatency, res.Instructions, res.TargetCycles, res.IPC)
+	}
+	return b.String(), nil
+}
+
 // Ablations runs A1-A8 of DESIGN.md on a fixed workload.
 func Ablations() (string, error) { return Runner{}.Ablations() }
 

@@ -324,6 +324,11 @@ func (d *Disk) Out(port uint16, v uint32) {
 	case PortDiskData:
 		if d.writing && len(d.buf) < d.SectorWords {
 			d.buf = append(d.buf, v)
+			// The write completes Latency after the *last* streamed word,
+			// not after the command: PIO streaming a full sector takes
+			// longer than the device latency, and completing mid-stream
+			// would commit a torn sector to the medium.
+			d.doneAt = d.now + d.Latency
 		}
 	case PortDiskAck:
 		d.done = false

@@ -143,6 +143,106 @@ func TestDiskSnapshotAliasing(t *testing.T) {
 	if got.Sector(5) != nil {
 		t.Error("restored disk has sector 5, preloaded only after the snapshot")
 	}
+
+	// The same isolation must hold for writes arriving the way the kernel
+	// actually writes: through the port protocol (sector, write command,
+	// streamed data words, completion tick).
+	diskWrite := func(d *Disk, now uint64, sector uint32, words []uint32) uint64 {
+		d.Tick(now)
+		d.Out(PortDiskSector, sector)
+		d.Out(PortDiskCmd, 2)
+		for _, w := range words {
+			now++
+			d.Tick(now)
+			d.Out(PortDiskData, w)
+		}
+		now += d.Latency
+		d.Tick(now) // completion installs the sector
+		d.Out(PortDiskAck, 1)
+		return now
+	}
+	full := make([]uint32, disk.SectorWords)
+	for i := range full {
+		full[i] = 0xA0000000 + uint32(i)
+	}
+	now := diskWrite(disk, 10_000, 7, full)
+
+	dst2 := freshBus()
+	if err := dst2.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	var got2 *Disk
+	for _, d := range dst2.Devices {
+		if dd, ok := d.(*Disk); ok {
+			got2 = dd
+		}
+	}
+	if got2.Sector(7) != nil {
+		t.Error("restored disk has sector 7, port-written only after the snapshot")
+	}
+
+	// And the converse: a snapshot taken after the port-protocol write
+	// restores the modified sector bit-identically — the property the
+	// warm-start tier needs for FS workloads that write before a capture.
+	blob2 := src.Snapshot()
+	diskWrite(disk, now+1, 7, make([]uint32, disk.SectorWords)) // clobber after capture
+	dst3 := freshBus()
+	if err := dst3.Restore(blob2); err != nil {
+		t.Fatal(err)
+	}
+	var got3 *Disk
+	for _, d := range dst3.Devices {
+		if dd, ok := d.(*Disk); ok {
+			got3 = dd
+		}
+	}
+	sec7 := got3.Sector(7)
+	if len(sec7) != disk.SectorWords {
+		t.Fatalf("restored sector 7 has %d words, want %d", len(sec7), disk.SectorWords)
+	}
+	for i, w := range sec7 {
+		if w != full[i] {
+			t.Fatalf("restored sector 7 word %d = %#x, want %#x", i, w, full[i])
+		}
+	}
+}
+
+// TestDiskWriteCompletesAfterLastWord pins the device-side torn-write
+// guard: a write command's completion clock restarts with every streamed
+// data word, so while the kernel keeps streaming (each word within the
+// device latency of the last) the sector is never installed mid-stream —
+// even when the whole transfer takes far longer than the latency, the
+// regime where completion-at-command-time used to commit a torn sector.
+func TestDiskWriteCompletesAfterLastWord(t *testing.T) {
+	d := NewDisk(16, 100)
+	d.Tick(0)
+	d.Out(PortDiskSector, 4)
+	d.Out(PortDiskCmd, 2)
+	now := uint64(0)
+	for i := 0; i < 16; i++ {
+		// 50 units apart: the full 16-word stream takes 750 units, far past
+		// the 100-unit latency measured from the command.
+		now += 50
+		d.Tick(now)
+		if i > 0 && d.Sector(4) != nil {
+			t.Fatalf("sector 4 installed after %d/16 words", i)
+		}
+		d.Out(PortDiskData, uint32(i))
+	}
+	d.Tick(now + 99)
+	if d.Sector(4) != nil {
+		t.Fatal("sector 4 installed before the post-stream latency elapsed")
+	}
+	d.Tick(now + 100)
+	sec := d.Sector(4)
+	if len(sec) != 16 {
+		t.Fatalf("sector 4 not installed at completion time (got %d words)", len(sec))
+	}
+	for i, w := range sec {
+		if w != uint32(i) {
+			t.Fatalf("sector 4 word %d = %d, want %d", i, w, i)
+		}
+	}
 }
 
 // TestMemoryStateRoundTrip covers the sparse page encoding: scattered

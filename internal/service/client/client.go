@@ -345,6 +345,13 @@ func (c *Client) Engines(ctx context.Context) ([]service.EngineView, error) {
 	return v, c.do(ctx, "GET", "/v1/engines", nil, &v)
 }
 
+// Workloads lists the server's workload registry (names a job's
+// params.workload may name, with descriptions).
+func (c *Client) Workloads(ctx context.Context) ([]service.WorkloadView, error) {
+	var v []service.WorkloadView
+	return v, c.do(ctx, "GET", "/v1/workloads", nil, &v)
+}
+
 // Health probes /healthz. A draining node answers 503 — that still counts
 // as alive, so the 503 envelope is folded into the view rather than
 // returned as an error; only transport failures error.

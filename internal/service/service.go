@@ -20,6 +20,7 @@
 //	GET    /v1/sweeps/{id}      sweep view (per-status child counts)
 //	GET    /v1/sweeps/{id}/result spec-order aggregation of child results
 //	GET    /v1/engines          registry names + descriptions
+//	GET    /v1/workloads        workload registry names + descriptions
 //	GET    /metrics             server-wide Prometheus dump (service_* series
 //	                            plus every per-run series of runs that
 //	                            inherited the server telemetry)
@@ -45,6 +46,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Config sizes the server. The zero value is a usable single-host default.
@@ -180,6 +182,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -389,6 +392,20 @@ func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		out = append(out, EngineView{Name: name, Description: eng.Describe()})
+	}
+	WriteJSON(w, http.StatusOK, out)
+}
+
+// WorkloadView is one element of GET /v1/workloads.
+type WorkloadView struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []WorkloadView
+	for _, e := range workload.Registry() {
+		out = append(out, WorkloadView{Name: e.Name, Description: e.Description})
 	}
 	WriteJSON(w, http.StatusOK, out)
 }

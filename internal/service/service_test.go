@@ -569,3 +569,31 @@ func TestEnginesEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkloadsEndpoint: the workload registry — boot, SPEC-alike, SMP and
+// the toyFS server workloads — is discoverable over the API with
+// non-empty descriptions.
+func TestWorkloadsEndpoint(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 1, QueueDepth: 1})
+	code, body := h.raw("GET", "/v1/workloads", "")
+	if code != http.StatusOK {
+		t.Fatalf("workloads: %d", code)
+	}
+	var views []map[string]any
+	if err := json.Unmarshal(body, &views); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, v := range views {
+		name := v["name"].(string)
+		names[name] = true
+		if v["description"].(string) == "" {
+			t.Errorf("workload %q has no description", name)
+		}
+	}
+	for _, want := range []string{"Linux-2.4", "164.gzip", "smp-lock", "shell-fork", "logwrite", "nicserv"} {
+		if !names[want] {
+			t.Errorf("workload %q missing from /v1/workloads", want)
+		}
+	}
+}

@@ -44,24 +44,15 @@ func prepare(p Params) (*isa.Program, *workload.Boot, fm.Config, error) {
 		// interrupts.
 		return p.Program, nil, fm.Config{DisableInterrupts: true, ICacheEntries: p.ICacheEntries, SuperblockLen: p.SuperblockLen}, nil
 	}
+	// workloadSpec resolves through the registry, which already builds the
+	// spec at p.Cores (smp-* bake the count into the user program; other
+	// workloads park idle secondaries in the kernel).
 	spec, err := p.workloadSpec()
 	if err != nil {
 		return nil, nil, fm.Config{}, err
 	}
-	if p.Cores > 1 {
-		switch spec.Name {
-		case workload.SMPName:
-			// The SMP workloads bake the core count into the user program
-			// (each thread must know how many siblings to wait for), so the
-			// spec is rebuilt at the requested width.
-			spec = workload.SMP(p.Cores)
-		case workload.SMPSleepName:
-			spec = workload.SMPSleep(p.Cores)
-		default:
-			// Any other workload boots SMP with idle secondaries: they park
-			// in the kernel after release while core 0 runs the program.
-			spec.Kernel.Cores = p.Cores
-		}
+	if p.DiskLatency > 0 {
+		spec.Kernel.DiskLatency = uint64(p.DiskLatency)
 	}
 	boot, err := spec.Build()
 	if err != nil {

@@ -112,6 +112,9 @@ func Merge(base, v Params) Params {
 	if v.InterconnectLatency != 0 {
 		p.InterconnectLatency = v.InterconnectLatency
 	}
+	if v.DiskLatency != 0 {
+		p.DiskLatency = v.DiskLatency
+	}
 	if v.TraceChunk != 0 {
 		p.TraceChunk = v.TraceChunk
 	}

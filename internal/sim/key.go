@@ -36,6 +36,7 @@ const (
 	keyDefaultCkptEvery = 64          // fm.newCheckpointEngine
 	keyDefaultCores     = 1           // Params.Cores: 0 means single-core
 	keyDefaultHopLat    = 4           // cache.DefaultInterconnectLatency
+	keyDefaultDiskLat   = 200         // workload.DiskLatency
 )
 
 // canonicalParams is the shape Key hashes: every Params field that can
@@ -71,12 +72,13 @@ type canonicalParams struct {
 	FutureMicroarch bool   `json:"future_microarch"`
 	Cores           int    `json:"cores"`
 	HopLatency      int    `json:"hop_latency"`
+	DiskLatency     int    `json:"disk_latency"`
 }
 
 // canonical resolves p into the form Key hashes.
 func (p Params) canonical() canonicalParams {
 	c := canonicalParams{
-		Version:         2, // v2: multicore fields (cores, hop_latency)
+		Version:         3, // v3: boot-environment disk_latency
 		Workload:        p.Workload,
 		Predictor:       p.Predictor,
 		IssueWidth:      p.IssueWidth,
@@ -91,6 +93,7 @@ func (p Params) canonical() canonicalParams {
 		FutureMicroarch: p.FutureMicroarch,
 		Cores:           p.Cores,
 		HopLatency:      p.InterconnectLatency,
+		DiskLatency:     p.DiskLatency,
 	}
 	if p.Program != nil {
 		// A raw image replaces the named workload entirely; only the parts
@@ -141,6 +144,14 @@ func (p Params) canonical() canonicalParams {
 		c.HopLatency = 0
 	case c.HopLatency == 0:
 		c.HopLatency = keyDefaultHopLat
+	}
+	switch {
+	case c.ProgramDigest != "":
+		// Bare-metal programs boot no devices; the disk knob is dead state
+		// there and must not split keys.
+		c.DiskLatency = 0
+	case c.DiskLatency == 0:
+		c.DiskLatency = keyDefaultDiskLat
 	}
 	return c
 }

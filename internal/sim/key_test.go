@@ -11,6 +11,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/tm"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // TestParamsKeyDefaultsCollide pins the "semantically equal params share a
@@ -34,7 +35,8 @@ func TestParamsKeyDefaultsCollide(t *testing.T) {
 		"dead checkpoint knob":  {CheckpointInterval: 64}, // ignored under journal rollback
 		"explicit single core":  {Cores: 1},
 		"dead hop knob":         {InterconnectLatency: 7}, // ignored at one core
-		"fully spelled default": {Workload: "Linux-2.4", Predictor: "gshare", IssueWidth: 2, Link: "drc", PollEveryBBs: 2, TraceChunk: trace.DefaultChunk, Rollback: "journal", ICacheEntries: 4096},
+		"explicit disk latency": {DiskLatency: 200},
+		"fully spelled default": {Workload: "Linux-2.4", Predictor: "gshare", IssueWidth: 2, Link: "drc", PollEveryBBs: 2, TraceChunk: trace.DefaultChunk, Rollback: "journal", ICacheEntries: 4096, DiskLatency: 200},
 	}
 	for name, p := range equal {
 		if got := p.Key(); got != base {
@@ -76,6 +78,8 @@ func TestParamsKeyKnobsSeparate(t *testing.T) {
 		"future microarch":    {FutureMicroarch: true},
 		"cores":               {Cores: 2},
 		"interconnect":        {Cores: 2, InterconnectLatency: 8},
+		"disk latency":        {DiskLatency: 1000},
+		"server workload":     {Workload: "nicserv"},
 	}
 	seen := map[string]string{Params{}.Key(): "zero"}
 	for name, p := range variants {
@@ -145,6 +149,10 @@ func TestKeyDefaultConstantsPinned(t *testing.T) {
 		t.Errorf("cache default hop latency %d, key folds %d",
 			cache.DefaultInterconnectLatency, keyDefaultHopLat)
 	}
+	if workload.DiskLatency != keyDefaultDiskLat {
+		t.Errorf("workload default disk latency %d, key folds %d",
+			workload.DiskLatency, keyDefaultDiskLat)
+	}
 }
 
 // TestParamsCacheable: a Mutate hook makes params unaddressable; everything
@@ -172,6 +180,7 @@ func TestParamsJSONRoundTrip(t *testing.T) {
 		MaxInstructions:     123456,
 		Cores:               4,
 		InterconnectLatency: 8,
+		DiskLatency:         1000,
 		TraceChunk:          32,
 		ICacheEntries:       512,
 		Rollback:            "checkpoint",

@@ -79,6 +79,13 @@ type Params struct {
 	// Cores <= 1, where no interconnect exists.
 	InterconnectLatency int `json:"interconnect_latency,omitempty"`
 
+	// DiskLatency is the modeled disk latency of the boot environment in
+	// target time units — command (or, for writes, last streamed word) to
+	// completion; 0 = the device default (workload.DiskLatency). The
+	// server-workload experiments sweep it. Ignored for bare-metal
+	// programs, which boot no devices.
+	DiskLatency int `json:"disk_latency,omitempty"`
+
 	// TraceChunk is the FM→TM trace-buffer publish granularity in entries:
 	// the FM accumulates a chunk locally and publishes it (one buffer
 	// synchronization, one modeled link transfer) when it fills. 0 = the
@@ -176,6 +183,9 @@ func (p Params) validate() error {
 	if p.InterconnectLatency < 0 {
 		return fmt.Errorf("sim: negative interconnect latency %d", p.InterconnectLatency)
 	}
+	if p.DiskLatency < 0 {
+		return fmt.Errorf("sim: negative disk latency %d", p.DiskLatency)
+	}
 	return nil
 }
 
@@ -199,13 +209,19 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// workloadSpec resolves the named workload.
+// workloadSpec resolves the named workload from the registry at the
+// requested core count (the smp workloads bake the count into the user
+// program; everything else parks idle secondaries in the kernel).
 func (p Params) workloadSpec() (workload.Spec, error) {
 	name := p.Workload
 	if name == "" {
 		name = "Linux-2.4"
 	}
-	spec, ok := workload.ByName(name)
+	cores := p.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	spec, ok := workload.Lookup(name, cores)
 	if !ok {
 		return workload.Spec{}, fmt.Errorf("sim: unknown workload %q", p.Workload)
 	}

@@ -201,6 +201,33 @@ func TestFastEngineWarmStartMulticore(t *testing.T) {
 	}
 }
 
+// TestFastEngineWarmStartServerWorkload runs warm-start over a toyFS
+// server workload: the boot that the snapshot elides here includes mkfs
+// disk writes and the FS kernel's sector-cache warmup, so a resumed run
+// only matches the cold run if the disk sector map (not just CPU and
+// memory) round-trips through the snapshot blob.
+func TestFastEngineWarmStartServerWorkload(t *testing.T) {
+	p := Params{Workload: "nicserv"}
+	cold, _ := runFastJSON(t, p)
+
+	store := newMemSnapshots()
+	p.Snapshots = store
+	first, _ := runFastJSON(t, p)
+	if !bytes.Equal(cold, first) {
+		t.Fatalf("server capture run diverged from the cold run:\n%s\nvs\n%s", cold, first)
+	}
+	if store.puts != 1 {
+		t.Fatalf("capture run stored %d snapshots, want 1", store.puts)
+	}
+	warm, eng := runFastJSON(t, p)
+	if _, resumed := eng.(WarmStarted).ResumedFrom(); !resumed {
+		t.Fatal("server second run did not warm-start")
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("server warm run diverged from the cold run:\n%s\nvs\n%s", cold, warm)
+	}
+}
+
 // TestFastEngineWarmStartRejectsCorruptBlob: a mangled stored snapshot
 // must fall back to a cold run (same bytes) and overwrite the bad blob.
 func TestFastEngineWarmStartRejectsCorruptBlob(t *testing.T) {

@@ -1,0 +1,451 @@
+// Package fs is toyFS: the fixed-geometry file system toyOS serves its
+// open/read/write/close/unlink syscalls (and its exec loader) from. The
+// Go side of the package builds boot images (Mkfs) and audits them
+// (Fsck); the kernel side is generated assembly in internal/workload that
+// bakes the same constants in as .equ symbols — there is exactly one
+// canonical layout, so neither side carries a format-negotiation path.
+//
+// On-disk layout, in fullsys.Disk sectors of SectorWords 32-bit words:
+//
+//	sector Base          superblock (magic, geometry, log head)
+//	       InodeStart    inode table, InodeSectors sectors, 16 words/inode
+//	       BitmapSector  data-sector allocation bitmap, 1 word per sector
+//	       DataStart     data region; its first sector is the root directory
+//	       LogStart      append-only log region, LogSectors sectors
+//
+// Crash consistency is by write ordering, not journaling: allocation goes
+// bitmap → data → inode, freeing goes dirent → inode → bitmap, and a log
+// append writes the record sector before committing the head in the
+// superblock. An interrupted operation can therefore leak blocks or
+// orphan an inode (Fsck warnings) but never produce a reference to
+// unallocated or doubly-used storage (Fsck errors) — which is what lets
+// the crash-consistency test run Fsck at every quantum boundary of a
+// write-heavy workload.
+package fs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Geometry. Everything is a compile-time constant: the superblock encodes
+// the geometry for self-description and Fsck verifies it matches, but no
+// reader ever trusts on-disk values for bounds.
+const (
+	// SectorWords is words per sector; must equal workload.SectorWords
+	// (pinned by a test there — this package cannot import workload).
+	SectorWords = 128
+	SectorBytes = SectorWords * 4
+
+	// Base is the first FS sector. Sectors 1..Base-1 belong to the boot
+	// payload (the RLE-compressed user image); BuildBoot rejects payloads
+	// that would overrun the file system.
+	Base = 64
+
+	Magic   = 0x746F7946 // "Fyot" little-endian on disk
+	Version = 1
+
+	InodeWords   = 16
+	NumInodes    = 32
+	InodeSectors = NumInodes * InodeWords / SectorWords // 4
+	InodesPerSec = SectorWords / InodeWords             // 8
+
+	InodeStart   = Base + 1
+	BitmapSector = InodeStart + InodeSectors
+	DataStart    = BitmapSector + 1
+	DataSectors  = SectorWords // one bitmap word per data sector
+	LogStart     = DataStart + DataSectors
+	LogSectors   = 64
+	End          = LogStart + LogSectors // first sector past the FS
+
+	RootInode     = 0
+	RootDirSector = DataStart // the root directory's single data block
+
+	DirEntWords = 4
+	DirEntries  = SectorWords / DirEntWords // 32
+	NameLen     = 12                        // NUL-padded, so max 11 name bytes
+
+	MaxFileBlocks = 12 // direct pointers per inode (words 3..14)
+	MaxFileBytes  = MaxFileBlocks * SectorBytes
+
+	// Inode types.
+	TypeFree = 0
+	TypeFile = 1
+	TypeDir  = 2
+
+	// Superblock word indices.
+	SupMagic        = 0
+	SupVersion      = 1
+	SupInodeStart   = 2
+	SupInodeSectors = 3
+	SupNumInodes    = 4
+	SupBitmap       = 5
+	SupDataStart    = 6
+	SupDataSectors  = 7
+	SupLogStart     = 8
+	SupLogSectors   = 9
+	SupLogHead      = 10
+
+	// Log record sector word indices (payload follows).
+	LogSeq      = 0
+	LogLenWords = 1
+	LogPayload  = 2
+	MaxLogBytes = (SectorWords - LogPayload) * 4
+)
+
+// SectorReader is the read side both fullsys.Disk and Image satisfy. A
+// missing or short sector reads as zeros.
+type SectorReader interface {
+	Sector(sector uint32) []uint32
+}
+
+// Image is an in-memory sector map — the Mkfs output shape, preloadable
+// into a fullsys.Disk sector by sector.
+type Image map[uint32][]uint32
+
+// Sector implements SectorReader.
+func (im Image) Sector(sector uint32) []uint32 { return im[sector] }
+
+// sec returns sector s zero-padded to SectorWords; never nil, never
+// short. All Fsck/reader accesses go through it, so corrupt or absent
+// sectors cannot cause out-of-range panics.
+func sec(r SectorReader, s uint32) []uint32 {
+	raw := r.Sector(s)
+	if len(raw) == SectorWords {
+		return raw
+	}
+	out := make([]uint32, SectorWords)
+	copy(out, raw)
+	return out
+}
+
+// packName encodes a file name into NameLen NUL-padded bytes.
+func packName(name string) ([NameLen]byte, error) {
+	var out [NameLen]byte
+	if name == "" || len(name) >= NameLen {
+		return out, fmt.Errorf("fs: name %q must be 1..%d bytes", name, NameLen-1)
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == 0 {
+			return out, fmt.Errorf("fs: name %q contains NUL", name)
+		}
+	}
+	copy(out[:], name)
+	return out, nil
+}
+
+// bytesToWords packs b little-endian into ceil(len/4) words.
+func bytesToWords(b []byte) []uint32 {
+	out := make([]uint32, (len(b)+3)/4)
+	for i, v := range b {
+		out[i/4] |= uint32(v) << (8 * uint(i%4))
+	}
+	return out
+}
+
+// wordsToBytes unpacks n little-endian bytes from words.
+func wordsToBytes(w []uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(w[i/4] >> (8 * uint(i%4)))
+	}
+	return out
+}
+
+// Mkfs builds a toyFS image holding the given root-directory files. The
+// result is deterministic: names are laid out in sorted order, so the
+// same file map always produces the same sectors (boot images are
+// content-addressed upstream).
+func Mkfs(files map[string][]byte) (Image, error) {
+	if len(files) > NumInodes-1 || len(files) > DirEntries {
+		return nil, fmt.Errorf("fs: %d files exceed the %d-file limit", len(files), NumInodes-1)
+	}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	im := Image{}
+	super := make([]uint32, SectorWords)
+	super[SupMagic] = Magic
+	super[SupVersion] = Version
+	super[SupInodeStart] = InodeStart
+	super[SupInodeSectors] = InodeSectors
+	super[SupNumInodes] = NumInodes
+	super[SupBitmap] = BitmapSector
+	super[SupDataStart] = DataStart
+	super[SupDataSectors] = DataSectors
+	super[SupLogStart] = LogStart
+	super[SupLogSectors] = LogSectors
+	super[SupLogHead] = 0
+
+	inodes := make([]uint32, InodeSectors*SectorWords)
+	bitmap := make([]uint32, SectorWords)
+	rootdir := make([]uint32, SectorWords)
+
+	// Root directory: inode 0, one preallocated (never-growing) block.
+	inodes[RootInode*InodeWords+0] = TypeDir
+	inodes[RootInode*InodeWords+1] = SectorBytes
+	inodes[RootInode*InodeWords+2] = 1
+	inodes[RootInode*InodeWords+3] = RootDirSector
+	bitmap[RootDirSector-DataStart] = 1
+
+	next := uint32(DataStart + 1) // data allocation cursor
+	for i, name := range names {
+		content := files[name]
+		if len(content) > MaxFileBytes {
+			return nil, fmt.Errorf("fs: file %q is %d bytes, max %d", name, len(content), MaxFileBytes)
+		}
+		packed, err := packName(name)
+		if err != nil {
+			return nil, err
+		}
+		ino := uint32(i + 1)
+		at := ino * InodeWords
+		inodes[at+0] = TypeFile
+		inodes[at+1] = uint32(len(content))
+		inodes[at+2] = 1
+		for blk := 0; blk*SectorBytes < len(content); blk++ {
+			if next >= DataStart+DataSectors {
+				return nil, fmt.Errorf("fs: out of data sectors at file %q", name)
+			}
+			lo := blk * SectorBytes
+			hi := min(lo+SectorBytes, len(content))
+			words := make([]uint32, SectorWords)
+			copy(words, bytesToWords(content[lo:hi]))
+			im[next] = words
+			bitmap[next-DataStart] = 1
+			inodes[at+3+uint32(blk)] = next
+			next++
+		}
+		ent := rootdir[i*DirEntWords : i*DirEntWords+DirEntWords]
+		ent[0] = ino + 1
+		copy(ent[1:], bytesToWords(packed[:]))
+	}
+
+	im[Base] = super
+	for s := 0; s < InodeSectors; s++ {
+		im[uint32(InodeStart+s)] = inodes[s*SectorWords : (s+1)*SectorWords]
+	}
+	im[BitmapSector] = bitmap
+	im[RootDirSector] = rootdir
+	return im, nil
+}
+
+// Report is a successful Fsck's findings: the directory listing, the
+// committed log head, and the non-fatal inconsistencies (leaked blocks,
+// orphaned inodes) that legal crash windows can produce.
+type Report struct {
+	Files    map[string]int // name → size in bytes
+	LogHead  uint32
+	Warnings []string
+}
+
+// Fsck audits an image against the canonical layout. It returns an error
+// for any state no crash window of a correct kernel can produce (bad
+// superblock, dangling directory entries, references to unallocated or
+// doubly-used blocks, malformed log records below the committed head) and
+// reports recoverable leaks as warnings. It never panics, whatever the
+// sectors hold — FuzzFsckDecode locks that.
+func Fsck(r SectorReader) (*Report, error) {
+	super := sec(r, Base)
+	want := map[int]uint32{
+		SupMagic: Magic, SupVersion: Version,
+		SupInodeStart: InodeStart, SupInodeSectors: InodeSectors,
+		SupNumInodes: NumInodes, SupBitmap: BitmapSector,
+		SupDataStart: DataStart, SupDataSectors: DataSectors,
+		SupLogStart: LogStart, SupLogSectors: LogSectors,
+	}
+	for idx, v := range want {
+		if super[idx] != v {
+			return nil, fmt.Errorf("fs: superblock word %d = %#x, want %#x", idx, super[idx], v)
+		}
+	}
+	head := super[SupLogHead]
+	if head > LogSectors {
+		return nil, fmt.Errorf("fs: log head %d exceeds %d log sectors", head, LogSectors)
+	}
+
+	rep := &Report{Files: map[string]int{}, LogHead: head}
+	bitmap := sec(r, BitmapSector)
+	for i, w := range bitmap {
+		if w > 1 {
+			return nil, fmt.Errorf("fs: bitmap word %d = %#x, want 0 or 1", i, w)
+		}
+	}
+
+	inode := func(ino uint32) []uint32 {
+		s := sec(r, InodeStart+ino/InodesPerSec)
+		at := (ino % InodesPerSec) * InodeWords
+		return s[at : at+InodeWords]
+	}
+
+	// Pass 1: inodes. Every referenced block must be allocated and
+	// referenced exactly once; pointer count must match the size.
+	owner := map[uint32]uint32{} // data sector → owning inode
+	for ino := uint32(0); ino < NumInodes; ino++ {
+		in := inode(ino)
+		typ, size := in[0], in[1]
+		switch {
+		case typ == TypeFree:
+			continue
+		case ino == RootInode && typ != TypeDir:
+			return nil, fmt.Errorf("fs: root inode type %d, want directory", typ)
+		case ino != RootInode && typ != TypeFile:
+			return nil, fmt.Errorf("fs: inode %d has type %d", ino, typ)
+		}
+		if typ == TypeDir && (size != SectorBytes || in[3] != RootDirSector) {
+			return nil, fmt.Errorf("fs: root directory must be one block at sector %d", RootDirSector)
+		}
+		if size > MaxFileBytes {
+			return nil, fmt.Errorf("fs: inode %d size %d exceeds %d", ino, size, MaxFileBytes)
+		}
+		blocks := (size + SectorBytes - 1) / SectorBytes
+		for blk := uint32(0); blk < MaxFileBlocks; blk++ {
+			ptr := in[3+blk]
+			if blk >= blocks {
+				if ptr != 0 {
+					return nil, fmt.Errorf("fs: inode %d block %d points at %d beyond size %d", ino, blk, ptr, size)
+				}
+				continue
+			}
+			if ptr < DataStart || ptr >= DataStart+DataSectors {
+				return nil, fmt.Errorf("fs: inode %d block %d points outside the data region (%d)", ino, blk, ptr)
+			}
+			if bitmap[ptr-DataStart] == 0 {
+				return nil, fmt.Errorf("fs: inode %d references unallocated sector %d", ino, ptr)
+			}
+			if prev, dup := owner[ptr]; dup {
+				return nil, fmt.Errorf("fs: sector %d referenced by inodes %d and %d", ptr, prev, ino)
+			}
+			owner[ptr] = ino
+		}
+	}
+
+	// Pass 2: the root directory. Entries must reference live file
+	// inodes, names must be canonically NUL-padded and unique.
+	rootdir := sec(r, RootDirSector)
+	referenced := map[uint32]bool{}
+	for e := 0; e < DirEntries; e++ {
+		ent := rootdir[e*DirEntWords : e*DirEntWords+DirEntWords]
+		if ent[0] == 0 {
+			continue
+		}
+		ino := ent[0] - 1
+		if ino == RootInode || ino >= NumInodes {
+			return nil, fmt.Errorf("fs: directory entry %d references inode %d", e, ino)
+		}
+		in := inode(ino)
+		if in[0] != TypeFile {
+			return nil, fmt.Errorf("fs: directory entry %d references inode %d of type %d", e, ino, in[0])
+		}
+		if in[2] != 1 {
+			return nil, fmt.Errorf("fs: referenced inode %d has link count %d, want 1", ino, in[2])
+		}
+		if referenced[ino] {
+			return nil, fmt.Errorf("fs: inode %d referenced by two directory entries", ino)
+		}
+		referenced[ino] = true
+		raw := wordsToBytes(ent[1:], NameLen)
+		name, pad := "", false
+		for _, c := range raw {
+			if c == 0 {
+				pad = true
+				continue
+			}
+			if pad {
+				return nil, fmt.Errorf("fs: directory entry %d name %q not NUL-padded", e, raw)
+			}
+			name += string(c)
+		}
+		if name == "" {
+			return nil, fmt.Errorf("fs: directory entry %d has an empty name", e)
+		}
+		if _, dup := rep.Files[name]; dup {
+			return nil, fmt.Errorf("fs: duplicate directory entry %q", name)
+		}
+		rep.Files[name] = int(inode(ino)[1])
+	}
+
+	// Orphans and leaks: legal crash residue, reported not rejected.
+	for ino := uint32(1); ino < NumInodes; ino++ {
+		if inode(ino)[0] == TypeFile && !referenced[ino] {
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf("orphaned inode %d", ino))
+		}
+	}
+	for i, w := range bitmap {
+		s := uint32(i) + DataStart
+		if w == 1 && owner[s] == 0 && s != RootDirSector {
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf("leaked data sector %d", s))
+		}
+	}
+
+	// Pass 3: the committed log. Record i must carry sequence i+1 and a
+	// bounded payload; sectors at or past the head are uncommitted and
+	// unchecked (a torn append lives there until the head commits).
+	for i := uint32(0); i < head; i++ {
+		rec := sec(r, LogStart+i)
+		if rec[LogSeq] != i+1 {
+			return nil, fmt.Errorf("fs: log record %d has sequence %d, want %d", i, rec[LogSeq], i+1)
+		}
+		if rec[LogLenWords] > SectorWords-LogPayload {
+			return nil, fmt.Errorf("fs: log record %d length %d words exceeds %d", i, rec[LogLenWords], SectorWords-LogPayload)
+		}
+	}
+	return rep, nil
+}
+
+// ReadFile extracts a file's content from an image (or a live disk).
+func ReadFile(r SectorReader, name string) ([]byte, error) {
+	rootdir := sec(r, RootDirSector)
+	packed, err := packName(name)
+	if err != nil {
+		return nil, err
+	}
+	for e := 0; e < DirEntries; e++ {
+		ent := rootdir[e*DirEntWords : e*DirEntWords+DirEntWords]
+		if ent[0] == 0 {
+			continue
+		}
+		raw := wordsToBytes(ent[1:], NameLen)
+		if string(raw) != string(packed[:]) {
+			continue
+		}
+		ino := ent[0] - 1
+		if ino >= NumInodes {
+			return nil, fmt.Errorf("fs: entry %q references inode %d", name, ino)
+		}
+		s := sec(r, InodeStart+ino/InodesPerSec)
+		in := s[(ino%InodesPerSec)*InodeWords : (ino%InodesPerSec)*InodeWords+InodeWords]
+		size := in[1]
+		if size > MaxFileBytes {
+			return nil, fmt.Errorf("fs: file %q size %d exceeds %d", name, size, MaxFileBytes)
+		}
+		out := make([]byte, 0, size)
+		for blk := uint32(0); blk*SectorBytes < size; blk++ {
+			n := min(int(size)-int(blk)*SectorBytes, SectorBytes)
+			out = append(out, wordsToBytes(sec(r, in[3+blk]), n)...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("fs: file %q not found", name)
+}
+
+// ReadLog returns the committed log records' payloads in append order.
+func ReadLog(r SectorReader) ([][]byte, error) {
+	head := sec(r, Base)[SupLogHead]
+	if head > LogSectors {
+		return nil, fmt.Errorf("fs: log head %d exceeds %d log sectors", head, LogSectors)
+	}
+	out := make([][]byte, 0, head)
+	for i := uint32(0); i < head; i++ {
+		rec := sec(r, LogStart+i)
+		n := rec[LogLenWords]
+		if n > SectorWords-LogPayload {
+			return nil, fmt.Errorf("fs: log record %d length %d words", i, n)
+		}
+		out = append(out, wordsToBytes(rec[LogPayload:], int(n)*4))
+	}
+	return out, nil
+}

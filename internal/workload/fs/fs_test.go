@@ -1,0 +1,327 @@
+package fs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randTree builds a random file map within toyFS limits.
+func randTree(rng *rand.Rand) map[string][]byte {
+	n := rng.Intn(NumInodes - 1)
+	files := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("f%d", i)
+		if rng.Intn(4) == 0 {
+			name = fmt.Sprintf("longname%03d", i) // 11 bytes, the max
+		}
+		size := rng.Intn(MaxFileBytes + 1)
+		switch rng.Intn(4) {
+		case 0:
+			size = 0
+		case 1:
+			size = rng.Intn(3*SectorBytes) + 1 // small files dominate
+		}
+		content := make([]byte, size)
+		rng.Read(content)
+		files[name] = content
+	}
+	return files
+}
+
+// TestMkfsFsckRoundTrip is the property test: any legal file tree must
+// mkfs into an image that fsck accepts cleanly and that reads back
+// byte-identically.
+func TestMkfsFsckRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		files := randTree(rng)
+		total := 0
+		for _, c := range files {
+			total += (len(c) + SectorBytes - 1) / SectorBytes
+		}
+		im, err := Mkfs(files)
+		if total > DataSectors-1 {
+			if err == nil {
+				t.Fatalf("seed %d: Mkfs accepted %d data sectors (capacity %d)", seed, total, DataSectors-1)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: Mkfs: %v", seed, err)
+		}
+		rep, err := Fsck(im)
+		if err != nil {
+			t.Fatalf("seed %d: Fsck rejected a fresh image: %v", seed, err)
+		}
+		if len(rep.Warnings) != 0 {
+			t.Fatalf("seed %d: fresh image has warnings %v", seed, rep.Warnings)
+		}
+		if rep.LogHead != 0 {
+			t.Fatalf("seed %d: fresh image log head = %d", seed, rep.LogHead)
+		}
+		if len(rep.Files) != len(files) {
+			t.Fatalf("seed %d: fsck lists %d files, want %d", seed, len(rep.Files), len(files))
+		}
+		for name, content := range files {
+			if rep.Files[name] != len(content) {
+				t.Fatalf("seed %d: fsck size of %q = %d, want %d", seed, name, rep.Files[name], len(content))
+			}
+			got, err := ReadFile(im, name)
+			if err != nil {
+				t.Fatalf("seed %d: ReadFile(%q): %v", seed, name, err)
+			}
+			if !bytes.Equal(got, content) {
+				t.Fatalf("seed %d: ReadFile(%q) differs (%d vs %d bytes)", seed, name, len(got), len(content))
+			}
+		}
+	}
+}
+
+// TestMkfsDeterministic: the boot-image pipeline is content-addressed, so
+// the same file map must always serialize to the same sectors.
+func TestMkfsDeterministic(t *testing.T) {
+	files := map[string][]byte{"b": {1, 2, 3}, "a": bytes.Repeat([]byte{7}, SectorBytes+9), "c": nil}
+	a, err := Mkfs(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mkfs(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sector counts differ: %d vs %d", len(a), len(b))
+	}
+	for s, words := range a {
+		if !slicesEqual(words, b[s]) {
+			t.Fatalf("sector %d differs between identical Mkfs runs", s)
+		}
+	}
+}
+
+func slicesEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMkfsRejects covers the builder's input validation.
+func TestMkfsRejects(t *testing.T) {
+	cases := map[string]map[string][]byte{
+		"oversized file": {"big": make([]byte, MaxFileBytes+1)},
+		"empty name":     {"": {1}},
+		"long name":      {"exactlytwelve": {1}},
+	}
+	for what, files := range cases {
+		if _, err := Mkfs(files); err == nil {
+			t.Errorf("Mkfs accepted %s", what)
+		}
+	}
+	tooMany := map[string][]byte{}
+	for i := 0; i < NumInodes; i++ {
+		tooMany[fmt.Sprintf("f%d", i)] = nil
+	}
+	if _, err := Mkfs(tooMany); err == nil {
+		t.Error("Mkfs accepted more files than inodes")
+	}
+}
+
+// corrupt applies fn to a copy of a known-good image and asserts Fsck
+// rejects the result.
+func corrupt(t *testing.T, what string, fn func(Image)) {
+	t.Helper()
+	im, err := Mkfs(map[string][]byte{"hello": []byte("world"), "data": bytes.Repeat([]byte{3}, 2*SectorBytes)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := Image{}
+	for s, words := range im {
+		cw := make([]uint32, len(words))
+		copy(cw, words)
+		cp[s] = cw
+	}
+	fn(cp)
+	if _, err := Fsck(cp); err == nil {
+		t.Errorf("Fsck accepted %s", what)
+	}
+}
+
+func TestFsckRejectsCorruption(t *testing.T) {
+	inodeWord := func(im Image, ino, w uint32) *uint32 {
+		return &im[InodeStart+ino/InodesPerSec][(ino%InodesPerSec)*InodeWords+w]
+	}
+	corrupt(t, "bad magic", func(im Image) { im[Base][SupMagic] = 0xDEAD })
+	corrupt(t, "bad version", func(im Image) { im[Base][SupVersion] = 99 })
+	corrupt(t, "bad geometry", func(im Image) { im[Base][SupDataStart] = DataStart + 1 })
+	corrupt(t, "log head overflow", func(im Image) { im[Base][SupLogHead] = LogSectors + 1 })
+	corrupt(t, "bad inode type", func(im Image) { *inodeWord(im, 1, 0) = 7 })
+	corrupt(t, "root not a dir", func(im Image) { *inodeWord(im, 0, 0) = TypeFile })
+	corrupt(t, "oversized inode", func(im Image) { *inodeWord(im, 1, 1) = MaxFileBytes + 1 })
+	corrupt(t, "pointer out of range", func(im Image) { *inodeWord(im, 1, 3) = LogStart })
+	corrupt(t, "pointer to unallocated sector", func(im Image) {
+		ptr := *inodeWord(im, 1, 3)
+		im[BitmapSector][ptr-DataStart] = 0
+	})
+	corrupt(t, "doubly-referenced sector", func(im Image) { *inodeWord(im, 2, 3) = *inodeWord(im, 1, 3) })
+	corrupt(t, "pointer beyond size", func(im Image) { *inodeWord(im, 1, 14) = *inodeWord(im, 1, 3) })
+	corrupt(t, "dangling dirent", func(im Image) { im[RootDirSector][0] = NumInodes + 1 })
+	corrupt(t, "dirent to free inode", func(im Image) {
+		ino := im[RootDirSector][0] - 1
+		*inodeWord(im, ino, 0) = TypeFree
+		// Zero the pointers too so only the dirent is at fault.
+		for w := uint32(1); w < InodeWords; w++ {
+			*inodeWord(im, ino, w) = 0
+		}
+	})
+	corrupt(t, "bad link count", func(im Image) { *inodeWord(im, 1, 2) = 2 })
+	corrupt(t, "duplicate names", func(im Image) {
+		copy(im[RootDirSector][DirEntWords:2*DirEntWords], im[RootDirSector][:DirEntWords])
+		// The duplicated entry now also duplicates the inode reference;
+		// both are errors, either suffices.
+	})
+	corrupt(t, "non-canonical name padding", func(im Image) { im[RootDirSector][3] = 'x' << 24 })
+	corrupt(t, "bitmap word out of range", func(im Image) { im[BitmapSector][5] = 2 })
+	corrupt(t, "log sequence break", func(im Image) {
+		im[Base][SupLogHead] = 1
+		rec := make([]uint32, SectorWords)
+		rec[LogSeq] = 9 // want 1
+		im[LogStart] = rec
+	})
+	corrupt(t, "log record length overflow", func(im Image) {
+		im[Base][SupLogHead] = 1
+		rec := make([]uint32, SectorWords)
+		rec[LogSeq] = 1
+		rec[LogLenWords] = SectorWords
+		im[LogStart] = rec
+	})
+}
+
+// TestFsckWarnings: crash residue (orphans, leaks) warns but passes.
+func TestFsckWarnings(t *testing.T) {
+	im, err := Mkfs(map[string][]byte{"keep": []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leak a data sector: allocated, owned by nobody. This is the window
+	// between bitmap-set and inode-write during file growth.
+	im[BitmapSector][20] = 1
+	// Orphan an inode: valid file, no dirent. This is the window between
+	// inode-write and dirent-write during create.
+	at := uint32(2) * InodeWords
+	im[InodeStart][at+0] = TypeFile
+	im[InodeStart][at+1] = 0
+	im[InodeStart][at+2] = 1
+	rep, err := Fsck(im)
+	if err != nil {
+		t.Fatalf("Fsck rejected legal crash residue: %v", err)
+	}
+	if len(rep.Warnings) != 2 {
+		t.Fatalf("warnings = %v, want a leak and an orphan", rep.Warnings)
+	}
+	sort.Strings(rep.Warnings)
+	if rep.Warnings[0] != "leaked data sector 90" || rep.Warnings[1] != "orphaned inode 2" {
+		t.Fatalf("warnings = %v", rep.Warnings)
+	}
+}
+
+func TestReadLog(t *testing.T) {
+	im, err := Mkfs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{[]byte("first record"), bytes.Repeat([]byte{0xAB}, MaxLogBytes)}
+	for i, p := range payloads {
+		rec := make([]uint32, SectorWords)
+		rec[LogSeq] = uint32(i) + 1
+		rec[LogLenWords] = uint32((len(p) + 3) / 4)
+		copy(rec[LogPayload:], bytesToWords(p))
+		im[LogStart+uint32(i)] = rec
+	}
+	im[Base][SupLogHead] = uint32(len(payloads))
+	if _, err := Fsck(im); err != nil {
+		t.Fatalf("Fsck: %v", err)
+	}
+	got, err := ReadLog(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("ReadLog returned %d records, want %d", len(got), len(payloads))
+	}
+	for i, p := range payloads {
+		padded := make([]byte, (len(p)+3)/4*4)
+		copy(padded, p)
+		if !bytes.Equal(got[i], padded) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+// FuzzFsckDecode: no byte pattern on disk may panic the checker — it
+// must either report or reject, never crash. The fuzz input is decoded
+// as a sequence of (sector, word, value) patches over a valid image,
+// which steers coverage toward the interesting near-valid corruptions.
+func FuzzFsckDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{byte(Base), 0, 0, 0xDE, 0xAD, 0xBE, 0xEF})
+	f.Add(bytes.Repeat([]byte{0xFF}, 70))
+	seed := func(sector uint32, word, value uint32) []byte {
+		var b [7]byte
+		binary.LittleEndian.PutUint16(b[0:], uint16(sector))
+		b[2] = byte(word)
+		binary.LittleEndian.PutUint32(b[3:], value)
+		return b[:]
+	}
+	f.Add(seed(Base, SupLogHead, LogSectors))
+	f.Add(seed(InodeStart, 3, DataStart+200))
+	f.Add(seed(RootDirSector, 0, 5))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := Mkfs(map[string][]byte{"a": []byte("seed"), "b": bytes.Repeat([]byte{1}, SectorBytes+1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for len(data) >= 7 {
+			sector := uint32(binary.LittleEndian.Uint16(data)) % End
+			word := uint32(data[2]) % SectorWords
+			value := binary.LittleEndian.Uint32(data[3:])
+			s, ok := im[sector]
+			if !ok {
+				s = make([]uint32, SectorWords)
+				im[sector] = s
+			}
+			s[word] = value
+			data = data[7:]
+		}
+		if rep, err := Fsck(im); err == nil {
+			// A passing image must also read back without panicking.
+			for name := range rep.Files {
+				_, _ = ReadFile(im, name)
+			}
+			_, _ = ReadLog(im)
+		}
+	})
+}
+
+// TestShortSectors: nil and short sectors read as zeros everywhere.
+func TestShortSectors(t *testing.T) {
+	im := Image{Base: {Magic}} // short superblock: version word missing
+	if _, err := Fsck(im); err == nil {
+		t.Fatal("Fsck accepted a short superblock")
+	}
+	if _, err := ReadFile(Image{}, "x"); err == nil {
+		t.Fatal("ReadFile found a file on an empty image")
+	}
+	if recs, err := ReadLog(Image{}); err != nil || len(recs) != 0 {
+		t.Fatalf("ReadLog on empty image = %v, %v", recs, err)
+	}
+}

@@ -1,0 +1,1039 @@
+package workload
+
+// toyFS + process support: the kernel-side half of internal/workload/fs.
+// KernelConfig.FS grows toyOS from a boot-and-run monitor into a small
+// uniprocessor OS: a write-through sector cache over the disk ports,
+// open/read/write/close/unlink and an append-only log over the toyFS
+// layout, and fork/exec/exit/wait with one physical memory slot and one
+// linear page mapping per process. Everything here is generated assembly
+// appended to KernelSource when k.FS is set; at FS=false the kernel
+// source is byte-identical to the pre-FS kernel.
+//
+// Kernel ABI (FS mode). Syscall number in r0, args r1-r3, result in r0;
+// unlike the base kernel, the FS syscall path spills and restores the
+// whole register file through the process table, so user registers other
+// than r0 always survive a syscall:
+//
+//	0  exit(status)     zombie + reschedule (pid 0: power off)
+//	1  putc(ch)         4  sleep(ticks)      5  gettime
+//	2  getc
+//	6  open(path, mode) mode 0 = read, 1 = create/append; returns fd
+//	7  read(fd, buf, n) sequential, returns bytes read
+//	8  write(fd, buf, n) append-only, returns bytes written
+//	9  close(fd)
+//	10 unlink(path)
+//	11 fork()           parent: child pid; child: 0
+//	12 exec(path)       replace user image with a toyFS file
+//	13 wait()           r0 = pid, r1 = status; -1 = retry, -2 = no children
+//	14 logappend(buf,n) append one record to the toyFS log
+//	15 nicpoll          16 nicrecv          17 nicsend(word)
+//
+// Scheduling is cooperative: only exit and a blocking wait switch
+// processes, so there is no preemption to reason about inside the kernel
+// (interrupts stay disabled on the kernel stack except inside sleep).
+// Crash consistency is by write ordering — see package fs's doc comment;
+// the syscall implementations below commit sectors in exactly the order
+// fsck's warning model assumes (bitmap→data→inode on growth, dirent→
+// inode→bitmap on unlink, record→head on log append).
+
+import (
+	"repro/internal/fullsys"
+	"repro/internal/workload/fs"
+)
+
+// FS-mode physical memory map (above the kernel image, below the boot
+// sector-staging buffer at kSecBuf).
+const (
+	kProcBase = 0x38000 // process table: MaxProcs × 128-byte entries
+	kFDBase   = 0x38800 // fd table: 8 × 16-byte entries (ino+1, offset, mode)
+	kSCTag    = 0x38900 // sector-cache tags: 8 words, tag = sector+1
+	kPathBuf  = 0x38980 // dirlookup's NUL-padded 12-byte name scratch
+	kPtrSav   = 0x389C0 // unlink: the dead inode's 12 block pointers
+	kSCData   = 0x39000 // sector-cache data: 8 × 512-byte lines
+	kKStack   = 0x3B800 // kernel stack top (the SMP PCPU area; FS is UP-only)
+
+	// UserSlot is the per-process physical memory stride: each pid's user
+	// pages live at UserPA + pid*UserSlot, exactly covering the virtual
+	// range [UserVA, UserVAEnd). MaxProcs slots end at 0x740000, inside
+	// the default 16 MiB memory.
+	UserSlot = UserVAEnd - UserVA
+	MaxProcs = 16
+)
+
+// Process-table entry layout (offsets into a 128-byte entry):
+//
+//	+0 state (0 free, 1 runnable, 3 zombie)   +4 parent pid   +8 exit status
+//	+12 EPC   +16 EFLAGS   +20+4i saved r_i (r11/r12 slots unused: kernel
+//	scratch by ABI)   → sp at +72, lr at +76, r15 at +80.
+const (
+	pState  = 0
+	pParent = 4
+	pStatus = 8
+	pEPC    = 12
+	pEFlags = 16
+	pRegs   = 20
+)
+
+type emitfn func(string, ...any)
+
+// fsEquates emits the FS-mode symbol block.
+func fsEquates(p emitfn) {
+	p(".equ vCURPID, %#x", kVarBase+0x20)
+	p(".equ vLOGHEAD, %#x", kVarBase+0x24)
+	p(".equ PROCB, %#x", kProcBase)
+	p(".equ FDB, %#x", kFDBase)
+	p(".equ SCTAG, %#x", kSCTag)
+	p(".equ PATHBUF, %#x", kPathBuf)
+	p(".equ PTRSAV, %#x", kPtrSav)
+	p(".equ SCDATA, %#x", kSCData)
+	p(".equ KSTK, %#x", kKStack)
+}
+
+// fsInit emits the boot-time FS initialisation: read the committed log
+// head from the superblock, mark pid 0 runnable, and mask the NIC's PIC
+// line — the NIC has no rx acknowledge, so its level-triggered interrupt
+// would livelock a handler; FS workloads poll it through syscalls.
+func fsInit(p emitfn) {
+	p("	movi sp, KSTK     ; kernel stack for the FS helpers")
+	p("	movi r1, %d", fs.Base)
+	p("	call diskrd")
+	p("	ldw  r0, [r2+%d]", fs.SupLogHead*4)
+	p("	movi r1, vLOGHEAD")
+	p("	stw  r0, [r1]")
+	p("	movi r0, 1")
+	p("	movi r1, PROCB")
+	p("	stw  r0, [r1]     ; pid 0 runnable")
+	p("	movi r0, 0x7")
+	p("	out  r0, 0x01     ; PIC mask: timer|disk|console; NIC is polled")
+}
+
+// fsTLBMiss emits the per-process miss handler: the linear map is offset
+// by the current pid's slot, PFN = VPN - (UserVA>>12) + (UserPA>>12) +
+// pid*(UserSlot>>12). Only r11/r12 are free, so the VPN spills to vSAVE1
+// while pid*0x70 is built as (pid*8-pid)<<4.
+func fsTLBMiss(p emitfn) {
+	p("tlbmiss:")
+	p("	movrc r11, cr2")
+	p("	shri r11, %d", fullsys.PageShift)
+	p("	cmpi r11, %#x", UserVA>>fullsys.PageShift)
+	p("	jl   kill")
+	p("	cmpi r11, %#x", UserVAEnd>>fullsys.PageShift)
+	p("	jge  kill")
+	p("	movi r12, vSAVE1")
+	p("	stw  r11, [r12]")
+	p("	movi r12, vCURPID")
+	p("	ldw  r12, [r12]")
+	p("	mov  r11, r12")
+	p("	shli r11, 3")
+	p("	sub  r11, r12")
+	p("	shli r11, 4       ; pid * (UserSlot>>12)")
+	p("	addi r11, %#x", userOffset)
+	p("	movi r12, vSAVE1")
+	p("	ldw  r12, [r12]")
+	p("	add  r11, r12")
+	p("	shli r11, %d", fullsys.PageShift)
+	p("	ori  r11, 3       ; user|write")
+	p("	tlbwr r12, r11")
+	p("	iret")
+}
+
+// curproc emits "reg = PROCB + vCURPID*128".
+func curproc(p emitfn, reg string) {
+	p("	movi %s, vCURPID", reg)
+	p("	ldw  %s, [%s]", reg, reg)
+	p("	shli %s, 7", reg)
+	p("	addi %s, PROCB", reg)
+}
+
+// slotbase emits "dst = UserPA + pid*UserSlot" with pid already in pid
+// (dst and pid may be the same register only if a scratch differs).
+func slotbase(p emitfn, dst, pid string) {
+	p("	mov  %s, %s", dst, pid)
+	p("	shli %s, 3", dst)
+	p("	sub  %s, %s", dst, pid)
+	p("	shli %s, 16       ; pid * UserSlot", dst)
+	p("	addi %s, %#x", dst, UserPA)
+}
+
+// fsSyscalls emits the FS syscall entry/exit, every handler, the
+// scheduler, and the disk/FS helper routines. flags is the EFLAGS value
+// new and exec'd processes start with.
+func fsSyscalls(p emitfn, flags int) {
+	// Entry: spill the whole register file (and the trap CRs) into the
+	// current process entry, then run on the kernel stack. Restoring from
+	// the entry at exit is what makes process switching a one-word
+	// vCURPID update.
+	p("syscallh:")
+	curproc(p, "r12")
+	p("	movrc r11, cr5")
+	p("	stw  r11, [r12+%d]", pEPC)
+	p("	movrc r11, cr6")
+	p("	stw  r11, [r12+%d]", pEFlags)
+	for r := 0; r <= 10; r++ {
+		p("	stw  r%d, [r12+%d]", r, pRegs+4*r)
+	}
+	p("	stw  sp, [r12+%d]", pRegs+4*13)
+	p("	stw  lr, [r12+%d]", pRegs+4*14)
+	p("	stw  r15, [r12+%d]", pRegs+4*15)
+	p("	movi sp, KSTK")
+	for n, lbl := range [][2]string{
+		{"0", "sysexit"}, {"1", "sysputc"}, {"2", "sysgetc"},
+		{"4", "syssleep"}, {"5", "systime"}, {"6", "sysopen"},
+		{"7", "sysread"}, {"8", "syswrite"}, {"9", "sysclose"},
+		{"10", "sysunlink"}, {"11", "sysfork"}, {"12", "sysexec"},
+		{"13", "syswait"}, {"14", "syslogapp"}, {"15", "sysnicpoll"},
+		{"16", "sysnicrecv"}, {"17", "sysnicsend"},
+	} {
+		_ = n
+		p("	cmpi r0, %s", lbl[0])
+		p("	jz   %s", lbl[1])
+	}
+	p("	jmp  sysret       ; unknown syscall: no-op")
+
+	// Exit: reload everything from the (possibly different) current
+	// process entry and return to user mode.
+	p("sysret:")
+	curproc(p, "r12")
+	p("	ldw  r11, [r12+%d]", pEPC)
+	p("	movcr r11, cr5")
+	p("	ldw  r11, [r12+%d]", pEFlags)
+	p("	movcr r11, cr6")
+	for r := 0; r <= 10; r++ {
+		p("	ldw  r%d, [r12+%d]", r, pRegs+4*r)
+	}
+	p("	ldw  sp, [r12+%d]", pRegs+4*13)
+	p("	ldw  lr, [r12+%d]", pRegs+4*14)
+	p("	ldw  r15, [r12+%d]", pRegs+4*15)
+	p("	iret")
+
+	// retr0: store r1 as the current process's syscall result and return.
+	p("retr0:")
+	curproc(p, "r12")
+	p("	stw  r1, [r12+%d]", pRegs)
+	p("	jmp  sysret")
+
+	// The base syscalls, adapted to the full-restore exit path: results
+	// must go through the saved-r0 slot or they are overwritten.
+	p("sysputc:")
+	p("	out  r1, 0x10")
+	p("	jmp  sysret")
+	p("sysgetc:")
+	p("	in   r1, 0x12")
+	p("	jmp  retr0")
+	p("systime:")
+	p("	movrc r1, cr4")
+	p("	jmp  retr0")
+	p("syssleep:")
+	p("	movi r12, vTICKS")
+	p("	ldw  r11, [r12]")
+	p("	add  r11, r1")
+	p("	stw  r11, [r12+4] ; vSLEEP")
+	p("sleeploop:")
+	p("	sti")
+	p("	halt")
+	p("	cli")
+	p("	movi r12, vTICKS")
+	p("	ldw  r11, [r12]")
+	p("	ldw  r12, [r12+4]")
+	p("	cmp  r11, r12")
+	p("	jl   sleeploop")
+	p("	jmp  sysret")
+
+	fsProcSyscalls(p, flags)
+	fsFileSyscalls(p)
+	fsLogNICSyscalls(p)
+	fsHelpers(p)
+}
+
+// fsProcSyscalls emits exit/fork/exec/wait and the cooperative scheduler.
+func fsProcSyscalls(p emitfn, flags int) {
+	// exit(r1 = status): pid 0 exiting powers off (the pre-FS semantic);
+	// anything else turns zombie and yields.
+	p("sysexit:")
+	p("	movi r12, vCURPID")
+	p("	ldw  r12, [r12]")
+	p("	cmpi r12, 0")
+	p("	jz   shutdown")
+	p("	shli r12, 7")
+	p("	addi r12, PROCB")
+	p("	movi r0, 3")
+	p("	stw  r0, [r12+%d]", pState)
+	p("	stw  r1, [r12+%d]", pStatus)
+	p("	jmp  schednext")
+
+	// fork(): clone the process entry and the whole user memory slot.
+	// The child's saved r0 becomes 0; the parent keeps running and gets
+	// the child pid.
+	p("sysfork:")
+	p("	movi r11, vCURPID")
+	p("	ldw  r11, [r11]")
+	p("	movi r7, 1")
+	p("fk_scan:")
+	p("	mov  r0, r7")
+	p("	shli r0, 7")
+	p("	addi r0, PROCB")
+	p("	ldw  r1, [r0+%d]", pState)
+	p("	cmpi r1, 0")
+	p("	jz   fk_got")
+	p("	inc  r7")
+	p("	cmpi r7, %d", MaxProcs)
+	p("	jl   fk_scan")
+	p("	movi r1, -1       ; process table full")
+	p("	jmp  retr0")
+	p("fk_got:")
+	p("	mov  r2, r11")
+	p("	shli r2, 7")
+	p("	addi r2, PROCB    ; parent entry")
+	p("	movi r3, %d", pEPC)
+	p("fk_cp:")
+	p("	mov  r4, r2")
+	p("	add  r4, r3")
+	p("	ldw  r5, [r4]")
+	p("	mov  r4, r0")
+	p("	add  r4, r3")
+	p("	stw  r5, [r4]")
+	p("	addi r3, 4")
+	p("	cmpi r3, %d", pRegs+4*16)
+	p("	jl   fk_cp")
+	p("	movi r3, 0")
+	p("	stw  r3, [r0+%d]  ; child sees fork() == 0", pRegs)
+	p("	stw  r3, [r0+%d]", pStatus)
+	p("	movi r3, 1")
+	p("	stw  r3, [r0+%d]", pState)
+	p("	stw  r11, [r0+%d]", pParent)
+	slotbase(p, "r0", "r11")
+	slotbase(p, "r1", "r7")
+	p("	movi r6, %d", UserSlot/0x10000)
+	p("fk_burst:")
+	p("	movi r2, %#x", 0x10000)
+	p("fk_rep:")
+	p("	rep movs          ; 64 KiB per burst (the REP iteration cap)")
+	p("	cmpi r2, 0")
+	p("	jnz  fk_rep")
+	p("	dec  r6")
+	p("	jnz  fk_burst")
+	p("	mov  r1, r7")
+	p("	jmp  retr0")
+
+	// exec(r1 = path): stream the file's blocks over the current slot and
+	// reset the saved context to a fresh program start. The mapping is
+	// unchanged (same pid), and the block copies go through the normal
+	// store path, so stale predecoded instructions self-invalidate.
+	p("sysexec:")
+	p("	call dirlookup")
+	p("	cmpi r1, -1")
+	p("	jz   ex_err")
+	p("	mov  r7, r1       ; ino")
+	p("	mov  r1, r7")
+	p("	call inoline")
+	p("	ldw  r0, [r2+4]   ; size")
+	p("	movi r3, vSAVE2")
+	p("	stw  r0, [r3]")
+	p("	movi r11, vCURPID")
+	p("	ldw  r11, [r11]")
+	slotbase(p, "r10", "r11")
+	p("	movi r6, 0        ; block index")
+	p("ex_loop:")
+	p("	mov  r0, r6")
+	p("	shli r0, 9")
+	p("	movi r3, vSAVE2")
+	p("	ldw  r3, [r3]")
+	p("	cmp  r0, r3")
+	p("	jge  ex_done")
+	p("	mov  r1, r7")
+	p("	call inoline      ; re-read: block reads may have evicted it")
+	p("	mov  r0, r6")
+	p("	shli r0, 2")
+	p("	add  r2, r0")
+	p("	ldw  r1, [r2+12]  ; block pointer")
+	p("	call diskrd")
+	p("	mov  r0, r2       ; src = cache line")
+	p("	mov  r1, r6")
+	p("	shli r1, 9")
+	p("	add  r1, r10      ; dst = slot + blk*512")
+	p("	movi r2, 512")
+	p("	rep movs")
+	p("	inc  r6")
+	p("	jmp  ex_loop")
+	p("ex_done:")
+	curproc(p, "r12")
+	p("	movi r0, %#x", UserVA)
+	p("	stw  r0, [r12+%d]", pEPC)
+	p("	movi r0, %#x", flags)
+	p("	stw  r0, [r12+%d]", pEFlags)
+	p("	movi r0, 0")
+	for r := 0; r <= 10; r++ {
+		p("	stw  r0, [r12+%d]", pRegs+4*r)
+	}
+	p("	stw  r0, [r12+%d]", pRegs+4*14)
+	p("	stw  r0, [r12+%d]", pRegs+4*15)
+	p("	movi r0, %#x", UserSP)
+	p("	stw  r0, [r12+%d]", pRegs+4*13)
+	p("	jmp  sysret")
+	p("ex_err:")
+	p("	movi r1, -1")
+	p("	jmp  retr0")
+
+	// wait(): reap one zombie child (r0 = pid, r1 = status). With live
+	// children but no zombie it parks -1 in the saved r0 and yields — the
+	// user wrapper retries; with no children at all it returns -2.
+	p("syswait:")
+	p("	movi r11, vCURPID")
+	p("	ldw  r11, [r11]")
+	p("	movi r7, 1")
+	p("	movi r6, 0        ; live-child flag")
+	p("wt_scan:")
+	p("	mov  r0, r7")
+	p("	shli r0, 7")
+	p("	addi r0, PROCB")
+	p("	ldw  r1, [r0+%d]", pState)
+	p("	cmpi r1, 0")
+	p("	jz   wt_next")
+	p("	ldw  r2, [r0+%d]", pParent)
+	p("	cmp  r2, r11")
+	p("	jnz  wt_next")
+	p("	cmpi r1, 3")
+	p("	jz   wt_reap")
+	p("	movi r6, 1")
+	p("wt_next:")
+	p("	inc  r7")
+	p("	cmpi r7, %d", MaxProcs)
+	p("	jl   wt_scan")
+	p("	cmpi r6, 0")
+	p("	jnz  wt_yield")
+	p("	movi r1, -2")
+	p("	jmp  retr0")
+	p("wt_reap:")
+	p("	ldw  r3, [r0+%d]", pStatus)
+	p("	movi r2, 0")
+	p("	stw  r2, [r0+%d]  ; free the slot", pState)
+	curproc(p, "r12")
+	p("	stw  r7, [r12+%d]", pRegs)
+	p("	stw  r3, [r12+%d]", pRegs+4)
+	p("	jmp  sysret")
+	p("wt_yield:")
+	curproc(p, "r12")
+	p("	movi r0, -1")
+	p("	stw  r0, [r12+%d]", pRegs)
+	p("	jmp  schednext")
+
+	// schednext: round-robin from curpid+1; switching is a vCURPID store
+	// plus a TLB flush (mappings are per-pid). Nothing runnable anywhere
+	// means every process exited without pid 0 — power off.
+	p("schednext:")
+	p("	movi r12, vCURPID")
+	p("	ldw  r12, [r12]")
+	p("	mov  r7, r12")
+	p("	movi r6, %d", MaxProcs)
+	p("sn_loop:")
+	p("	inc  r7")
+	p("	cmpi r7, %d", MaxProcs)
+	p("	jl   sn_ck")
+	p("	movi r7, 0")
+	p("sn_ck:")
+	p("	mov  r0, r7")
+	p("	shli r0, 7")
+	p("	addi r0, PROCB")
+	p("	ldw  r1, [r0+%d]", pState)
+	p("	cmpi r1, 1")
+	p("	jz   sn_go")
+	p("	dec  r6")
+	p("	jnz  sn_loop")
+	p("	jmp  shutdown")
+	p("sn_go:")
+	p("	movi r0, vCURPID")
+	p("	stw  r7, [r0]")
+	p("	tlbfl             ; per-process mappings")
+	p("	jmp  sysret")
+}
+
+// fsFileSyscalls emits open/read/write/close/unlink.
+func fsFileSyscalls(p emitfn) {
+	// open(r1 = path, r2 = mode): mode 0 opens an existing file for
+	// sequential reads; mode 1 creates it if missing (inode before
+	// dirent — a crash between leaves only an fsck orphan warning) and
+	// appends. Returns an fd, or -1.
+	p("sysopen:")
+	p("	mov  r9, r2       ; mode")
+	p("	call dirlookup")
+	p("	cmpi r1, -1")
+	p("	jnz  op_fd")
+	p("	cmpi r9, 0")
+	p("	jz   op_err       ; reading a missing file")
+	p("	movi r7, 1")
+	p("op_scani:")
+	p("	mov  r1, r7")
+	p("	call inoline")
+	p("	ldw  r0, [r2]")
+	p("	cmpi r0, 0")
+	p("	jz   op_newino")
+	p("	inc  r7")
+	p("	cmpi r7, %d", fs.NumInodes)
+	p("	jl   op_scani")
+	p("	jmp  op_err       ; out of inodes")
+	p("op_newino:")
+	p("	movi r0, %d", fs.TypeFile)
+	p("	stw  r0, [r2]")
+	p("	movi r0, 0")
+	p("	stw  r0, [r2+4]   ; size 0")
+	p("	movi r0, 1")
+	p("	stw  r0, [r2+8]   ; nlink 1")
+	p("	movi r0, 0")
+	for off := 12; off <= 60; off += 4 {
+		p("	stw  r0, [r2+%d]", off)
+	}
+	p("	mov  r1, r7")
+	p("	shri r1, 3")
+	p("	addi r1, %d", fs.InodeStart)
+	p("	call wrline")
+	p("	call diskwr       ; inode committed before the dirent")
+	p("	movi r1, %d", fs.RootDirSector)
+	p("	call diskrd")
+	p("	movi r5, 0")
+	p("op_scand:")
+	p("	ldw  r0, [r2]")
+	p("	cmpi r0, 0")
+	p("	jz   op_newent")
+	p("	addi r2, 16")
+	p("	inc  r5")
+	p("	cmpi r5, %d", fs.DirEntries)
+	p("	jl   op_scand")
+	p("	jmp  op_err       ; directory full")
+	p("op_newent:")
+	p("	mov  r0, r7")
+	p("	inc  r0")
+	p("	stw  r0, [r2]     ; ino+1")
+	p("	movi r4, PATHBUF  ; name already packed by dirlookup")
+	p("	ldw  r0, [r4]")
+	p("	stw  r0, [r2+4]")
+	p("	ldw  r0, [r4+4]")
+	p("	stw  r0, [r2+8]")
+	p("	ldw  r0, [r4+8]")
+	p("	stw  r0, [r2+12]")
+	p("	movi r1, %d", fs.RootDirSector)
+	p("	call wrline")
+	p("	call diskwr")
+	p("	mov  r1, r7")
+	p("op_fd:")
+	p("	mov  r7, r1       ; ino")
+	p("	movi r3, FDB")
+	p("	movi r5, 0")
+	p("op_scanf:")
+	p("	ldw  r0, [r3]")
+	p("	cmpi r0, 0")
+	p("	jz   op_newfd")
+	p("	addi r3, 16")
+	p("	inc  r5")
+	p("	cmpi r5, 8")
+	p("	jl   op_scanf")
+	p("	jmp  op_err       ; out of fds")
+	p("op_newfd:")
+	p("	mov  r0, r7")
+	p("	inc  r0")
+	p("	stw  r0, [r3]")
+	p("	movi r0, 0")
+	p("	stw  r0, [r3+4]   ; offset 0")
+	p("	stw  r9, [r3+8]   ; mode")
+	p("	mov  r1, r5")
+	p("	jmp  retr0")
+	p("op_err:")
+	p("	movi r1, -1")
+	p("	jmp  retr0")
+
+	// read(r1 = fd, r2 = buf VA, r3 = n): sequential from the fd offset,
+	// clamped to the file size; returns bytes read.
+	p("sysread:")
+	p("	mov  r6, r1")
+	p("	shli r6, 4")
+	p("	addi r6, FDB      ; fd entry (fixed memory, survives helpers)")
+	p("	ldw  r7, [r6]")
+	p("	cmpi r7, 0")
+	p("	jz   rw_err")
+	p("	dec  r7           ; ino")
+	p("	mov  r8, r2")
+	p("	mov  r9, r3")
+	p("	mov  r1, r7")
+	p("	call inoline")
+	p("	ldw  r0, [r2+4]   ; size")
+	p("	ldw  r3, [r6+4]   ; offset")
+	p("	sub  r0, r3       ; remaining")
+	p("	cmpi r0, 0")
+	p("	jz   rd_zero")
+	p("	cmp  r9, r0")
+	p("	jle  rd_clamped")
+	p("	mov  r9, r0")
+	p("rd_clamped:")
+	p("	mov  r1, r8")
+	p("	call uva2pa")
+	p("	mov  r8, r1       ; buf PA")
+	p("	mov  r10, r9      ; total to return")
+	p("rd_loop:")
+	p("	cmpi r9, 0")
+	p("	jz   rd_done")
+	p("	ldw  r0, [r6+4]")
+	p("	shri r0, 9")
+	p("	push r0           ; block index across inoline")
+	p("	mov  r1, r7")
+	p("	call inoline")
+	p("	pop  r0")
+	p("	shli r0, 2")
+	p("	add  r2, r0")
+	p("	ldw  r1, [r2+12]  ; block pointer")
+	p("	call diskrd")
+	p("	ldw  r3, [r6+4]")
+	p("	andi r3, 511")
+	p("	add  r2, r3       ; src = line + offset-in-block")
+	p("	movi r5, 512")
+	p("	sub  r5, r3")
+	p("	cmp  r5, r9")
+	p("	jle  rd_chunk")
+	p("	mov  r5, r9")
+	p("rd_chunk:")
+	p("	mov  r0, r2")
+	p("	mov  r1, r8")
+	p("	mov  r2, r5")
+	p("	rep movs")
+	p("	mov  r8, r1")
+	p("	ldw  r3, [r6+4]")
+	p("	add  r3, r5")
+	p("	stw  r3, [r6+4]")
+	p("	sub  r9, r5")
+	p("	jmp  rd_loop")
+	p("rd_done:")
+	p("	mov  r1, r10")
+	p("	jmp  retr0")
+	p("rd_zero:")
+	p("	movi r1, 0")
+	p("	jmp  retr0")
+
+	// write(r1 = fd, r2 = buf VA, r3 = n): append-only. Per chunk the
+	// commit order is bitmap (on a fresh block), data, then inode — the
+	// ordering fsck's leak-warning model assumes.
+	p("syswrite:")
+	p("	mov  r6, r1")
+	p("	shli r6, 4")
+	p("	addi r6, FDB")
+	p("	ldw  r7, [r6]")
+	p("	cmpi r7, 0")
+	p("	jz   rw_err")
+	p("	dec  r7           ; ino")
+	p("	mov  r9, r3       ; remaining (before uva2pa, which clobbers r3)")
+	p("	mov  r1, r2")
+	p("	call uva2pa")
+	p("	mov  r8, r1       ; src PA")
+	p("	mov  r10, r9      ; total to return")
+	p("wr_loop:")
+	p("	cmpi r9, 0")
+	p("	jz   wr_done")
+	p("	mov  r1, r7")
+	p("	call inoline")
+	p("	ldw  r0, [r2+4]   ; size")
+	p("	cmpi r0, %d", fs.MaxFileBytes)
+	p("	jge  rw_err       ; file full")
+	p("	movi r3, vSAVE2")
+	p("	stw  r0, [r3]")
+	p("	andi r0, 511")
+	p("	cmpi r0, 0")
+	p("	jnz  wr_have")
+	p("	movi r1, %d", fs.BitmapSector)
+	p("	call diskrd")
+	p("	movi r5, 0")
+	p("wr_scanb:")
+	p("	ldw  r0, [r2]")
+	p("	cmpi r0, 0")
+	p("	jz   wr_gotb")
+	p("	addi r2, 4")
+	p("	inc  r5")
+	p("	cmpi r5, %d", fs.DataSectors)
+	p("	jl   wr_scanb")
+	p("	jmp  rw_err       ; disk full")
+	p("wr_gotb:")
+	p("	movi r0, 1")
+	p("	stw  r0, [r2]")
+	p("	movi r1, %d", fs.BitmapSector)
+	p("	call wrline")
+	p("	call diskwr       ; bitmap first")
+	p("	mov  r4, r5")
+	p("	addi r4, %d", fs.DataStart)
+	p("	jmp  wr_havep")
+	p("wr_have:")
+	p("	ldw  r0, [r2+4]")
+	p("	shri r0, 9")
+	p("	shli r0, 2")
+	p("	add  r2, r0")
+	p("	ldw  r4, [r2+12]  ; existing tail block")
+	p("wr_havep:")
+	p("	movi r0, vSAVE3")
+	p("	stw  r4, [r0]     ; chunk's sector")
+	p("	mov  r1, r4")
+	p("	call diskrd")
+	p("	movi r0, vSAVE2")
+	p("	ldw  r0, [r0]")
+	p("	andi r0, 511      ; offset in block")
+	p("	add  r2, r0")
+	p("	movi r5, 512")
+	p("	sub  r5, r0")
+	p("	cmp  r5, r9")
+	p("	jle  wr_chunk")
+	p("	mov  r5, r9")
+	p("wr_chunk:")
+	p("	mov  r0, r8")
+	p("	mov  r1, r2")
+	p("	mov  r2, r5")
+	p("	rep movs")
+	p("	mov  r8, r0")
+	p("	movi r1, vSAVE3")
+	p("	ldw  r1, [r1]")
+	p("	call wrline")
+	p("	call diskwr       ; data second")
+	p("	push r5           ; chunk size (inoline clobbers r5)")
+	p("	mov  r1, r7")
+	p("	call inoline")
+	p("	pop  r5")
+	p("	ldw  r0, [r2+4]")
+	p("	mov  r3, r0")
+	p("	andi r3, 511")
+	p("	cmpi r3, 0")
+	p("	jnz  wr_grow")
+	p("	mov  r3, r0")
+	p("	shri r3, 9")
+	p("	shli r3, 2")
+	p("	add  r3, r2")
+	p("	movi r4, vSAVE3")
+	p("	ldw  r4, [r4]")
+	p("	stw  r4, [r3+12]  ; publish the fresh block pointer")
+	p("wr_grow:")
+	p("	add  r0, r5")
+	p("	stw  r0, [r2+4]   ; new size")
+	p("	mov  r1, r7")
+	p("	shri r1, 3")
+	p("	addi r1, %d", fs.InodeStart)
+	p("	call wrline")
+	p("	call diskwr       ; inode last")
+	p("	sub  r9, r5")
+	p("	jmp  wr_loop")
+	p("wr_done:")
+	p("	mov  r1, r10")
+	p("	jmp  retr0")
+	p("rw_err:")
+	p("	movi r1, -1")
+	p("	jmp  retr0")
+
+	p("sysclose:")
+	p("	shli r1, 4")
+	p("	addi r1, FDB")
+	p("	movi r0, 0")
+	p("	stw  r0, [r1]")
+	p("	jmp  sysret")
+
+	// unlink(r1 = path): dirent, then inode, then bitmap — crash windows
+	// leave an orphan or a leak (fsck warnings), never a dangling
+	// reference.
+	p("sysunlink:")
+	p("	call dirlookup    ; r1 = ino, r2 = dirent in the root line")
+	p("	cmpi r1, -1")
+	p("	jz   ul_err")
+	p("	mov  r7, r1")
+	p("	movi r0, 0")
+	p("	stw  r0, [r2]")
+	p("	stw  r0, [r2+4]")
+	p("	stw  r0, [r2+8]")
+	p("	stw  r0, [r2+12]")
+	p("	movi r1, %d", fs.RootDirSector)
+	p("	call wrline")
+	p("	call diskwr       ; dirent first")
+	p("	mov  r1, r7")
+	p("	call inoline")
+	p("	movi r3, PTRSAV")
+	p("	movi r5, 0")
+	p("ul_save:")
+	p("	ldw  r0, [r2+12]")
+	p("	stw  r0, [r3]")
+	p("	addi r2, 4")
+	p("	addi r3, 4")
+	p("	inc  r5")
+	p("	cmpi r5, %d", fs.MaxFileBlocks)
+	p("	jl   ul_save")
+	p("	subi r2, %d", 4*fs.MaxFileBlocks)
+	p("	movi r0, 0")
+	p("	movi r5, 0")
+	p("ul_zero:")
+	p("	stw  r0, [r2]")
+	p("	addi r2, 4")
+	p("	inc  r5")
+	p("	cmpi r5, %d", fs.InodeWords)
+	p("	jl   ul_zero")
+	p("	mov  r1, r7")
+	p("	shri r1, 3")
+	p("	addi r1, %d", fs.InodeStart)
+	p("	call wrline")
+	p("	call diskwr       ; inode second")
+	p("	movi r1, %d", fs.BitmapSector)
+	p("	call diskrd")
+	p("	movi r3, PTRSAV")
+	p("	movi r5, 0")
+	p("ul_clr:")
+	p("	ldw  r0, [r3]")
+	p("	cmpi r0, 0")
+	p("	jz   ul_next")
+	p("	subi r0, %d", fs.DataStart)
+	p("	shli r0, 2")
+	p("	add  r0, r2")
+	p("	movi r4, 0")
+	p("	stw  r4, [r0]")
+	p("ul_next:")
+	p("	addi r3, 4")
+	p("	inc  r5")
+	p("	cmpi r5, %d", fs.MaxFileBlocks)
+	p("	jl   ul_clr")
+	p("	movi r1, %d", fs.BitmapSector)
+	p("	call wrline")
+	p("	call diskwr       ; bitmap last")
+	p("	movi r1, 0")
+	p("	jmp  retr0")
+	p("ul_err:")
+	p("	movi r1, -1")
+	p("	jmp  retr0")
+}
+
+// fsLogNICSyscalls emits logappend and the polled NIC syscalls.
+func fsLogNICSyscalls(p emitfn) {
+	// logappend(r1 = buf VA, r2 = n): write the record sector, then
+	// commit the head in the superblock — a torn append below the head is
+	// invisible to fsck.
+	p("syslogapp:")
+	p("	cmpi r2, %d", fs.MaxLogBytes)
+	p("	jg   lg_err")
+	p("	mov  r9, r2")
+	p("	call uva2pa")
+	p("	mov  r8, r1       ; src PA")
+	p("	movi r0, vLOGHEAD")
+	p("	ldw  r7, [r0]")
+	p("	cmpi r7, %d", fs.LogSectors)
+	p("	jge  lg_err       ; log full")
+	p("	mov  r1, r7")
+	p("	addi r1, %d", fs.LogStart)
+	p("	call diskrd")
+	p("	mov  r0, r7")
+	p("	inc  r0")
+	p("	stw  r0, [r2]     ; sequence")
+	p("	mov  r0, r9")
+	p("	addi r0, 3")
+	p("	shri r0, 2")
+	p("	stw  r0, [r2+4]   ; payload words")
+	p("	mov  r0, r8")
+	p("	mov  r1, r2")
+	p("	addi r1, 8")
+	p("	mov  r2, r9")
+	p("	rep movs")
+	p("	mov  r1, r7")
+	p("	addi r1, %d", fs.LogStart)
+	p("	call wrline")
+	p("	call diskwr       ; record first")
+	p("	movi r1, %d", fs.Base)
+	p("	call diskrd")
+	p("	mov  r0, r7")
+	p("	inc  r0")
+	p("	stw  r0, [r2+%d]", fs.SupLogHead*4)
+	p("	movi r1, %d", fs.Base)
+	p("	call wrline")
+	p("	call diskwr       ; head commit second")
+	p("	movi r0, vLOGHEAD")
+	p("	mov  r1, r7")
+	p("	inc  r1")
+	p("	stw  r1, [r0]")
+	p("	movi r1, 0")
+	p("	jmp  retr0")
+	p("lg_err:")
+	p("	movi r1, -1")
+	p("	jmp  retr0")
+
+	p("sysnicpoll:")
+	p("	in   r1, 0x40")
+	p("	jmp  retr0")
+	p("sysnicrecv:")
+	p("	in   r1, 0x41")
+	p("	jmp  retr0")
+	p("sysnicsend:")
+	p("	out  r1, 0x42")
+	p("	jmp  sysret")
+}
+
+// fsHelpers emits the disk and FS primitives. Register contract: diskrd
+// preserves r1 and r5-r10, diskwr preserves r5-r10, both return through
+// lr (leaves). inoline/dirlookup/uva2pa preserve r6-r10.
+func fsHelpers(p emitfn) {
+	// diskrd: r1 = sector → r2 = PA of its 512-byte cache line.
+	// Direct-mapped 8-line write-through cache; a miss polls the disk
+	// with interrupts off and acknowledges completion immediately.
+	p("diskrd:")
+	p("	mov  r4, r1")
+	p("	andi r4, 7        ; line index")
+	p("	mov  r3, r4")
+	p("	shli r3, 2")
+	p("	addi r3, SCTAG")
+	p("	ldw  r0, [r3]")
+	p("	mov  r2, r1")
+	p("	inc  r2           ; tag = sector+1")
+	p("	cmp  r0, r2")
+	p("	jz   dr_hit")
+	p("	out  r1, 0x30")
+	p("	movi r0, 1")
+	p("	out  r0, 0x31     ; read command")
+	p("dr_wait:")
+	p("	pause")
+	p("	in   r0, 0x33")
+	p("	andi r0, 1")
+	p("	jnz  dr_wait")
+	p("	movi r0, 1")
+	p("	out  r0, 0x34     ; ack before interrupts come back on")
+	p("	stw  r2, [r3]     ; install tag")
+	p("	mov  r2, r4")
+	p("	shli r2, 9")
+	p("	addi r2, SCDATA")
+	p("	mov  r3, r2")
+	p("	movi r0, %d", SectorWords)
+	p("dr_fill:")
+	p("	in   r4, 0x32")
+	p("	stw  r4, [r3]")
+	p("	addi r3, 4")
+	p("	dec  r0")
+	p("	jnz  dr_fill")
+	p("	ret")
+	p("dr_hit:")
+	p("	mov  r2, r4")
+	p("	shli r2, 9")
+	p("	addi r2, SCDATA")
+	p("	ret")
+
+	// diskwr: r1 = sector, r2 = source PA. Write-through: streams the
+	// sector to the device, then installs it in the cache (skipping the
+	// copy when the source already is the cache line).
+	p("diskwr:")
+	p("	out  r1, 0x30")
+	p("	movi r0, 2")
+	p("	out  r0, 0x31     ; write command")
+	p("	mov  r3, r2")
+	p("	movi r0, %d", SectorWords)
+	p("dw_out:")
+	p("	ldw  r4, [r3]")
+	p("	out  r4, 0x32")
+	p("	addi r3, 4")
+	p("	dec  r0")
+	p("	jnz  dw_out")
+	p("dw_wait:")
+	p("	pause")
+	p("	in   r0, 0x33")
+	p("	andi r0, 1")
+	p("	jnz  dw_wait")
+	p("	movi r0, 1")
+	p("	out  r0, 0x34")
+	p("	mov  r4, r1")
+	p("	andi r4, 7")
+	p("	mov  r3, r4")
+	p("	shli r3, 2")
+	p("	addi r3, SCTAG")
+	p("	mov  r0, r1")
+	p("	inc  r0")
+	p("	stw  r0, [r3]     ; retag the line")
+	p("	mov  r3, r4")
+	p("	shli r3, 9")
+	p("	addi r3, SCDATA")
+	p("	cmp  r3, r2")
+	p("	jz   dw_done      ; source already is the line")
+	p("	mov  r0, r2")
+	p("	mov  r1, r3")
+	p("	movi r2, 512")
+	p("	rep movs")
+	p("dw_done:")
+	p("	ret")
+
+	// wrline: r1 = sector → r2 = its cache-line PA (no tag check: the
+	// caller just mutated the cached line and is about to diskwr it).
+	p("wrline:")
+	p("	mov  r2, r1")
+	p("	andi r2, 7")
+	p("	shli r2, 9")
+	p("	addi r2, SCDATA")
+	p("	ret")
+
+	// uva2pa: r1 = user VA → r1 = PA in the current pid's slot.
+	p("uva2pa:")
+	p("	movi r0, vCURPID")
+	p("	ldw  r0, [r0]")
+	p("	mov  r3, r0")
+	p("	shli r3, 3")
+	p("	sub  r3, r0")
+	p("	shli r3, 16       ; pid * UserSlot")
+	p("	add  r1, r3")
+	p("	addi r1, %#x", UserPA-UserVA)
+	p("	ret")
+
+	// inoline: r1 = ino → r2 = PA of its 64-byte record in the cached
+	// inode sector.
+	p("inoline:")
+	p("	push lr")
+	p("	mov  r5, r1")
+	p("	shri r1, 3")
+	p("	addi r1, %d", fs.InodeStart)
+	p("	call diskrd")
+	p("	andi r5, 7")
+	p("	shli r5, 6")
+	p("	add  r2, r5")
+	p("	pop  lr")
+	p("	ret")
+
+	// dirlookup: r1 = path VA → r1 = ino (or -1), r2 = the dirent's PA
+	// in the cached root-directory line. Packs the name NUL-padded into
+	// PATHBUF (create reuses it) and compares whole words.
+	p("dirlookup:")
+	p("	push lr")
+	p("	call uva2pa")
+	p("	movi r2, PATHBUF")
+	p("	movi r3, 0")
+	p("	stw  r3, [r2]")
+	p("	stw  r3, [r2+4]")
+	p("	stw  r3, [r2+8]")
+	p("dl_copy:")
+	p("	ldb  r0, [r1]")
+	p("	cmpi r0, 0")
+	p("	jz   dl_packed")
+	p("	stb  r0, [r2]")
+	p("	inc  r1")
+	p("	inc  r2")
+	p("	cmpi r2, %d", kPathBuf+fs.NameLen-1)
+	p("	jl   dl_copy")
+	p("dl_packed:")
+	p("	movi r1, %d", fs.RootDirSector)
+	p("	call diskrd")
+	p("	movi r5, 0")
+	p("dl_scan:")
+	p("	ldw  r0, [r2]")
+	p("	cmpi r0, 0")
+	p("	jz   dl_next")
+	p("	movi r4, PATHBUF")
+	p("	ldw  r0, [r2+4]")
+	p("	ldw  r1, [r4]")
+	p("	cmp  r0, r1")
+	p("	jnz  dl_next")
+	p("	ldw  r0, [r2+8]")
+	p("	ldw  r1, [r4+4]")
+	p("	cmp  r0, r1")
+	p("	jnz  dl_next")
+	p("	ldw  r0, [r2+12]")
+	p("	ldw  r1, [r4+8]")
+	p("	cmp  r0, r1")
+	p("	jnz  dl_next")
+	p("	ldw  r1, [r2]")
+	p("	dec  r1           ; ino")
+	p("	pop  lr")
+	p("	ret")
+	p("dl_next:")
+	p("	addi r2, 16")
+	p("	inc  r5")
+	p("	cmpi r5, %d", fs.DirEntries)
+	p("	jl   dl_scan")
+	p("	movi r1, -1")
+	p("	pop  lr")
+	p("	ret")
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fullsys"
 	"repro/internal/isa"
+	"repro/internal/workload/fs"
 )
 
 // toyOS memory map (physical).
@@ -59,6 +60,18 @@ type KernelConfig struct {
 	// SMP boot with idle secondaries — the safe default for user programs
 	// that are not written for multiple cores.
 	SMPUser bool
+
+	// FS grows the kernel with the toyFS subsystem: a sector cache,
+	// file/process/log/NIC syscalls, and per-process address spaces (see
+	// fskernel.go). FS kernels are uniprocessor-only — BuildBoot rejects
+	// FS with Cores > 1. At FS=false the generated source is byte-
+	// identical to the pre-FS kernel.
+	FS bool
+	// DiskLatency overrides the disk device latency in target time units;
+	// 0 keeps the package default. It scales every disk access — boot
+	// payload loading and, under FS, every syscall-driven sector I/O —
+	// which is what experiments.Servers sweeps.
+	DiskLatency uint64
 }
 
 // FastBoot is the minimal kernel configuration used when the workload of
@@ -89,6 +102,9 @@ func KernelSource(k KernelConfig) string {
 	if k.Cores > 1 {
 		p(".equ vRELEASE, %#x", kVarBase+0x1C)
 		p(".equ PCPU, %#x", kPCPU)
+	}
+	if k.FS {
+		fsEquates(p)
 	}
 	p(".org %#x", kCodeBase)
 
@@ -232,6 +248,9 @@ func KernelSource(k KernelConfig) string {
 		p("	movi r0, %d", k.TimerInterval)
 		p("	out  r0, 0x20")
 	}
+	if k.FS {
+		fsInit(p)
+	}
 	p("	movi r0, 1")
 	p("	movcr r0, cr1     ; enable user paging")
 	p("	movi r0, %#x", UserVA)
@@ -266,19 +285,24 @@ func KernelSource(k KernelConfig) string {
 	// the sleep loop, which re-establishes its registers after waking.
 
 	// TLB miss: linear map user VAs; anything else kills the process.
-	p("tlbmiss:")
-	p("	movrc r11, cr2")
-	p("	shri r11, %d", fullsys.PageShift)
-	p("	cmpi r11, %#x", UserVA>>fullsys.PageShift)
-	p("	jl   kill")
-	p("	cmpi r11, %#x", UserVAEnd>>fullsys.PageShift)
-	p("	jge  kill")
-	p("	mov  r12, r11")
-	p("	addi r12, %#x", userOffset)
-	p("	shli r12, %d", fullsys.PageShift)
-	p("	ori  r12, 3       ; user|write")
-	p("	tlbwr r11, r12")
-	p("	iret")
+	// Under FS the map is offset by the current process's memory slot.
+	if k.FS {
+		fsTLBMiss(p)
+	} else {
+		p("tlbmiss:")
+		p("	movrc r11, cr2")
+		p("	shri r11, %d", fullsys.PageShift)
+		p("	cmpi r11, %#x", UserVA>>fullsys.PageShift)
+		p("	jl   kill")
+		p("	cmpi r11, %#x", UserVAEnd>>fullsys.PageShift)
+		p("	jge  kill")
+		p("	mov  r12, r11")
+		p("	addi r12, %#x", userOffset)
+		p("	shli r12, %d", fullsys.PageShift)
+		p("	ori  r12, 3       ; user|write")
+		p("	tlbwr r11, r12")
+		p("	iret")
+	}
 
 	// Timer: tick, ack. On SMP every core has its own timer device, so the
 	// tick counter lives in the per-CPU area (PCPU + CPUID*32 + 8) — a
@@ -318,79 +342,86 @@ func KernelSource(k KernelConfig) string {
 		p("	shli r12, 5")
 		p("	addi r12, PCPU")
 	}
-	p("syscallh:")
-	if k.Cores > 1 {
-		pcpuSlot()
+	if k.FS {
+		// The FS syscall surface replaces the whole block below: full
+		// register spill/restore through the process table, the extended
+		// dispatch, and the file/process/log/NIC handlers (fskernel.go).
+		fsSyscalls(p, flags)
 	} else {
-		p("	movi r12, vEPC")
-	}
-	p("	movrc r11, cr5")
-	p("	stw  r11, [r12]")
-	p("	movrc r11, cr6")
-	p("	stw  r11, [r12+4] ; vEFL")
-	p("	cmpi r0, 0")
-	p("	jz   shutdown     ; sys_exit")
-	p("	cmpi r0, 1")
-	p("	jz   sysputc")
-	p("	cmpi r0, 2")
-	p("	jz   sysgetc")
-	p("	cmpi r0, 4")
-	p("	jz   syssleep")
-	p("	cmpi r0, 5")
-	p("	jz   systime")
-	p("sysret:")
-	if k.Cores > 1 {
-		pcpuSlot()
-	} else {
-		p("	movi r12, vEPC")
-	}
-	p("	ldw  r11, [r12]")
-	p("	movcr r11, cr5")
-	p("	ldw  r11, [r12+4]")
-	p("	movcr r11, cr6")
-	p("	iret")
-	p("sysputc:")
-	p("	out  r1, 0x10")
-	p("	jmp  sysret")
-	p("sysgetc:")
-	p("	in   r0, 0x12")
-	p("	jmp  sysret")
-	p("systime:")
-	p("	movrc r0, cr4")
-	p("	jmp  sysret")
-	// sleep(r1 ticks): HALT until the tick counter advances far enough —
-	// the perlbmk behaviour ("the default QEMU behavior stops the
-	// processor until the timer interrupt fires", §4.4).
-	// On SMP the tick counter and sleep target are per-CPU (slots +8/+12
-	// of the 32-byte PCPU stride): each core sleeps against its own timer.
-	p("syssleep:")
-	if k.Cores > 1 {
-		pcpuSlot()
-		p("	ldw  r11, [r12+8]")
-		p("	add  r11, r1")
-		p("	stw  r11, [r12+12]")
-	} else {
-		p("	movi r12, vTICKS")
+		p("syscallh:")
+		if k.Cores > 1 {
+			pcpuSlot()
+		} else {
+			p("	movi r12, vEPC")
+		}
+		p("	movrc r11, cr5")
+		p("	stw  r11, [r12]")
+		p("	movrc r11, cr6")
+		p("	stw  r11, [r12+4] ; vEFL")
+		p("	cmpi r0, 0")
+		p("	jz   shutdown     ; sys_exit")
+		p("	cmpi r0, 1")
+		p("	jz   sysputc")
+		p("	cmpi r0, 2")
+		p("	jz   sysgetc")
+		p("	cmpi r0, 4")
+		p("	jz   syssleep")
+		p("	cmpi r0, 5")
+		p("	jz   systime")
+		p("sysret:")
+		if k.Cores > 1 {
+			pcpuSlot()
+		} else {
+			p("	movi r12, vEPC")
+		}
 		p("	ldw  r11, [r12]")
-		p("	add  r11, r1")
-		p("	stw  r11, [r12+4] ; vSLEEP")
+		p("	movcr r11, cr5")
+		p("	ldw  r11, [r12+4]")
+		p("	movcr r11, cr6")
+		p("	iret")
+		p("sysputc:")
+		p("	out  r1, 0x10")
+		p("	jmp  sysret")
+		p("sysgetc:")
+		p("	in   r0, 0x12")
+		p("	jmp  sysret")
+		p("systime:")
+		p("	movrc r0, cr4")
+		p("	jmp  sysret")
+		// sleep(r1 ticks): HALT until the tick counter advances far enough —
+		// the perlbmk behaviour ("the default QEMU behavior stops the
+		// processor until the timer interrupt fires", §4.4).
+		// On SMP the tick counter and sleep target are per-CPU (slots +8/+12
+		// of the 32-byte PCPU stride): each core sleeps against its own timer.
+		p("syssleep:")
+		if k.Cores > 1 {
+			pcpuSlot()
+			p("	ldw  r11, [r12+8]")
+			p("	add  r11, r1")
+			p("	stw  r11, [r12+12]")
+		} else {
+			p("	movi r12, vTICKS")
+			p("	ldw  r11, [r12]")
+			p("	add  r11, r1")
+			p("	stw  r11, [r12+4] ; vSLEEP")
+		}
+		p("sleeploop:")
+		p("	sti")
+		p("	halt")
+		p("	cli")
+		if k.Cores > 1 {
+			pcpuSlot()
+			p("	ldw  r11, [r12+8]")
+			p("	ldw  r12, [r12+12]")
+		} else {
+			p("	movi r12, vTICKS")
+			p("	ldw  r11, [r12]")
+			p("	ldw  r12, [r12+4]")
+		}
+		p("	cmp  r11, r12")
+		p("	jl   sleeploop")
+		p("	jmp  sysret")
 	}
-	p("sleeploop:")
-	p("	sti")
-	p("	halt")
-	p("	cli")
-	if k.Cores > 1 {
-		pcpuSlot()
-		p("	ldw  r11, [r12+8]")
-		p("	ldw  r12, [r12+12]")
-	} else {
-		p("	movi r12, vTICKS")
-		p("	ldw  r11, [r12]")
-		p("	ldw  r12, [r12+4]")
-	}
-	p("	cmp  r11, r12")
-	p("	jl   sleeploop")
-	p("	jmp  sysret")
 
 	p("kill:")
 	p("shutdown:")
@@ -468,6 +499,23 @@ func (b *Boot) Devices() []fullsys.Device {
 // BuildBoot assembles the kernel and the user program, compresses the user
 // image onto the disk, and returns the bootable system.
 func BuildBoot(k KernelConfig, userAsm string) (*Boot, error) {
+	return buildBoot(k, userAsm, nil, nil)
+}
+
+// BuildBootFS builds an FS-kernel boot: on top of BuildBoot it mkfs's the
+// given root files into a toyFS image on the disk (sectors fs.Base and
+// up, after the boot payload) and scripts NIC arrivals.
+func BuildBootFS(k KernelConfig, userAsm string, files map[string][]byte, arrivals []fullsys.ScriptedInput) (*Boot, error) {
+	if !k.FS {
+		return nil, fmt.Errorf("workload: BuildBootFS requires KernelConfig.FS")
+	}
+	return buildBoot(k, userAsm, files, arrivals)
+}
+
+func buildBoot(k KernelConfig, userAsm string, files map[string][]byte, arrivals []fullsys.ScriptedInput) (*Boot, error) {
+	if k.FS && k.Cores > 1 {
+		return nil, fmt.Errorf("workload: the FS kernel is uniprocessor-only (cores = %d)", k.Cores)
+	}
 	user, err := isa.Assemble(userAsm, UserVA)
 	if err != nil {
 		return nil, fmt.Errorf("workload: user program: %w", err)
@@ -479,9 +527,13 @@ func BuildBoot(k KernelConfig, userAsm string) (*Boot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: kernel: %w", err)
 	}
-	if kernel.End() > kSecBuf {
-		return nil, fmt.Errorf("workload: kernel image %#x overruns the sector buffer at %#x",
-			kernel.End(), kSecBuf)
+	kernelLimit := isa.Word(kSecBuf)
+	if k.FS {
+		kernelLimit = kProcBase // FS kernel data structures start here
+	}
+	if kernel.End() > kernelLimit {
+		return nil, fmt.Errorf("workload: kernel image %#x overruns the reserved region at %#x",
+			kernel.End(), kernelLimit)
 	}
 	image := append([]byte(nil), user.Code...)
 	if k.PayloadPad > 0 {
@@ -501,15 +553,33 @@ func BuildBoot(k KernelConfig, userAsm string) (*Boot, error) {
 			}
 		}
 	}
-	disk := fullsys.NewDisk(SectorWords, DiskLatency)
-	for i, sec := range ToSectors(RLECompress(image)) {
+	latency := uint64(DiskLatency)
+	if k.DiskLatency > 0 {
+		latency = k.DiskLatency
+	}
+	disk := fullsys.NewDisk(SectorWords, latency)
+	payload := ToSectors(RLECompress(image))
+	if k.FS && len(payload)+1 > fs.Base {
+		return nil, fmt.Errorf("workload: boot payload (%d sectors) overruns the toyFS region at sector %d",
+			len(payload), fs.Base)
+	}
+	for i, sec := range payload {
 		disk.Preload(uint32(i+1), sec)
+	}
+	if k.FS {
+		im, err := fs.Mkfs(files)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		for sector, words := range im {
+			disk.Preload(sector, words)
+		}
 	}
 	return &Boot{
 		Kernel:  kernel,
 		Console: fullsys.NewConsole(),
 		Timer:   fullsys.NewTimer(),
 		Disk:    disk,
-		NIC:     fullsys.NewNIC(),
+		NIC:     fullsys.NewNIC(arrivals...),
 	}, nil
 }

@@ -1,0 +1,99 @@
+package workload
+
+// Entry is one registered workload: the name front ends accept, a
+// one-line description for listings (fastsim -list-workloads, fastctl
+// workloads, GET /v1/workloads), and a builder parameterised by core
+// count.
+type Entry struct {
+	Name        string
+	Description string
+	// Build constructs the spec at the given core count. The smp-*
+	// workloads bake the count into the user program and rebuild; the
+	// rest leave single-core configs untouched and set Kernel.Cores only
+	// above one (idle secondaries park in the kernel). FS workloads are
+	// uniprocessor-only and reject Cores > 1 when the boot is built.
+	Build func(cores int) Spec
+}
+
+// tableEntry wraps a Table 1 / figure workload already defined elsewhere.
+func tableEntry(name, desc string) Entry {
+	return Entry{Name: name, Description: desc, Build: func(cores int) Spec {
+		var spec Spec
+		if name == "WindowsXP" {
+			spec = WindowsXP()
+		} else {
+			for _, s := range All() {
+				if s.Name == name {
+					spec = s
+					break
+				}
+			}
+		}
+		if spec.Name == "" {
+			panic("workload: registry entry " + name + " missing from All()")
+		}
+		if cores > 1 {
+			spec.Kernel.Cores = cores
+		}
+		return spec
+	}}
+}
+
+// fsEntry wraps a server-class FS workload (uniprocessor-only; the core
+// count is validated when the boot is built).
+func fsEntry(desc string, build func() Spec) Entry {
+	s := build()
+	return Entry{Name: s.Name, Description: desc, Build: func(int) Spec { return build() }}
+}
+
+// Registry returns every runnable workload in listing order: the sixteen
+// Table 1 entries, the extra boot workload of Figures 4-5, the multicore
+// pair, and the server-class FS workloads.
+func Registry() []Entry {
+	tableDesc := map[string]string{
+		"Linux-2.4": "toyOS 2.4 boot into init (Table 1 boot workload)",
+		"Linux-2.6": "toyOS 2.6 boot into init (Table 1 boot workload)",
+	}
+	var entries []Entry
+	for _, s := range All() {
+		desc := tableDesc[s.Name]
+		if desc == "" {
+			desc = s.Name + " dynamic-profile user program over a fast boot (Table 1)"
+		}
+		entries = append(entries, tableEntry(s.Name, desc))
+	}
+	entries = append(entries,
+		tableEntry("WindowsXP", "Windows-class boot with a wider instruction mix (Figures 4-5)"),
+		Entry{Name: SMPName,
+			Description: "N cores contending on an ll/sc spinlock over the modeled interconnect",
+			Build: func(cores int) Spec {
+				if cores < 1 {
+					cores = 1
+				}
+				return SMP(cores)
+			}},
+		Entry{Name: SMPSleepName,
+			Description: "smp-lock with a sleep per iteration so all-quiescent snapshot boundaries occur",
+			Build: func(cores int) Spec {
+				if cores < 1 {
+					cores = 1
+				}
+				return SMPSleep(cores)
+			}},
+		fsEntry("FS kernel: fork 8 children exec'd from the toyFS file \"child\", reap their statuses", ShellFork),
+		fsEntry("FS kernel: create/append a file across block boundaries, then stress the commit log", LogWrite),
+		fsEntry("FS kernel: polled NIC request/response server with hashed buckets and an audit log", NICServ),
+	)
+	return entries
+}
+
+// Lookup finds a registered workload by name and builds it at the given
+// core count.
+func Lookup(name string, cores int) (Spec, bool) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e.Build(cores), true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,398 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/isa"
+	"repro/internal/workload/fs"
+)
+
+func TestRegistryListsEverything(t *testing.T) {
+	entries := Registry()
+	want := len(All()) + 1 /* WindowsXP */ + 2 /* smp */ + 3 /* servers */
+	if len(entries) != want {
+		t.Fatalf("registry has %d entries, want %d", len(entries), want)
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.Name == "" || e.Description == "" {
+			t.Errorf("entry %+v missing name or description", e)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate registry entry %s", e.Name)
+		}
+		seen[e.Name] = true
+		if s := e.Build(1); s.Name != e.Name {
+			t.Errorf("entry %s builds spec named %s", e.Name, s.Name)
+		}
+	}
+	for _, name := range []string{ShellForkName, LogWriteName, NICServName, SMPName, "Linux-2.4", "WindowsXP"} {
+		if !seen[name] {
+			t.Errorf("registry missing %s", name)
+		}
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%s) failed", name)
+		}
+	}
+}
+
+func TestServerSpecsBuild(t *testing.T) {
+	for _, s := range Servers() {
+		if _, err := s.Build(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	// FS kernels are uniprocessor-only: building one at Cores > 1 must be
+	// an explicit error, not silent nonsense.
+	s := ShellFork()
+	s.Kernel.Cores = 2
+	if _, err := s.Build(); err == nil {
+		t.Error("FS kernel at 2 cores built without error")
+	}
+}
+
+// TestShellFork is the acceptance check for the process subsystem: the
+// parent forks ShellForkChildren children, each exec'd from the toyFS file
+// "child"; every child prints 'c', every reap prints 'r', and the parent
+// prints 'K' only if the summed exit statuses match the Go reference.
+func TestShellFork(t *testing.T) {
+	_, boot := bootAndRun(t, ShellFork(), 30_000_000)
+	out := string(boot.Console.Output())
+	if got := strings.Count(out, "c"); got != ShellForkChildren {
+		t.Errorf("%d children ran, want %d (console %q)", got, ShellForkChildren, out)
+	}
+	if got := strings.Count(out, "r"); got != ShellForkChildren {
+		t.Errorf("%d children reaped, want %d (console %q)", got, ShellForkChildren, out)
+	}
+	if !strings.Contains(out, "K") || strings.Contains(out, "X") {
+		t.Errorf("exit-status sum mismatch (console %q)", out)
+	}
+}
+
+// forkStatusProgram forks one child that computes the ChildExitStatus LCG
+// inline (no exec) and exits with it; the parent waits and prints the
+// reaped status as two hex digits.
+func forkStatusProgram(seed uint32, iters int) string {
+	e := &emitter{}
+	e.p("start:")
+	e.p("	movi r0, 11")
+	e.p("	syscall           ; fork")
+	e.p("	cmpi r0, 0")
+	e.p("	jz   child")
+	e.p("wloop:")
+	e.p("	movi r0, 13")
+	e.p("	syscall           ; wait")
+	e.p("	cmpi r0, 0")
+	e.p("	jl   wloop")
+	e.p("	mov  r8, r1       ; reaped status")
+	e.p("	mov  r6, r8")
+	e.p("	shri r6, 4")
+	e.p("	call hexdig")
+	e.p("	mov  r6, r8")
+	e.p("	andi r6, 0xF")
+	e.p("	call hexdig")
+	e.exit()
+	e.p("hexdig:")
+	e.p("	cmpi r6, 10")
+	e.p("	jl   hx_num")
+	e.p("	addi r6, %d", 'a'-10)
+	e.p("	jmp  hx_out")
+	e.p("hx_num:")
+	e.p("	addi r6, '0'")
+	e.p("hx_out:")
+	e.p("	mov  r1, r6")
+	e.p("	movi r0, 1")
+	e.p("	syscall")
+	e.p("	ret")
+	e.p("child:")
+	e.p("	movi r5, %d", int32(seed))
+	e.p("	movi r3, %d", iters)
+	e.p("	movi r6, 0")
+	e.p("floop:")
+	e.lcg("r5")
+	e.p("	mov  r4, r5")
+	e.p("	shri r4, 16")
+	e.p("	andi r4, 0xFF")
+	e.p("	add  r6, r4")
+	e.p("	dec  r3")
+	e.p("	jnz  floop")
+	e.p("	andi r6, 0x7F")
+	e.p("	mov  r1, r6")
+	e.p("	movi r0, 0")
+	e.p("	syscall           ; exit(status)")
+	e.p("	jmp  .")
+	return e.b.String()
+}
+
+// TestForkWaitConformance checks the fork/wait exit-status plumbing against
+// the straight-line Go reference for several seeds.
+func TestForkWaitConformance(t *testing.T) {
+	for _, seed := range []uint32{1, 42, 0x1234} {
+		spec := Spec{
+			Name:    "fork-status",
+			Kernel:  fsBoot(),
+			UserAsm: func() string { return forkStatusProgram(seed, 100) },
+			Files:   func() map[string][]byte { return nil },
+		}
+		_, boot := bootAndRun(t, spec, 10_000_000)
+		out := string(boot.Console.Output())
+		want := fmt.Sprintf("%02x", ChildExitStatus(seed, 100))
+		if !strings.HasSuffix(strings.TrimSpace(out), want) {
+			t.Errorf("seed %d: console %q, want status suffix %q", seed, out, want)
+		}
+	}
+}
+
+// TestLogWriteCrashConsistency boots logwrite, fsck'ing the disk image at
+// every quantum boundary: the kernel's write ordering must keep the
+// on-disk state fsck-clean (warnings allowed — orphans and leaks are
+// exactly the states crash windows produce — errors not) at any point.
+func TestLogWriteCrashConsistency(t *testing.T) {
+	spec := LogWrite()
+	boot, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fm.New(fm.Config{Devices: boot.Devices()})
+	m.LoadProgram(boot.Kernel)
+	const quantum = 5000
+	checks := 0
+	idle := 0
+	for steps := 0; ; steps++ {
+		if steps%quantum == 0 {
+			if _, err := fs.Fsck(boot.Disk); err != nil {
+				t.Fatalf("fsck failed mid-run at step %d: %v", steps, err)
+			}
+			checks++
+		}
+		if _, ok := m.Step(); ok {
+			idle = 0
+			continue
+		}
+		if m.Fatal() != nil {
+			t.Fatalf("fatal at step %d: %v (console %q)", steps, m.Fatal(), boot.Console.Output())
+		}
+		if m.Halted() && m.Flags&isa.FlagI == 0 {
+			break
+		}
+		m.AdvanceIdle(100)
+		if idle++; idle > 1_000_000 {
+			t.Fatal("hung in HALT")
+		}
+		if steps > 30_000_000 {
+			t.Fatalf("did not shut down (console %q)", boot.Console.Output())
+		}
+	}
+	if checks < 10 {
+		t.Errorf("only %d fsck checks ran", checks)
+	}
+	out := string(boot.Console.Output())
+	if !strings.Contains(out, "K") || strings.Contains(out, "X") {
+		t.Fatalf("logwrite failed (console %q)", out)
+	}
+	rep, err := fs.Fsck(boot.Disk)
+	if err != nil {
+		t.Fatalf("final fsck: %v", err)
+	}
+	if len(rep.Warnings) != 0 {
+		t.Errorf("final image not clean: %v", rep.Warnings)
+	}
+	if size := rep.Files["out"]; size != 3*256+100 {
+		t.Errorf("out is %d bytes, want %d", size, 3*256+100)
+	}
+	if _, ok := rep.Files["seed"]; ok {
+		t.Error("seed survived its unlink")
+	}
+	if rep.LogHead != 32 {
+		t.Errorf("log head %d, want 32", rep.LogHead)
+	}
+	recs, err := fs.ReadLog(boot.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 32 {
+		t.Fatalf("%d log records, want 32", len(recs))
+	}
+	for i, r := range recs {
+		if len(r) != 128 {
+			t.Errorf("record %d is %d bytes, want 128", i, len(r))
+		}
+	}
+	// The file contents must match the user program's LCG buffer.
+	data, err := fs.ReadFile(boot.Disk, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := uint32(0xBEEF)
+	buf := make([]byte, 256)
+	for i := 0; i < 64; i++ {
+		x = x*1103515245 + 12345
+		buf[4*i], buf[4*i+1], buf[4*i+2], buf[4*i+3] = byte(x), byte(x>>8), byte(x>>16), byte(x>>24)
+	}
+	want := append(append(append(append([]byte{}, buf...), buf...), buf...), buf[:100]...)
+	if string(data) != string(want) {
+		t.Error("out contents diverge from the reference LCG fill")
+	}
+}
+
+// dumpDisk copies every toyFS sector of a boot disk.
+func dumpDisk(boot *Boot) map[uint32][]uint32 {
+	out := make(map[uint32][]uint32)
+	for s := uint32(fs.Base); s < fs.End; s++ {
+		out[s] = boot.Disk.Sector(s)
+	}
+	return out
+}
+
+func disksEqual(a, b map[uint32][]uint32) bool {
+	for s, av := range a {
+		bv := b[s]
+		if len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFSWriteJournalRollback proves the FM's journaled rollback covers
+// toyFS disk writes: rolling the model back across a stretch of logwrite's
+// FS activity must restore the sector map to exactly the reference state
+// at the rollback target — a speculated-then-rolled-back write never
+// reaches the medium — and replay must converge to the reference finish.
+func TestFSWriteJournalRollback(t *testing.T) {
+	spec := LogWrite()
+	run := func() (*fm.Model, *Boot, []isa.Word) {
+		boot, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := fm.New(fm.Config{Devices: boot.Devices()})
+		m.LoadProgram(boot.Kernel)
+		return m, boot, nil
+	}
+
+	// Reference run to completion, recording the PC of every committed
+	// instruction.
+	ref, refBoot, _ := run()
+	var pcs []isa.Word
+	idle := 0
+	for {
+		if e, ok := ref.Step(); ok {
+			pcs = append(pcs, e.PC)
+			idle = 0
+			continue
+		}
+		if ref.Fatal() != nil {
+			t.Fatalf("reference fatal: %v", ref.Fatal())
+		}
+		if ref.Halted() && ref.Flags&isa.FlagI == 0 {
+			break
+		}
+		ref.AdvanceIdle(100)
+		if idle++; idle > 1_000_000 {
+			t.Fatal("reference hung")
+		}
+		if len(pcs) > 30_000_000 {
+			t.Fatal("reference did not shut down")
+		}
+	}
+	refFinal := dumpDisk(refBoot)
+
+	// Reference disk state at the rollback target (mid FS activity).
+	target := uint64(len(pcs) / 2)
+	mid, midBoot, _ := run()
+	for mid.IN() < target {
+		if _, ok := mid.Step(); !ok {
+			mid.AdvanceIdle(100)
+		}
+	}
+	refAtTarget := dumpDisk(midBoot)
+
+	// Test run: go well past the target (through more syscalls and disk
+	// writes), roll back, and check the sector map snapped back.
+	m, boot, _ := run()
+	past := target + uint64(len(pcs))/4
+	for m.IN() < past {
+		if _, ok := m.Step(); !ok {
+			m.AdvanceIdle(100)
+		}
+	}
+	if disksEqual(dumpDisk(boot), refAtTarget) {
+		t.Fatal("no disk writes happened between target and rollback point; pick better points")
+	}
+	if err := m.SetPC(target, pcs[target]); err != nil {
+		t.Fatalf("SetPC(%d): %v", target, err)
+	}
+	if !disksEqual(dumpDisk(boot), refAtTarget) {
+		t.Fatal("rolled-back toyFS writes persist in the sector map")
+	}
+
+	// Replay to completion: bit-identical finish.
+	idle = 0
+	for steps := 0; ; steps++ {
+		if _, ok := m.Step(); ok {
+			idle = 0
+			continue
+		}
+		if m.Fatal() != nil {
+			t.Fatalf("replay fatal: %v", m.Fatal())
+		}
+		if m.Halted() && m.Flags&isa.FlagI == 0 {
+			break
+		}
+		m.AdvanceIdle(100)
+		if idle++; idle > 1_000_000 {
+			t.Fatal("replay hung")
+		}
+		if steps > 30_000_000 {
+			t.Fatal("replay did not shut down")
+		}
+	}
+	if !disksEqual(dumpDisk(boot), refFinal) {
+		t.Error("replayed run's disk diverges from the reference")
+	}
+	if got, want := string(boot.Console.Output()), string(refBoot.Console.Output()); got != want {
+		t.Errorf("replayed console %q, reference %q", got, want)
+	}
+}
+
+// TestNICServ runs the request/response server end to end and checks every
+// reply word on the NIC tx FIFO against the Go reference.
+func TestNICServ(t *testing.T) {
+	spec := NICServ()
+	_, boot := bootAndRun(t, spec, 30_000_000)
+	out := string(boot.Console.Output())
+	if !strings.Contains(out, "K") || strings.Contains(out, "X") {
+		t.Fatalf("nicserv failed (console %q)", out)
+	}
+	keys := NICServKeys()
+	sent := boot.NIC.Sent()
+	if len(sent) != 2*len(keys) {
+		t.Fatalf("%d tx words, want %d", len(sent), 2*len(keys))
+	}
+	for i, k := range keys {
+		bucket := (k * 0x9E3779B1) >> 20 & 0xFF
+		if sent[2*i] != k^0x5A5A5A5A {
+			t.Errorf("reply %d: key word %#x, want %#x", i, sent[2*i], k^0x5A5A5A5A)
+		}
+		if sent[2*i+1] != bucket {
+			t.Errorf("reply %d: bucket %#x, want %#x", i, sent[2*i+1], bucket)
+		}
+	}
+	// The audit log got one record per 8 requests.
+	rep, err := fs.Fsck(boot.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint32(len(keys) / 8); rep.LogHead != want {
+		t.Errorf("audit log head %d, want %d", rep.LogHead, want)
+	}
+}

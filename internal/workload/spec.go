@@ -1,6 +1,10 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fullsys"
+)
 
 // Spec describes one benchmark: how to build it and what the paper reports
 // for it (Table 1, Figures 4 and 5) so the harness can print
@@ -11,6 +15,11 @@ type Spec struct {
 	Kernel KernelConfig
 	// UserAsm generates the user program.
 	UserAsm func() string
+	// Files, for FS-kernel workloads (Kernel.FS), generates the file set
+	// formatted into the toyFS disk image at build time.
+	Files func() map[string][]byte
+	// Arrivals scripts NIC packet arrivals (FS-kernel workloads only).
+	Arrivals []fullsys.ScriptedInput
 
 	// Published reference values.
 	PaperUopsPerInst float64 // Table 1 "µOps/inst"
@@ -21,7 +30,17 @@ type Spec struct {
 
 // Build assembles the bootable system for the spec.
 func (s Spec) Build() (*Boot, error) {
-	b, err := BuildBoot(s.Kernel, s.UserAsm())
+	var b *Boot
+	var err error
+	if s.Kernel.FS {
+		var files map[string][]byte
+		if s.Files != nil {
+			files = s.Files()
+		}
+		b, err = BuildBootFS(s.Kernel, s.UserAsm(), files, s.Arrivals)
+	} else {
+		b, err = BuildBoot(s.Kernel, s.UserAsm())
+	}
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", s.Name, err)
 	}
@@ -139,22 +158,8 @@ func SMPSleep(cores int) Spec {
 	}
 }
 
-// ByName finds a spec (including WindowsXP, smp-lock and smp-sleep) by
-// name.
+// ByName finds a spec by name at a single core — every registered
+// workload, including WindowsXP, the smp pair and the FS servers.
 func ByName(name string) (Spec, bool) {
-	if name == "WindowsXP" {
-		return WindowsXP(), true
-	}
-	if name == SMPName {
-		return SMP(1), true
-	}
-	if name == SMPSleepName {
-		return SMPSleep(1), true
-	}
-	for _, s := range All() {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	return Spec{}, false
+	return Lookup(name, 1)
 }
